@@ -1,0 +1,157 @@
+//! Grafana-style panel rendering (deterministic text + CSV export).
+
+use crate::figures::{NodeOps, OpOccurrence, RankDurations, TimePoint, Timeline};
+use iosim_util::chart::{bar_chart, sparkline, ScatterGrid};
+use iosim_util::table::TextTable;
+
+/// Renders Figure 5: operation occurrence bar chart with CI error bars.
+pub fn render_op_occurrence(title: &str, occ: &[OpOccurrence]) -> String {
+    let labels: Vec<String> = occ.iter().map(|o| o.op.clone()).collect();
+    let means: Vec<f64> = occ.iter().map(|o| o.mean).collect();
+    let errs: Vec<f64> = occ.iter().map(|o| o.ci95).collect();
+    format!(
+        "## {title}\n{}",
+        bar_chart(&labels, &means, Some(&errs), 40)
+    )
+}
+
+/// Renders Figure 6: per-node operation counts as an aligned table.
+pub fn render_per_node_ops(title: &str, ops: &[NodeOps]) -> String {
+    let mut t = TextTable::new(vec!["node", "job", "op", "count"]);
+    for o in ops {
+        t.row(vec![
+            o.node.clone(),
+            o.job.to_string(),
+            o.op.clone(),
+            o.count.to_string(),
+        ]);
+    }
+    format!("## {title}\n{}", t.render())
+}
+
+/// Renders Figure 7: per-rank mean durations as a table, plus per-job
+/// summaries highlighting anomalies.
+pub fn render_rank_durations(title: &str, rd: &[RankDurations]) -> String {
+    let mut t = TextTable::new(vec!["job", "rank", "op", "mean_dur_s", "ops"]);
+    for r in rd {
+        t.row(vec![
+            r.job.to_string(),
+            r.rank.to_string(),
+            r.op.clone(),
+            format!("{:.4}", r.mean_dur),
+            r.count.to_string(),
+        ]);
+    }
+    format!("## {title}\n{}", t.render())
+}
+
+/// Renders Figure 8: duration-vs-time scatter, one glyph per op kind
+/// (`w` = write, `r` = read, `.` = other).
+pub fn render_time_distribution(title: &str, pts: &[TimePoint]) -> String {
+    if pts.is_empty() {
+        return format!("## {title}\n(no data)\n");
+    }
+    let t_max = pts.iter().map(|p| p.t).fold(0.0, f64::max).max(1e-9);
+    let d_max = pts.iter().map(|p| p.dur).fold(0.0, f64::max).max(1e-9);
+    let mut grid = ScatterGrid::new(72, 16, (0.0, t_max), (0.0, d_max));
+    let series = |op: &str| -> Vec<(f64, f64)> {
+        pts.iter()
+            .filter(|p| p.op == op)
+            .map(|p| (p.t, p.dur))
+            .collect()
+    };
+    grid.plot(&series("write"), 'w');
+    grid.plot(&series("read"), 'r');
+    format!(
+        "## {title}\n{}",
+        grid.render("operation duration (s)", "seconds into job")
+    )
+}
+
+/// Renders Figure 9: the byte/op timeline as paired sparklines plus a
+/// peak annotation, mimicking the Grafana panel.
+pub fn render_timeline(title: &str, tl: &Timeline) -> String {
+    let wb_max = tl.write_bytes.iter().cloned().fold(0.0, f64::max);
+    let rb_max = tl.read_bytes.iter().cloned().fold(0.0, f64::max);
+    let gib = 1024.0 * 1024.0 * 1024.0;
+    format!(
+        "## {title}\nwrites (ops)  |{}|\nreads  (ops)  |{}|\nwrite bytes   |{}| peak {:.2} GiB/bin\nread bytes    |{}| peak {:.2} GiB/bin\n",
+        sparkline(&tl.writes.iter().map(|&c| c as f64).collect::<Vec<_>>()),
+        sparkline(&tl.reads.iter().map(|&c| c as f64).collect::<Vec<_>>()),
+        sparkline(&tl.write_bytes),
+        wb_max / gib,
+        sparkline(&tl.read_bytes),
+        rb_max / gib,
+    )
+}
+
+/// Exports a timeline as CSV for external plotting.
+pub fn timeline_to_csv(tl: &Timeline) -> String {
+    let mut out = String::from("bin_start_s,writes,reads,write_bytes,read_bytes\n");
+    for i in 0..tl.bin_start.len() {
+        out.push_str(&format!(
+            "{:.3},{},{},{:.0},{:.0}\n",
+            tl.bin_start[i], tl.writes[i], tl.reads[i], tl.write_bytes[i], tl.read_bytes[i]
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_occurrence_panel_contains_bars_and_ci() {
+        let occ = vec![
+            OpOccurrence {
+                op: "write".into(),
+                mean: 100.0,
+                ci95: 5.0,
+                per_job: vec![(1, 95), (2, 105)],
+            },
+            OpOccurrence {
+                op: "read".into(),
+                mean: 50.0,
+                ci95: 2.0,
+                per_job: vec![(1, 48), (2, 52)],
+            },
+        ];
+        let out = render_op_occurrence("Fig 5", &occ);
+        assert!(out.contains("write"));
+        assert!(out.contains("±5.00"));
+        assert!(out.contains('#'));
+    }
+
+    #[test]
+    fn scatter_panel_renders_two_series() {
+        let pts = vec![
+            TimePoint { t: 0.0, dur: 1.0, op: "write".into(), rank: 0 },
+            TimePoint { t: 10.0, dur: 0.5, op: "read".into(), rank: 1 },
+        ];
+        let out = render_time_distribution("Fig 8", &pts);
+        assert!(out.contains('w'));
+        assert!(out.contains('r'));
+    }
+
+    #[test]
+    fn empty_scatter_degrades_gracefully() {
+        assert!(render_time_distribution("Fig 8", &[]).contains("no data"));
+    }
+
+    #[test]
+    fn timeline_csv_has_one_row_per_bin() {
+        let tl = Timeline {
+            bin_start: vec![0.0, 5.0],
+            writes: vec![3, 1],
+            reads: vec![0, 2],
+            write_bytes: vec![300.0, 100.0],
+            read_bytes: vec![0.0, 50.0],
+        };
+        let csv = timeline_to_csv(&tl);
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.lines().nth(1).unwrap().starts_with("0.000,3,0"));
+        let panel = render_timeline("Fig 9", &tl);
+        assert!(panel.contains("peak"));
+    }
+}

@@ -1,0 +1,470 @@
+//! Analysis modules — one per paper figure.
+//!
+//! Each module consumes a [`DataFrame`] whose columns follow the
+//! connector's `darshan_data` schema (`op`, `rank`, `job_id`,
+//! `ProducerName`, `seg_dur`, `seg_len`, `seg_timestamp`, …) and
+//! produces the series the corresponding figure plots.
+
+use crate::frame::DataFrame;
+use dsos_sim::Value;
+use iosim_util::stats::{Histogram, Summary};
+
+/// Figure 5: mean occurrences of each operation over a set of jobs,
+/// with 95% confidence interval error bars.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpOccurrence {
+    /// Operation name.
+    pub op: String,
+    /// Mean count per job.
+    pub mean: f64,
+    /// Half-width of the 95% CI over jobs.
+    pub ci95: f64,
+    /// Raw count per job (job id, count), sorted by job id.
+    pub per_job: Vec<(u64, u64)>,
+}
+
+/// Computes Figure 5's series: per operation, the mean count per job
+/// and its 95% confidence interval.
+pub fn op_occurrence(df: &DataFrame) -> Vec<OpOccurrence> {
+    let jobs = df.distinct("job_id");
+    let mut out = Vec::new();
+    for op in df.distinct("op") {
+        let op_name = op.as_str().unwrap_or_default().to_string();
+        let of_op = df.filter_eq("op", &op);
+        let mut per_job = Vec::with_capacity(jobs.len());
+        for j in &jobs {
+            let n = of_op.filter_eq("job_id", j).len() as u64;
+            per_job.push((j.as_u64().unwrap_or(0), n));
+        }
+        let sample: Vec<f64> = per_job.iter().map(|&(_, n)| n as f64).collect();
+        let s = Summary::of(&sample).unwrap_or(Summary {
+            n: 0,
+            mean: 0.0,
+            stddev: 0.0,
+            min: 0.0,
+            max: 0.0,
+        });
+        out.push(OpOccurrence {
+            op: op_name,
+            mean: s.mean,
+            ci95: s.ci95_half_width(),
+            per_job,
+        });
+    }
+    out
+}
+
+/// Figure 6: operation counts per compute node, per job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeOps {
+    /// Node (ProducerName).
+    pub node: String,
+    /// Job id.
+    pub job: u64,
+    /// Operation name.
+    pub op: String,
+    /// Count of that operation on that node in that job.
+    pub count: u64,
+}
+
+/// Computes Figure 6's series for the given operations (the paper shows
+/// open and close).
+pub fn per_node_ops(df: &DataFrame, ops: &[&str]) -> Vec<NodeOps> {
+    let mut out = Vec::new();
+    for (key, count) in df.group_by(&["ProducerName", "job_id", "op"], |rows| rows.len()) {
+        let op = key[2].as_str().unwrap_or_default();
+        if !ops.contains(&op) {
+            continue;
+        }
+        out.push(NodeOps {
+            node: key[0].as_str().unwrap_or_default().to_string(),
+            job: key[1].as_u64().unwrap_or(0),
+            op: op.to_string(),
+            count: count as u64,
+        });
+    }
+    out
+}
+
+/// Figure 7: read/write duration statistics per rank per job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankDurations {
+    /// Job id.
+    pub job: u64,
+    /// Rank.
+    pub rank: u64,
+    /// Operation name ("read"/"write").
+    pub op: String,
+    /// Mean duration of that operation on that rank (seconds).
+    pub mean_dur: f64,
+    /// Number of operations.
+    pub count: u64,
+}
+
+/// Computes Figure 7's series: per (job, rank, op ∈ {read, write})
+/// mean duration.
+pub fn per_rank_durations(df: &DataFrame) -> Vec<RankDurations> {
+    let dur = df.col("seg_dur");
+    df.group_by(&["job_id", "rank", "op"], |rows| {
+        (DataFrame::mean_of(rows, dur), rows.len() as u64)
+    })
+    .into_iter()
+    .filter_map(|(key, (mean_dur, count))| {
+        let op = key[2].as_str()?.to_string();
+        if op != "read" && op != "write" {
+            return None;
+        }
+        Some(RankDurations {
+            job: key[0].as_u64()?,
+            rank: key[1].as_u64()?,
+            op,
+            mean_dur,
+            count,
+        })
+    })
+    .collect()
+}
+
+/// Per-job mean duration of an operation — the summary the paper quotes
+/// when spotting job 2's anomaly (reads 6.75 s vs 0.05 s).
+pub fn job_mean_durations(df: &DataFrame, op: &str) -> Vec<(u64, f64)> {
+    let dur = df.col("seg_dur");
+    df.filter_eq("op", &Value::Str(op.to_string()))
+        .group_by(&["job_id"], |rows| DataFrame::mean_of(rows, dur))
+        .into_iter()
+        .filter_map(|(key, mean)| Some((key[0].as_u64()?, mean)))
+        .collect()
+}
+
+/// Figure 8: one point per operation — (seconds into the job, duration,
+/// op) — revealing the application's temporal I/O pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimePoint {
+    /// Seconds from the job's first observed event.
+    pub t: f64,
+    /// Operation duration (seconds).
+    pub dur: f64,
+    /// Operation name.
+    pub op: String,
+    /// Rank that performed it.
+    pub rank: u64,
+}
+
+/// Computes Figure 8's scatter for one job's frame.
+pub fn time_distribution(df: &DataFrame) -> Vec<TimePoint> {
+    let ts = df.col("seg_timestamp");
+    let t0 = df
+        .rows()
+        .iter()
+        .filter_map(|r| r[ts].as_f64())
+        .fold(f64::INFINITY, f64::min);
+    if !t0.is_finite() {
+        return Vec::new();
+    }
+    let dur = df.col("seg_dur");
+    let op = df.col("op");
+    let rank = df.col("rank");
+    let mut out: Vec<TimePoint> = df
+        .rows()
+        .iter()
+        .filter_map(|r| {
+            Some(TimePoint {
+                t: r[ts].as_f64()? - t0,
+                dur: r[dur].as_f64()?,
+                op: r[op].as_str()?.to_string(),
+                rank: r[rank].as_u64()?,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| a.t.partial_cmp(&b.t).unwrap());
+    out
+}
+
+/// Figure 9: binned timeline of operation counts and bytes, aggregated
+/// across ranks — the Grafana panel series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Timeline {
+    /// Left edge of each bin (seconds into the job).
+    pub bin_start: Vec<f64>,
+    /// Write operations per bin.
+    pub writes: Vec<u64>,
+    /// Read operations per bin.
+    pub reads: Vec<u64>,
+    /// Bytes written per bin.
+    pub write_bytes: Vec<f64>,
+    /// Bytes read per bin.
+    pub read_bytes: Vec<f64>,
+}
+
+/// Computes Figure 9's timeline over `bins` equal time bins.
+pub fn timeline(df: &DataFrame, bins: usize) -> Timeline {
+    let points = time_distribution(df);
+    let len_col = df.col("seg_len");
+    // Pair each point with its byte count by re-walking rows in the
+    // same sorted order; simpler: recompute from rows directly.
+    let ts = df.col("seg_timestamp");
+    let op = df.col("op");
+    let t0 = points.first().map_or(0.0, |p| 0.0f64.min(p.t));
+    let t_max = points.last().map_or(1.0, |p| p.t).max(1e-9);
+    let mut writes = Histogram::new(t0, t_max * 1.0001, bins.max(1));
+    let mut reads = Histogram::new(t0, t_max * 1.0001, bins.max(1));
+    let base = df
+        .rows()
+        .iter()
+        .filter_map(|r| r[ts].as_f64())
+        .fold(f64::INFINITY, f64::min);
+    for r in df.rows() {
+        let (Some(t), Some(o)) = (r[ts].as_f64(), r[op].as_str()) else {
+            continue;
+        };
+        let rel = t - base;
+        let bytes = r[len_col].as_f64().unwrap_or(0.0).max(0.0);
+        match o {
+            "write" => writes.add(rel, bytes),
+            "read" => reads.add(rel, bytes),
+            _ => {}
+        }
+    }
+    Timeline {
+        bin_start: (0..writes.bins()).map(|i| writes.bin_start(i)).collect(),
+        writes: writes.counts().to_vec(),
+        reads: reads.counts().to_vec(),
+        write_bytes: writes.weights().to_vec(),
+        read_bytes: reads.weights().to_vec(),
+    }
+}
+
+/// Correlation of binned I/O behaviour against an external time series
+/// (system telemetry such as LDMS `cpu_load` samples) — the analysis
+/// the paper motivates: "identify any correlations between the file
+/// system, network congestion or resource contentions and the I/O
+/// performance".
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadCorrelation {
+    /// Left edge of each time bin (seconds into the job).
+    pub bin_start: Vec<f64>,
+    /// Mean operation duration per bin (0 where no ops landed).
+    pub mean_dur: Vec<f64>,
+    /// Mean telemetry value per bin (NaN-free; bins without samples are
+    /// filled from the nearest sample).
+    pub telemetry: Vec<f64>,
+    /// Pearson correlation between the two series over bins that have
+    /// I/O, `None` if degenerate.
+    pub r: Option<f64>,
+}
+
+/// Correlates a job's per-bin mean operation duration with an external
+/// `(seconds_into_job, value)` telemetry series.
+pub fn correlate_load(df: &DataFrame, telemetry: &[(f64, f64)], bins: usize) -> LoadCorrelation {
+    let pts = time_distribution(df);
+    let t_max = pts
+        .iter()
+        .map(|p| p.t)
+        .fold(0.0f64, f64::max)
+        .max(telemetry.iter().map(|&(t, _)| t).fold(0.0, f64::max))
+        .max(1e-9);
+    let bins = bins.max(1);
+    let width = t_max * 1.0001 / bins as f64;
+    let mut dur_sum = vec![0.0; bins];
+    let mut dur_n = vec![0u64; bins];
+    for p in &pts {
+        let i = ((p.t / width) as usize).min(bins - 1);
+        dur_sum[i] += p.dur;
+        dur_n[i] += 1;
+    }
+    let mean_dur: Vec<f64> = dur_sum
+        .iter()
+        .zip(&dur_n)
+        .map(|(&s, &n)| if n > 0 { s / n as f64 } else { 0.0 })
+        .collect();
+    // Bin the telemetry; carry the last seen value through empty bins.
+    let mut tel_sum = vec![0.0; bins];
+    let mut tel_n = vec![0u64; bins];
+    for &(t, v) in telemetry {
+        let i = ((t / width) as usize).min(bins - 1);
+        tel_sum[i] += v;
+        tel_n[i] += 1;
+    }
+    let mut tel = Vec::with_capacity(bins);
+    let mut last = telemetry.first().map_or(0.0, |&(_, v)| v);
+    for i in 0..bins {
+        if tel_n[i] > 0 {
+            last = tel_sum[i] / tel_n[i] as f64;
+        }
+        tel.push(last);
+    }
+    // Correlate over bins that actually contain I/O.
+    let (xs, ys): (Vec<f64>, Vec<f64>) = mean_dur
+        .iter()
+        .zip(&tel)
+        .zip(&dur_n)
+        .filter(|&(_, &n)| n > 0)
+        .map(|((&d, &t), _)| (d, t))
+        .unzip();
+    LoadCorrelation {
+        bin_start: (0..bins).map(|i| i as f64 * width).collect(),
+        mean_dur,
+        telemetry: tel,
+        r: iosim_util::stats::pearson(&xs, &ys),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a frame shaped like connector output: columns we use.
+    fn frame(rows: Vec<(u64, u64, &str, &str, f64, i64, f64)>) -> DataFrame {
+        // (job, rank, node, op, dur, len, ts)
+        DataFrame::new(
+            vec![
+                "job_id",
+                "rank",
+                "ProducerName",
+                "op",
+                "seg_dur",
+                "seg_len",
+                "seg_timestamp",
+            ],
+            rows.into_iter()
+                .map(|(j, r, n, o, d, l, t)| {
+                    vec![
+                        Value::U64(j),
+                        Value::U64(r),
+                        Value::Str(n.to_string()),
+                        Value::Str(o.to_string()),
+                        Value::F64(d),
+                        Value::I64(l),
+                        Value::F64(t),
+                    ]
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn fig5_op_occurrence_means_and_ci() {
+        // Job 1: 2 writes 1 read; job 2: 4 writes 1 read.
+        let df = frame(vec![
+            (1, 0, "n1", "write", 0.1, 10, 100.0),
+            (1, 0, "n1", "write", 0.1, 10, 101.0),
+            (1, 0, "n1", "read", 0.1, 10, 102.0),
+            (2, 0, "n1", "write", 0.1, 10, 200.0),
+            (2, 0, "n1", "write", 0.1, 10, 201.0),
+            (2, 0, "n1", "write", 0.1, 10, 202.0),
+            (2, 0, "n1", "write", 0.1, 10, 203.0),
+            (2, 0, "n1", "read", 0.1, 10, 204.0),
+        ]);
+        let occ = op_occurrence(&df);
+        let write = occ.iter().find(|o| o.op == "write").unwrap();
+        assert!((write.mean - 3.0).abs() < 1e-12);
+        assert!(write.ci95 > 0.0);
+        assert_eq!(write.per_job, vec![(1, 2), (2, 4)]);
+        let read = occ.iter().find(|o| o.op == "read").unwrap();
+        assert!((read.mean - 1.0).abs() < 1e-12);
+        assert_eq!(read.ci95, 0.0); // identical counts → zero CI
+    }
+
+    #[test]
+    fn fig6_per_node_counts() {
+        let df = frame(vec![
+            (1, 0, "nid00040", "open", 0.0, -1, 100.0),
+            (1, 1, "nid00040", "open", 0.0, -1, 100.5),
+            (1, 2, "nid00041", "open", 0.0, -1, 100.7),
+            (1, 0, "nid00040", "close", 0.0, -1, 110.0),
+            (1, 0, "nid00040", "write", 0.1, 10, 105.0),
+        ]);
+        let ops = per_node_ops(&df, &["open", "close"]);
+        assert_eq!(ops.len(), 3); // (40,open) (40,close) (41,open)
+        let n40_open = ops
+            .iter()
+            .find(|o| o.node == "nid00040" && o.op == "open")
+            .unwrap();
+        assert_eq!(n40_open.count, 2);
+        assert!(ops.iter().all(|o| o.op != "write"));
+    }
+
+    #[test]
+    fn fig7_rank_durations_and_job_anomaly() {
+        let df = frame(vec![
+            (1, 0, "n", "read", 0.05, 10, 100.0),
+            (1, 1, "n", "read", 0.05, 10, 100.0),
+            (2, 0, "n", "read", 6.75, 10, 200.0),
+            (2, 1, "n", "read", 6.75, 10, 200.0),
+        ]);
+        let rd = per_rank_durations(&df);
+        assert_eq!(rd.len(), 4);
+        let job_means = job_mean_durations(&df, "read");
+        assert_eq!(job_means.len(), 2);
+        assert!((job_means[0].1 - 0.05).abs() < 1e-12);
+        assert!((job_means[1].1 - 6.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fig8_points_relative_to_job_start() {
+        let df = frame(vec![
+            (1, 0, "n", "write", 0.2, 10, 1000.0),
+            (1, 1, "n", "write", 0.3, 10, 1010.0),
+            (1, 0, "n", "read", 0.1, 10, 1050.0),
+        ]);
+        let pts = time_distribution(&df);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].t, 0.0);
+        assert_eq!(pts[2].t, 50.0);
+        assert_eq!(pts[2].op, "read");
+    }
+
+    #[test]
+    fn fig9_timeline_bins_counts_and_bytes() {
+        let df = frame(vec![
+            (1, 0, "n", "write", 0.1, 100, 0.0),
+            (1, 0, "n", "write", 0.1, 100, 1.0),
+            (1, 0, "n", "write", 0.1, 100, 9.0),
+            (1, 0, "n", "read", 0.1, 50, 9.5),
+        ]);
+        let tl = timeline(&df, 2);
+        assert_eq!(tl.writes.len(), 2);
+        assert_eq!(tl.writes[0], 2); // t=0,1
+        assert_eq!(tl.writes[1], 1); // t=9
+        assert_eq!(tl.reads[1], 1);
+        assert!((tl.write_bytes[0] - 200.0).abs() < 1e-9);
+        assert!((tl.read_bytes[1] - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn correlation_finds_load_driven_slowness() {
+        // Op durations track a rising load curve: ops at load 1 take
+        // 0.1s, ops at load 2 take 0.2s.
+        let mut rows = Vec::new();
+        for i in 0..40u64 {
+            let load = 1.0 + (i as f64 / 39.0);
+            rows.push((1, 0, "n", "write", 0.1 * load, 100, 1000.0 + i as f64));
+        }
+        let df = frame(rows);
+        let telemetry: Vec<(f64, f64)> =
+            (0..40).map(|i| (i as f64, 1.0 + i as f64 / 39.0)).collect();
+        let c = correlate_load(&df, &telemetry, 10);
+        assert_eq!(c.bin_start.len(), 10);
+        let r = c.r.expect("correlation defined");
+        assert!(r > 0.95, "expected strong positive correlation, got {r}");
+    }
+
+    #[test]
+    fn correlation_is_none_for_flat_series() {
+        let df = frame(vec![
+            (1, 0, "n", "write", 0.1, 100, 0.0),
+            (1, 0, "n", "write", 0.1, 100, 5.0),
+        ]);
+        let c = correlate_load(&df, &[(0.0, 1.0), (5.0, 1.0)], 4);
+        assert_eq!(c.r, None);
+    }
+
+    #[test]
+    fn empty_frame_yields_empty_series() {
+        let df = frame(vec![]);
+        assert!(op_occurrence(&df).is_empty());
+        assert!(time_distribution(&df).is_empty());
+        let tl = timeline(&df, 4);
+        assert_eq!(tl.writes.iter().sum::<u64>(), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! A Grafana-like dashboard: named panels over a shared query context.
+//!
+//! The paper's front end is a Grafana dashboard whose panels each run a
+//! Python analysis module against DSOS and render the result (Section
+//! IV.E). This module reproduces that composition: a [`Dashboard`] owns
+//! a list of panels, each panel is an analysis closure from a
+//! [`DataFrame`] to rendered text, and `render` evaluates every panel
+//! against the queried frame — the "instant analysis where data can be
+//! analyzed and viewed in real time" workflow.
+
+use crate::dashboard as render;
+use crate::figures;
+use crate::frame::DataFrame;
+
+/// One dashboard panel: a title plus the analysis that renders it.
+pub struct Panel {
+    title: String,
+    analysis: Box<dyn Fn(&DataFrame) -> String + Send + Sync>,
+}
+
+impl Panel {
+    /// Creates a panel from a custom analysis closure.
+    pub fn new<F>(title: &str, analysis: F) -> Self
+    where
+        F: Fn(&DataFrame) -> String + Send + Sync + 'static,
+    {
+        Self {
+            title: title.to_string(),
+            analysis: Box::new(analysis),
+        }
+    }
+
+    /// The paper's Figure 5 panel: op occurrence bars with CI.
+    pub fn op_occurrence(title: &str) -> Self {
+        let t = title.to_string();
+        Self::new(title, move |df| {
+            render::render_op_occurrence(&t, &figures::op_occurrence(df))
+        })
+    }
+
+    /// The paper's Figure 6 panel: per-node op counts.
+    pub fn per_node_ops(title: &str, ops: &[&str]) -> Self {
+        let t = title.to_string();
+        let ops: Vec<String> = ops.iter().map(|s| s.to_string()).collect();
+        Self::new(title, move |df| {
+            let refs: Vec<&str> = ops.iter().map(String::as_str).collect();
+            render::render_per_node_ops(&t, &figures::per_node_ops(df, &refs))
+        })
+    }
+
+    /// The paper's Figure 8 panel: op durations over execution time.
+    pub fn time_distribution(title: &str) -> Self {
+        let t = title.to_string();
+        Self::new(title, move |df| {
+            render::render_time_distribution(&t, &figures::time_distribution(df))
+        })
+    }
+
+    /// The paper's Figure 9 panel: binned op/byte timeline.
+    pub fn timeline(title: &str, bins: usize) -> Self {
+        let t = title.to_string();
+        Self::new(title, move |df| {
+            render::render_timeline(&t, &figures::timeline(df, bins))
+        })
+    }
+
+    /// The panel title.
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+}
+
+/// A dashboard: an ordered set of panels rendered against one frame.
+#[derive(Default)]
+pub struct Dashboard {
+    name: String,
+    panels: Vec<Panel>,
+}
+
+impl Dashboard {
+    /// Creates an empty dashboard.
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            panels: Vec::new(),
+        }
+    }
+
+    /// Adds a panel.
+    pub fn panel(mut self, p: Panel) -> Self {
+        self.panels.push(p);
+        self
+    }
+
+    /// Number of panels.
+    pub fn len(&self) -> usize {
+        self.panels.len()
+    }
+
+    /// True when the dashboard has no panels.
+    pub fn is_empty(&self) -> bool {
+        self.panels.is_empty()
+    }
+
+    /// Renders every panel against the frame.
+    pub fn render(&self, df: &DataFrame) -> String {
+        let mut out = format!("=== {} ===\n\n", self.name);
+        for p in &self.panels {
+            out.push_str(&(p.analysis)(df));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsos_sim::Value;
+
+    fn frame() -> DataFrame {
+        DataFrame::new(
+            vec![
+                "job_id",
+                "rank",
+                "ProducerName",
+                "op",
+                "seg_dur",
+                "seg_len",
+                "seg_timestamp",
+            ],
+            (0..20)
+                .map(|i| {
+                    vec![
+                        Value::U64(1),
+                        Value::U64(i % 4),
+                        Value::Str(format!("nid{:05}", 40 + i % 2)),
+                        Value::Str(if i % 3 == 0 { "read" } else { "write" }.into()),
+                        Value::F64(0.01 * (i + 1) as f64),
+                        Value::I64(4096),
+                        Value::F64(1_650_000_000.0 + i as f64),
+                    ]
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn dashboard_composes_every_standard_panel() {
+        let dash = Dashboard::new("I/O overview")
+            .panel(Panel::op_occurrence("ops"))
+            .panel(Panel::per_node_ops("per node", &["read", "write"]))
+            .panel(Panel::time_distribution("when"))
+            .panel(Panel::timeline("volume", 8));
+        assert_eq!(dash.len(), 4);
+        let out = dash.render(&frame());
+        assert!(out.contains("=== I/O overview ==="));
+        assert!(out.contains("ops"));
+        assert!(out.contains("per node"));
+        assert!(out.contains("nid00040"));
+        assert!(out.contains("volume"));
+    }
+
+    #[test]
+    fn custom_panels_see_the_frame() {
+        let dash = Dashboard::new("custom").panel(Panel::new("row count", |df| {
+            format!("rows: {}\n", df.len())
+        }));
+        assert!(dash.render(&frame()).contains("rows: 20"));
+    }
+
+    #[test]
+    fn empty_dashboard_renders_header_only() {
+        let dash = Dashboard::new("empty");
+        assert!(dash.is_empty());
+        assert_eq!(dash.render(&frame()).trim(), "=== empty ===");
+    }
+}

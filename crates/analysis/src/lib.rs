@@ -1,0 +1,25 @@
+//! HPC Web Services work-alike: analysis modules and visualization.
+//!
+//! The paper's front end is Grafana backed by Python analysis modules
+//! that transform DSOS query results (Section IV.E). This crate is that
+//! back end in Rust:
+//!
+//! * [`frame`] — a small dataframe ("queried data is converted into a
+//!   pandas dataframe to allow for easier application of complex
+//!   calculations, transformations and aggregations"): column-named
+//!   rows of [`dsos_sim::Value`] with select/filter/group-aggregate;
+//! * [`figures`] — one analysis module per paper figure: operation
+//!   occurrence statistics (Fig 5), per-node operation counts (Fig 6),
+//!   per-rank read/write durations (Fig 7), the temporal distribution
+//!   of operations within a job (Fig 8), and the Grafana-style
+//!   byte/operation timeline (Fig 9);
+//! * [`dashboard`] — deterministic text rendering of those series (the
+//!   Grafana panel analogue) plus CSV export for external plotting.
+
+pub mod dashboard;
+pub mod figures;
+pub mod frame;
+pub mod grafana;
+
+pub use frame::DataFrame;
+pub use grafana::{Dashboard, Panel};

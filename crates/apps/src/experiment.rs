@@ -1,0 +1,293 @@
+//! Running one job through the full measurement pipeline.
+
+use crate::platform::{FsChoice, Platform};
+use crate::stack::DarshanStack;
+use crate::workloads::Workload;
+use darshan_ldms_connector::{ConnectorConfig, Pipeline, DEFAULT_STREAM_TAG};
+use darshan_sim::log::write_log;
+use darshan_sim::runtime::JobMeta;
+use iosim_fs::stats::FsStatsSnapshot;
+use iosim_fs::CongestionWindow;
+use iosim_mpi::{Job, JobParams};
+use iosim_time::Epoch;
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Whether a run is a Darshan-only baseline or carries the connector.
+#[derive(Debug, Clone)]
+pub enum Instrumentation {
+    /// Stock Darshan: counters + DXT + log, no streaming.
+    DarshanOnly,
+    /// Darshan with the Darshan-LDMS Connector attached.
+    Connector(ConnectorConfig),
+}
+
+impl Instrumentation {
+    /// Connector with default configuration.
+    pub fn connector_default() -> Self {
+        Instrumentation::Connector(ConnectorConfig::default())
+    }
+
+    /// True for connector runs.
+    pub fn is_connector(&self) -> bool {
+        matches!(self, Instrumentation::Connector(_))
+    }
+}
+
+/// Specification of one job run.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Target file system.
+    pub fs: FsChoice,
+    /// Baseline or connector.
+    pub instrumentation: Instrumentation,
+    /// Scheduler job id.
+    pub job_id: u64,
+    /// Seed for per-rank jitter.
+    pub seed: u64,
+    /// Job start time.
+    pub epoch_base: Epoch,
+    /// Campaign weather seed (`None` = calm weather, used by tests).
+    pub campaign_seed: Option<u64>,
+    /// Congestion windows to inject (the Figure 7–9 job-2 anomaly).
+    pub congestion: Vec<CongestionWindow>,
+    /// Attach the DSOS store (figure runs) or drop payloads at L2
+    /// (overhead runs).
+    pub store: bool,
+    /// DSOS daemons in the cluster.
+    pub dsosd: usize,
+    /// Jitter half-width for I/O durations.
+    pub jitter: f64,
+}
+
+impl RunSpec {
+    /// A calm-weather spec for tests and calibration.
+    pub fn calm(fs: FsChoice, instrumentation: Instrumentation) -> Self {
+        Self {
+            fs,
+            instrumentation,
+            job_id: 259_903,
+            seed: 7,
+            epoch_base: Epoch::from_secs(1_650_000_000),
+            campaign_seed: None,
+            congestion: Vec::new(),
+            store: false,
+            dsosd: 2,
+            jitter: 0.0,
+        }
+    }
+
+    /// Sets the job id (figures run several jobs).
+    pub fn with_job_id(mut self, job_id: u64) -> Self {
+        self.job_id = job_id;
+        self
+    }
+
+    /// Sets the jitter seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the job start epoch.
+    pub fn with_epoch(mut self, epoch_base: Epoch) -> Self {
+        self.epoch_base = epoch_base;
+        self
+    }
+
+    /// Sets the campaign weather seed.
+    pub fn with_campaign(mut self, seed: u64) -> Self {
+        self.campaign_seed = Some(seed);
+        self
+    }
+
+    /// Enables or disables DSOS storage.
+    pub fn with_store(mut self, store: bool) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// Adds a congestion window.
+    pub fn with_congestion(mut self, w: CongestionWindow) -> Self {
+        self.congestion.push(w);
+        self
+    }
+
+    /// Sets the jitter half-width.
+    pub fn with_jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+}
+
+/// Everything one run produces.
+pub struct RunResult {
+    /// Job runtime in virtual seconds (the paper's "Average Runtime"
+    /// measures the mean of this over five runs).
+    pub runtime_s: f64,
+    /// Stream messages published by the connector (0 for baselines).
+    pub messages: u64,
+    /// Messages per rank, rank-indexed.
+    pub rank_messages: Vec<u64>,
+    /// Messages per second of job runtime.
+    pub msg_rate: f64,
+    /// I/O events Darshan detected across all ranks.
+    pub events_seen: u64,
+    /// File-system traffic counters.
+    pub fs_stats: FsStatsSnapshot,
+    /// The monitoring pipeline (present for connector runs; carries
+    /// the DSOS cluster for figure queries).
+    pub pipeline: Option<Pipeline>,
+    /// The Darshan log written at job end.
+    pub log_bytes: Vec<u8>,
+}
+
+/// Runs one job to completion through the full stack.
+pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
+    let fs = Platform::filesystem(spec.fs, spec.campaign_seed, &spec.congestion);
+    fs.set_active_clients(app.io_clients());
+
+    let pipeline = if spec.instrumentation.is_connector() {
+        Some(Pipeline::build_opts(
+            &Platform::node_names(app.nodes()),
+            spec.dsosd,
+            DEFAULT_STREAM_TAG,
+            spec.store,
+        ))
+    } else {
+        None
+    };
+
+    let job = JobMeta::new(spec.job_id, 99_066, app.exe(), app.ranks());
+    let params = JobParams {
+        ranks: app.ranks(),
+        ranks_per_node: app.ranks_per_node(),
+        seed: spec.seed,
+        epoch_base: spec.epoch_base,
+        interconnect: Platform::interconnect(),
+        jitter: spec.jitter,
+        first_node: Platform::FIRST_NODE,
+    };
+
+    let per_rank: Mutex<Vec<(u32, u64, u64)>> = Mutex::new(Vec::new());
+    let snapshots = Mutex::new(Vec::new());
+    let report = Job::run(params, |ctx| {
+        let rank = ctx.rank();
+        let connector = pipeline.as_ref().map(|p| {
+            let cfg = match &spec.instrumentation {
+                Instrumentation::Connector(cfg) => cfg.clone(),
+                Instrumentation::DarshanOnly => unreachable!("pipeline only built for connector"),
+            };
+            p.connector_for_rank(cfg, job.clone(), ctx.io.producer_name())
+        });
+        let stats = connector.as_ref().map(|c| c.stats());
+        let sink = connector.map(|c| c as Arc<dyn darshan_sim::EventSink>);
+        let stack = DarshanStack::new(fs.clone(), job.clone(), rank, sink);
+        app.run_rank(ctx, &stack)
+            .unwrap_or_else(|e| panic!("rank {rank} I/O failed: {e}"));
+        let fired = stack.rt.events_fired();
+        let published = stats.map_or(0, |s| s.published());
+        per_rank.lock().push((rank, published, fired));
+        snapshots.lock().push(stack.finalize());
+    });
+
+    let runtime_s = report.elapsed.as_secs_f64();
+    let mut per_rank = per_rank.into_inner();
+    per_rank.sort_by_key(|&(r, _, _)| r);
+    let rank_messages: Vec<u64> = per_rank.iter().map(|&(_, m, _)| m).collect();
+    let messages: u64 = rank_messages.iter().sum();
+    let events_seen: u64 = per_rank.iter().map(|&(_, _, e)| e).sum();
+
+    let snapshots = snapshots.into_inner();
+    let log_bytes = write_log(
+        &job,
+        spec.epoch_base.as_secs_f64(),
+        spec.epoch_base.as_secs_f64() + runtime_s,
+        &snapshots,
+    );
+
+    RunResult {
+        runtime_s,
+        messages,
+        rank_messages,
+        msg_rate: if runtime_s > 0.0 {
+            messages as f64 / runtime_s
+        } else {
+            0.0
+        },
+        events_seen,
+        fs_stats: fs.stats(),
+        pipeline,
+        log_bytes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::MpiIoTest;
+    use darshan_sim::log::parse_log;
+
+    #[test]
+    fn baseline_and_connector_runs_share_io_shape() {
+        let app = MpiIoTest::tiny(false);
+        let base = run_job(&app, &RunSpec::calm(FsChoice::Lustre, Instrumentation::DarshanOnly));
+        let conn = run_job(
+            &app,
+            &RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default()),
+        );
+        // Same I/O issued either way.
+        assert_eq!(base.fs_stats.writes, conn.fs_stats.writes);
+        assert_eq!(base.fs_stats.bytes_written, conn.fs_stats.bytes_written);
+        // The connector run publishes and takes (at least) as long.
+        assert_eq!(base.messages, 0);
+        assert!(conn.messages > 0);
+        assert!(conn.runtime_s >= base.runtime_s);
+        assert_eq!(conn.messages, conn.events_seen);
+    }
+
+    #[test]
+    fn log_is_parsable_and_complete() {
+        let app = MpiIoTest::tiny(false);
+        let r = run_job(&app, &RunSpec::calm(FsChoice::Nfs, Instrumentation::DarshanOnly));
+        let log = parse_log(&r.log_bytes).unwrap();
+        assert_eq!(log.job.nprocs, app.ranks());
+        assert_eq!(log.job.exe, app.exe());
+        // Every rank contributed POSIX and MPIIO records for the file.
+        assert!(log.records.len() >= app.ranks() as usize);
+        assert!(!log.dxt.is_empty());
+        assert!(log.summary().contains("MPIIO"));
+    }
+
+    #[test]
+    fn stored_run_lands_events_in_dsos() {
+        let app = MpiIoTest::tiny(false);
+        let spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+            .with_store(true);
+        let r = run_job(&app, &spec);
+        let p = r.pipeline.as_ref().unwrap();
+        assert_eq!(p.stored_events() as u64, r.messages);
+        assert_eq!(p.store().rejected(), 0);
+    }
+
+    #[test]
+    fn unstored_run_counts_but_does_not_store() {
+        let app = MpiIoTest::tiny(false);
+        let spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default());
+        let r = run_job(&app, &spec);
+        assert!(r.messages > 0);
+        assert_eq!(r.pipeline.as_ref().unwrap().stored_events(), 0);
+    }
+
+    #[test]
+    fn determinism_same_spec_same_runtime() {
+        let app = MpiIoTest::tiny(true);
+        let spec = RunSpec::calm(FsChoice::Nfs, Instrumentation::DarshanOnly)
+            .with_jitter(0.05)
+            .with_campaign(11);
+        let a = run_job(&app, &spec);
+        let b = run_job(&app, &spec);
+        assert_eq!(a.runtime_s, b.runtime_s);
+        assert_eq!(a.fs_stats, b.fs_stats);
+    }
+}

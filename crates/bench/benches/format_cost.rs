@@ -1,0 +1,75 @@
+//! Measures the *real* cost of the connector's message formatting —
+//! the quantity the paper blames for HMMER's 276–1277 % overhead and
+//! that the simulation's `CostModel` represents in virtual time.
+//!
+//! Three points: full JSON build (MET and MOD shapes) and the
+//! publish-only (no-format) path.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use darshan_ldms_connector::message::build_message;
+use darshan_sim::hooks::IoEvent;
+use darshan_sim::runtime::JobMeta;
+use darshan_sim::{ModuleId, OpKind};
+use iosim_time::{Clock, Epoch, SimDuration};
+use iosim_util::JsonWriter;
+
+fn sample_event(op: OpKind) -> IoEvent {
+    let mut clock = Clock::new(Epoch::from_secs(1_650_000_000));
+    let start = clock.time_pair();
+    clock.advance(SimDuration::from_micros(120));
+    IoEvent {
+        module: ModuleId::Posix,
+        op,
+        file: "/scratch/user/output/mpi-io-test.tmp.dat".into(),
+        record_id: 16_015_430_064_809_062,
+        rank: 131,
+        len: 16 * 1024 * 1024,
+        offset: 35 * 16 * 1024 * 1024,
+        start,
+        end: clock.time_pair(),
+        dur: 1.2e-4,
+        cnt: 17,
+        switches: 3,
+        flushes: -1,
+        max_byte: 36 * 16 * 1024 * 1024 - 1,
+        hdf5: None,
+    }
+}
+
+fn bench_format(c: &mut Criterion) {
+    let job = JobMeta {
+        job_id: 259_903,
+        uid: 99_066,
+        exe: "/projects/apps/mpi-io-test/bin/mpi-io-test".into(),
+        nprocs: 352,
+    };
+    let write_ev = sample_event(OpKind::Write);
+    let open_ev = sample_event(OpKind::Open);
+
+    let mut group = c.benchmark_group("format_cost");
+    group.bench_function("json_mod_message", |b| {
+        b.iter_batched_ref(
+            || JsonWriter::with_capacity(1024),
+            |w| build_message(w, &write_ev, &job, "nid00046"),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("json_met_message", |b| {
+        b.iter_batched_ref(
+            || JsonWriter::with_capacity(1024),
+            |w| build_message(w, &open_ev, &job, "nid00046"),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("reused_buffer_mod_message", |b| {
+        let mut w = JsonWriter::with_capacity(1024);
+        b.iter(|| {
+            build_message(&mut w, &write_ev, &job, "nid00046");
+            w.len()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_format);
+criterion_main!(benches);

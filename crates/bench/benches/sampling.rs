@@ -1,0 +1,65 @@
+//! Ablation of the every-n-th-event sampling knob (the paper's
+//! future-work mitigation for HMMER-class overhead, implemented here):
+//! connector `on_event` throughput at sampling factors 1/10/100.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use darshan_ldms_connector::{ConnectorConfig, CostModel, DarshanConnector};
+use darshan_sim::hooks::{EventSink, IoEvent};
+use darshan_sim::runtime::JobMeta;
+use darshan_sim::{ModuleId, OpKind};
+use iosim_time::{Clock, Epoch, SimDuration};
+use ldms_sim::LdmsNetwork;
+use std::sync::Arc;
+
+fn event(clock: &mut Clock) -> IoEvent {
+    let start = clock.time_pair();
+    clock.advance(SimDuration::from_micros(10));
+    IoEvent {
+        module: ModuleId::Stdio,
+        op: OpKind::Read,
+        file: "/home/user/Pfam-A.seed".into(),
+        record_id: 42,
+        rank: 0,
+        len: 180,
+        offset: 0,
+        start,
+        end: clock.time_pair(),
+        dur: 1e-5,
+        cnt: 3,
+        switches: 0,
+        flushes: -1,
+        max_byte: 179,
+        hdf5: None,
+    }
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sampling");
+    for every in [1u64, 10, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("on_event_sample_every", every),
+            &every,
+            |b, &every| {
+                let net = Arc::new(LdmsNetwork::build(&["nid00040".to_string()]));
+                let conn = DarshanConnector::new(
+                    ConnectorConfig {
+                        sample_every: every,
+                        always_publish_meta: false,
+                        cost: CostModel::free(),
+                        ..Default::default()
+                    },
+                    JobMeta::new(1, 1, "/apps/hmmbuild", 32),
+                    "nid00040".to_string(),
+                    net,
+                );
+                let mut clock = Clock::new(Epoch::from_secs(0));
+                let ev = event(&mut clock);
+                b.iter(|| conn.on_event(&ev, &mut clock));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

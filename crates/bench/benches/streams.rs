@@ -1,0 +1,57 @@
+//! LDMS Streams publish-path throughput: cost per publish as a function
+//! of aggregation depth (node→L1→L2) and subscriber count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iosim_time::Epoch;
+use ldms_sim::stream::{BufferSink, MsgFormat, StreamHub};
+use ldms_sim::{LdmsNetwork, StreamMessage};
+use std::sync::Arc;
+
+fn msg() -> StreamMessage {
+    StreamMessage::new(
+        "darshanConnector",
+        MsgFormat::Json,
+        "{\"op\":\"write\",\"rank\":3,\"seg\":[{\"len\":4096}]}".to_string(),
+        "nid00040",
+        Epoch::from_secs(1),
+    )
+}
+
+fn bench_streams(c: &mut Criterion) {
+    let mut group = c.benchmark_group("streams");
+
+    // Single-hub dispatch with varying subscriber counts.
+    for subs in [0usize, 1, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("hub_dispatch_subs", subs),
+            &subs,
+            |b, &subs| {
+                let hub = StreamHub::new();
+                let sinks: Vec<Arc<BufferSink>> =
+                    (0..subs).map(|_| BufferSink::new()).collect();
+                for s in &sinks {
+                    hub.subscribe("darshanConnector", s.clone());
+                }
+                let m = msg();
+                b.iter(|| hub.dispatch(&m));
+                // Keep memory bounded.
+                for s in &sinks {
+                    s.take();
+                }
+            },
+        );
+    }
+
+    // Full two-hop pipeline publish (no subscriber: counts only, the
+    // overhead-campaign configuration).
+    group.bench_function("pipeline_publish_two_hops_unsubscribed", |b| {
+        let net = LdmsNetwork::build(&["nid00040".to_string()]);
+        let m = msg();
+        b.iter(|| net.publish(m.clone()));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_streams);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Correlating I/O performance with system behaviour — the analysis
+//! the paper builds the whole integration for: "identify any
+//! correlations between the file system, network congestion or resource
+//! contentions and the I/O performance" (Section I).
+//!
+//! Runs the Figure 7–9 campaign, then correlates each job's binned mean
+//! operation duration against the server-load telemetry (the congestion
+//! profile a production LDMS deployment would capture with its system
+//! samplers). The anomalous job correlates strongly; healthy jobs show
+//! no relationship.
+
+use hpcws_sim::figures;
+use repro_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    eprintln!("running 5 MPI-IO-TEST jobs (Lustre, independent) with a storm in job 2...");
+    let runs = iosim_apps::figdata::mpi_io_figure_runs(5, opts.quick);
+
+    let mut csv = String::from("job,r\n");
+    for (i, &job_id) in runs.job_ids.iter().enumerate() {
+        let df = runs.job_frame(i);
+        // Build the server-load series the system samplers would have
+        // recorded: 1.0 nominal, the storm factor inside its window.
+        let windows = &runs.congestion[i];
+        let epoch0 = df
+            .f64s("seg_timestamp")
+            .into_iter()
+            .fold(f64::INFINITY, f64::min);
+        let horizon = df
+            .f64s("seg_timestamp")
+            .into_iter()
+            .fold(0.0f64, f64::max)
+            - epoch0;
+        // Sample at ~200 points across the job (a production sampler
+        // would use a fixed interval; the jobs here span seconds at
+        // --quick scale and ~15 minutes at paper scale).
+        let step = (horizon / 200.0).max(1e-3);
+        let telemetry: Vec<(f64, f64)> = (0..=200u64)
+            .map(|k| {
+                let t_rel = k as f64 * step;
+                let t_abs = epoch0 + t_rel;
+                let load = windows
+                    .iter()
+                    .filter(|w| {
+                        t_abs >= w.start.as_secs_f64() && t_abs < w.end.as_secs_f64()
+                    })
+                    .map(|w| w.factor)
+                    .fold(1.0, f64::max);
+                (t_rel, load)
+            })
+            .collect();
+        let c = figures::correlate_load(&df, &telemetry, 40);
+        match c.r {
+            Some(r) => {
+                println!(
+                    "job {job_id}: r = {r:+.3}{}",
+                    if r > 0.5 {
+                        "   <-- I/O slowness tracks server load"
+                    } else {
+                        ""
+                    }
+                );
+                csv.push_str(&format!("{job_id},{r:.4}\n"));
+            }
+            None => {
+                println!("job {job_id}: r undefined (no load variation — healthy job)");
+                csv.push_str(&format!("{job_id},\n"));
+            }
+        }
+    }
+    println!(
+        "\nThe anomalous job's operation durations correlate with the storm profile;\n\
+         healthy jobs have constant load, so no correlation exists to find. With the\n\
+         absolute timestamps the connector collects, this analysis runs while the\n\
+         job is still executing."
+    );
+    opts.write_artifact("correlate.csv", &csv);
+}

@@ -1,0 +1,57 @@
+//! `darshan-parser` work-alike: runs an instrumented job, writes the
+//! binary Darshan log to a real file, re-reads it, and prints the
+//! post-run summary — the stock-Darshan workflow the connector
+//! complements (Section IV.A: darshan-util "is intended for analyzing
+//! log files produced by darshan-runtime").
+//!
+//! ```text
+//! cargo run -p repro-bench --bin darshan_parser [-- --quick] [-- --out DIR]
+//! ```
+
+use iosim_apps::experiment::{run_job, Instrumentation, RunSpec};
+use iosim_apps::platform::FsChoice;
+use iosim_apps::workloads::MpiIoTest;
+use repro_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let app = if opts.quick {
+        MpiIoTest::tiny(true)
+    } else {
+        let mut a = MpiIoTest::paper_config(FsChoice::Lustre, true);
+        a.nodes = 8;
+        a.ranks_per_node = 8;
+        a
+    };
+    eprintln!("running MPI-IO-TEST...");
+    let r = run_job(&app, &RunSpec::calm(FsChoice::Lustre, Instrumentation::DarshanOnly));
+
+    // Write the log the way darshan-runtime does at MPI_Finalize.
+    let dir = opts
+        .out
+        .clone()
+        .unwrap_or_else(std::env::temp_dir);
+    std::fs::create_dir_all(&dir).expect("create log dir");
+    let path = dir.join("mpi-io-test_id259903.darshan");
+    std::fs::write(&path, &r.log_bytes).expect("write log");
+    eprintln!(
+        "wrote {} ({} bytes); parsing it back:",
+        path.display(),
+        r.log_bytes.len()
+    );
+
+    // darshan-util side: read and summarize.
+    let bytes = std::fs::read(&path).expect("read log");
+    let log = darshan_sim::log::parse_log(&bytes).expect("parse log");
+    print!("{}", log.summary());
+
+    // DXT view: per-module segment counts, like darshan-dxt-parser.
+    let mut per_module: std::collections::BTreeMap<&str, usize> = Default::default();
+    for d in &log.dxt {
+        *per_module.entry(d.module.name()).or_default() += d.segments.len();
+    }
+    println!("# DXT segments by module:");
+    for (m, n) in per_module {
+        println!("#   {m}: {n}");
+    }
+}

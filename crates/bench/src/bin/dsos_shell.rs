@@ -1,0 +1,99 @@
+//! A `dsos` command-line work-alike (Section II: "DSOS has a command
+//! line interface for data interaction" used for "fast query testing
+//! and data examination").
+//!
+//! Runs an instrumented job to populate a cluster, then executes a
+//! small query script against it:
+//!
+//! ```text
+//! cargo run -p repro-bench --bin dsos_shell -- --quick \
+//!     query job_rank_time 259903 \
+//!     query job_time_rank 259903 \
+//!     count
+//! ```
+//!
+//! Commands:
+//! * `query <index> <job_id>` — print the first rows of the job under
+//!   the given joint index;
+//! * `count` — total stored objects;
+//! * `schema` — print the `darshan_data` schema.
+
+use darshan_ldms_connector::{darshan_schema, COLUMNS};
+use dsos_sim::Value;
+use iosim_apps::experiment::{run_job, Instrumentation, RunSpec};
+use iosim_apps::platform::FsChoice;
+use iosim_apps::workloads::MpiIoTest;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let app = if quick {
+        MpiIoTest::tiny(false)
+    } else {
+        let mut a = MpiIoTest::paper_config(FsChoice::Lustre, false);
+        a.nodes = 8;
+        a.ranks_per_node = 8;
+        a
+    };
+    eprintln!("populating DSOS from one instrumented MPI-IO-TEST run...");
+    let spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+        .with_store(true);
+    let r = run_job(&app, &spec);
+    let cluster = r.pipeline.as_ref().unwrap().cluster();
+    eprintln!("{} events stored across {} dsosd\n", r.messages, cluster.daemon_count());
+
+    let mut script: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--quick").collect();
+    if script.is_empty() {
+        script = vec!["schema", "count", "query", "job_rank_time", "259903"];
+    }
+    let mut i = 0;
+    while i < script.len() {
+        match script[i] {
+            "schema" => {
+                println!("schema darshan_data:");
+                for (name, ty) in COLUMNS {
+                    println!("  {name:<16} {ty:?}");
+                }
+                println!(
+                    "indices: {}",
+                    darshan_schema()
+                        .indices()
+                        .iter()
+                        .map(|ix| ix.name.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                i += 1;
+            }
+            "count" => {
+                println!("count: {}", cluster.object_count("darshan"));
+                i += 1;
+            }
+            "query" => {
+                let index = script.get(i + 1).expect("query needs <index> <job_id>");
+                let job: u64 = script
+                    .get(i + 2)
+                    .expect("query needs <job_id>")
+                    .parse()
+                    .expect("numeric job id");
+                let rows = cluster.query_prefix("darshan", index, &[Value::U64(job)]);
+                println!("query {index} job={job}: {} rows; first 5:", rows.len());
+                for row in rows.iter().take(5) {
+                    let cells: Vec<String> = ["rank", "op", "seg_len", "seg_timestamp"]
+                        .iter()
+                        .map(|c| {
+                            let idx = COLUMNS.iter().position(|&(n, _)| n == *c).unwrap();
+                            format!("{}={}", c, row[idx])
+                        })
+                        .collect();
+                    println!("  {}", cells.join("  "));
+                }
+                i += 3;
+            }
+            other => {
+                eprintln!("unknown command {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+}

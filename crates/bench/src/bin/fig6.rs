@@ -1,0 +1,23 @@
+//! Regenerates Figure 6: open/close operations per compute node for two
+//! HACC-IO jobs (Lustre, 10M particles/rank).
+
+use hpcws_sim::{dashboard, figures};
+use repro_bench::HarnessOpts;
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    eprintln!("running 2 HACC-IO jobs (Lustre) with the connector + DSOS store...");
+    let runs = iosim_apps::figdata::hacc_figure_runs(2, opts.quick);
+    let df = runs.frame();
+    let ops = figures::per_node_ops(&df, &["open", "close"]);
+    let panel = dashboard::render_per_node_ops(
+        "Figure 6 — open/close operations per node, two HACC-IO jobs",
+        &ops,
+    );
+    println!("{panel}");
+    let mut csv = String::from("node,job,op,count\n");
+    for o in &ops {
+        csv.push_str(&format!("{},{},{},{}\n", o.node, o.job, o.op, o.count));
+    }
+    opts.write_artifact("fig6.csv", &csv);
+}

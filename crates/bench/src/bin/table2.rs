@@ -1,0 +1,75 @@
+//! Regenerates Table II (a, b, c) of the paper.
+//!
+//! ```text
+//! cargo run --release -p repro-bench --bin table2 [-- --quick] [-- --part a|b|c]
+//! ```
+
+use iosim_apps::table2::{self, CampaignOptions};
+use repro_bench::{paper, HarnessOpts};
+
+fn main() {
+    // `--part a|b|c` is parsed locally; `--quick` / `--out DIR` follow
+    // the shared harness conventions.
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let part: Option<char> = argv
+        .iter()
+        .position(|a| a == "--part")
+        .and_then(|i| argv.get(i + 1))
+        .and_then(|p| p.chars().next())
+        .map(|c| c.to_ascii_lowercase());
+    let opts = HarnessOpts {
+        quick: argv.iter().any(|a| a == "--quick"),
+        out: argv
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| argv.get(i + 1))
+            .map(std::path::PathBuf::from),
+    };
+
+    let scale = opts.scale();
+    let campaign = CampaignOptions::default();
+
+    let run_part = |p: char| match p {
+        'a' => {
+            eprintln!("running Table IIa campaigns (MPI-IO-TEST, 4 configs x 10 runs)...");
+            let results = table2::table2a(scale, &campaign);
+            let text = table2::render("Table IIa — MPI-IO-TEST", &results);
+            println!("{text}");
+            println!("{}", paper::reference_block(&paper::TABLE2A));
+            opts.write_artifact("table2a.txt", &text);
+        }
+        'b' => {
+            eprintln!("running Table IIb campaigns (HACC-IO, 4 configs x 10 runs)...");
+            let results = table2::table2b(scale, &campaign);
+            let text = table2::render("Table IIb — HACC-IO", &results);
+            println!("{text}");
+            println!("{}", paper::reference_block(&paper::TABLE2B));
+            opts.write_artifact("table2b.txt", &text);
+        }
+        'c' => {
+            eprintln!("running Table IIc campaigns (HMMER + no-format ablation)...");
+            let results = table2::table2c(scale, &campaign);
+            let text = table2::render("Table IIc — HMMER", &results);
+            println!("{text}");
+            println!("{}", paper::reference_block(&paper::TABLE2C));
+            println!(
+                "paper no-format ablation overhead: {:+.2}%\n",
+                paper::NOFORMAT_OVERHEAD_PCT
+            );
+            opts.write_artifact("table2c.txt", &text);
+        }
+        other => {
+            eprintln!("unknown part '{other}' (expected a, b, or c)");
+            std::process::exit(2);
+        }
+    };
+
+    match part {
+        Some(p) => run_part(p),
+        None => {
+            for p in ['a', 'b', 'c'] {
+                run_part(p);
+            }
+        }
+    }
+}

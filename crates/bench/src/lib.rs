@@ -1,0 +1,121 @@
+//! Shared plumbing for the table/figure regeneration binaries.
+//!
+//! Every binary accepts `--quick` (CI-scale workloads) and `--out DIR`
+//! (write CSV exports next to the textual report). Paper-scale runs are
+//! the default; they simulate hundreds of ranks and millions of events
+//! and can take minutes of wall-clock time.
+
+use std::path::PathBuf;
+
+/// Parsed command-line options shared by the harness binaries.
+#[derive(Debug, Clone)]
+pub struct HarnessOpts {
+    /// Run CI-scale workloads instead of paper-scale.
+    pub quick: bool,
+    /// Output directory for CSV exports (created if missing).
+    pub out: Option<PathBuf>,
+}
+
+impl HarnessOpts {
+    /// Parses `std::env::args`. Unknown flags abort with usage help.
+    pub fn from_args() -> Self {
+        let mut quick = false;
+        let mut out = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--out" => {
+                    out = Some(PathBuf::from(
+                        args.next().expect("--out requires a directory"),
+                    ));
+                }
+                "--help" | "-h" => {
+                    eprintln!("usage: [--quick] [--out DIR]");
+                    std::process::exit(0);
+                }
+                other => {
+                    eprintln!("unknown flag {other}; usage: [--quick] [--out DIR]");
+                    std::process::exit(2);
+                }
+            }
+        }
+        Self { quick, out }
+    }
+
+    /// The workload scale implied by the flags.
+    pub fn scale(&self) -> iosim_apps::table2::Scale {
+        if self.quick {
+            iosim_apps::table2::Scale::Quick
+        } else {
+            iosim_apps::table2::Scale::Paper
+        }
+    }
+
+    /// Writes an artifact file if `--out` was given.
+    pub fn write_artifact(&self, name: &str, contents: &str) {
+        if let Some(dir) = &self.out {
+            std::fs::create_dir_all(dir).expect("create output dir");
+            let path = dir.join(name);
+            std::fs::write(&path, contents).expect("write artifact");
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// Paper reference values for side-by-side comparison in reports.
+pub mod paper {
+    /// (config label, fs, avg messages, rate, darshan s, dC s, overhead %)
+    pub type Row = (&'static str, &'static str, f64, f64, f64, f64, f64);
+
+    /// Table IIa as printed in the paper.
+    pub const TABLE2A: [Row; 4] = [
+        ("collective", "NFS", 50390.0, 37.0, 1376.67, 1355.35, -1.55),
+        ("independent", "NFS", 6397.0, 7.0, 880.46, 858.68, -2.47),
+        ("collective", "Lustre", 25770.0, 95.0, 249.97, 270.98, 8.41),
+        ("independent", "Lustre", 15676.0, 38.0, 428.18, 414.35, -3.23),
+    ];
+
+    /// Table IIb as printed in the paper.
+    pub const TABLE2B: [Row; 4] = [
+        ("5M particles/rank", "NFS", 1663.0, 2.0, 882.46, 775.24, -12.15),
+        ("10M particles/rank", "NFS", 1774.0, 1.0, 1353.87, 1365.24, 0.84),
+        ("5M particles/rank", "Lustre", 1995.0, 3.0, 417.14, 467.24, 12.01),
+        ("10M particles/rank", "Lustre", 1711.0, 2.0, 1616.87, 1027.44, -36.45),
+    ];
+
+    /// Table IIc as printed in the paper.
+    pub const TABLE2C: [Row; 2] = [
+        ("Pfam-A.seed", "NFS", 3_117_342.0, 1483.0, 749.88, 2826.01, 276.86),
+        ("Pfam-A.seed", "Lustre", 4_461_738.0, 2396.0, 135.40, 1863.98, 1276.67),
+    ];
+
+    /// The paper's no-format ablation overhead.
+    pub const NOFORMAT_OVERHEAD_PCT: f64 = 0.37;
+
+    /// Renders a reference block for a report.
+    pub fn reference_block(rows: &[Row]) -> String {
+        let mut out = String::from(
+            "paper reference (config, fs, msgs, rate, darshan_s, dc_s, overhead%):\n",
+        );
+        for (label, fs, msgs, rate, d, dc, ov) in rows {
+            out.push_str(&format!(
+                "  {label:<22} {fs:<7} {msgs:>10.0} {rate:>7.1} {d:>9.2} {dc:>9.2} {ov:>+8.2}%\n"
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_block_renders_all_rows() {
+        let block = paper::reference_block(&paper::TABLE2A);
+        assert_eq!(block.lines().count(), 5);
+        assert!(block.contains("collective"));
+        assert!(block.contains("+8.41%"));
+    }
+}

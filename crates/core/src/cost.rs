@@ -1,0 +1,121 @@
+//! The connector's run-time cost model.
+//!
+//! The paper's central overhead finding (Section VI.A): "In order to
+//! send a json message, all integers must be converted to strings and
+//! this conversion comes at a performance cost. Therefore, the more I/O
+//! intensive an application is and the shorter the runtime, the
+//! overhead will increase significantly." With only the LDMS publish
+//! call (no formatting) the overhead was 0.37 %.
+//!
+//! Our substrate runs on a virtual clock, so the connector charges a
+//! *modelled* cost per message instead of its real Rust formatting time
+//! (which would make results machine-dependent). The defaults are
+//! calibrated so the paper's message volumes reproduce the paper's
+//! overheads:
+//!
+//! * HMMER/NFS: ≈3.1 M messages over a 750 s baseline → ≈2076 s of
+//!   formatting time → ≈660 µs per message;
+//! * the Criterion bench `format_cost` measures what the *actual* Rust
+//!   formatting costs, for grounding (µs-scale — the C pipeline's cost
+//!   per message on the paper's Haswell nodes was far higher than a
+//!   single sprintf, covering message assembly, allocation, and the
+//!   streams publish path).
+
+use iosim_time::SimDuration;
+
+/// Virtual-time cost charged per published message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Fixed cost per formatted message (ns): buffer management,
+    /// field-name emission, publish syscall path.
+    pub base_ns: u64,
+    /// Cost per byte produced by integer/float-to-string conversion
+    /// (ns) — the `sprintf` term.
+    pub per_formatted_byte_ns: u64,
+    /// Cost of a publish with *no* formatting (ns) — the paper's
+    /// "only LDMS Streams API is enabled" ablation (0.37 % overhead).
+    pub publish_only_ns: u64,
+    /// Cost of skipping a sampled-out event (ns).
+    pub skip_ns: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self {
+            base_ns: 420_000,          // 420 µs
+            per_formatted_byte_ns: 1_500, // 1.5 µs per converted byte
+            publish_only_ns: 900,      // sub-µs streams call
+            skip_ns: 60,
+        }
+    }
+}
+
+impl CostModel {
+    /// A zero-cost model (for tests that assert pure I/O timing).
+    pub fn free() -> Self {
+        Self {
+            base_ns: 0,
+            per_formatted_byte_ns: 0,
+            publish_only_ns: 0,
+            skip_ns: 0,
+        }
+    }
+
+    /// Cost of formatting and publishing a message whose numeric
+    /// conversions produced `formatted_bytes` bytes.
+    pub fn format_and_publish(&self, formatted_bytes: usize) -> SimDuration {
+        SimDuration::from_nanos(
+            self.base_ns + self.per_formatted_byte_ns * formatted_bytes as u64,
+        )
+    }
+
+    /// Cost of the publish-only (no-format) path.
+    pub fn publish_only(&self) -> SimDuration {
+        SimDuration::from_nanos(self.publish_only_ns)
+    }
+
+    /// Cost of skipping an event under sampling.
+    pub fn skip(&self) -> SimDuration {
+        SimDuration::from_nanos(self.skip_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_reproduces_hmmer_scale_overhead() {
+        let m = CostModel::default();
+        // ~150 formatted bytes per message is typical for a MOD message.
+        let per_msg = m.format_and_publish(150).as_secs_f64();
+        let total = per_msg * 3.1e6; // HMMER/NFS message count
+        // The paper adds ~2076 s to a 750 s baseline (276.86%).
+        assert!(
+            (1500.0..2800.0).contains(&total),
+            "3.1M messages should cost ~2000s, got {total}"
+        );
+    }
+
+    #[test]
+    fn publish_only_is_negligible_at_hmmer_scale() {
+        let m = CostModel::default();
+        let total = m.publish_only().as_secs_f64() * 3.1e6;
+        // Paper: 0.37% of ~750 s ≈ 2.8 s.
+        assert!(total < 10.0, "publish-only must stay sub-1%: {total}");
+    }
+
+    #[test]
+    fn formatting_dominates_publish() {
+        let m = CostModel::default();
+        assert!(m.format_and_publish(150) > m.publish_only() * 100);
+    }
+
+    #[test]
+    fn free_model_charges_nothing() {
+        let m = CostModel::free();
+        assert!(m.format_and_publish(1000).is_zero());
+        assert!(m.publish_only().is_zero());
+        assert!(m.skip().is_zero());
+    }
+}

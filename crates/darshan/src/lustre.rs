@@ -1,0 +1,152 @@
+//! The LUSTRE instrumentation module.
+//!
+//! Darshan's LUSTRE module records *static striping information* per
+//! file (stripe size, stripe count, OST list) rather than per-operation
+//! counters — one record captured at first open. Section III lists it
+//! among the levels Darshan can enable; the reproduction records it so
+//! log consumers can correlate access patterns with layout, and fires a
+//! single `open`-class event through the connector hook (cheap: one
+//! message per file per rank).
+
+use crate::runtime::{EventParams, RankRuntime};
+use crate::types::{record_id_of, ModuleId, OpKind};
+use iosim_time::Clock;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Striping layout of one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeInfo {
+    /// Stripe size in bytes.
+    pub stripe_size: u64,
+    /// Number of OSTs the file stripes over.
+    pub stripe_count: u32,
+    /// Index of the first OST.
+    pub stripe_offset: u32,
+}
+
+/// Per-rank LUSTRE module: records layout once per file.
+pub struct DarshanLustre {
+    rt: RankRuntime,
+    seen: Mutex<HashMap<u64, StripeInfo>>,
+    /// Layout assigned to new files (from the file system's defaults).
+    default_layout: StripeInfo,
+}
+
+impl DarshanLustre {
+    /// Creates the module with the file system's default layout.
+    pub fn new(rt: RankRuntime, default_layout: StripeInfo) -> Self {
+        Self {
+            rt,
+            seen: Mutex::new(HashMap::new()),
+            default_layout,
+        }
+    }
+
+    /// Records the layout of `path` if not already recorded; fires one
+    /// event on first sight. Returns the layout.
+    pub fn record_layout(&self, clock: &mut Clock, path: &str) -> StripeInfo {
+        let record_id = record_id_of(path);
+        {
+            let seen = self.seen.lock();
+            if let Some(&info) = seen.get(&record_id) {
+                return info;
+            }
+        }
+        let info = StripeInfo {
+            // Spread files across OSTs by hashing the record id.
+            stripe_offset: (record_id % 997) as u32 % 8,
+            ..self.default_layout
+        };
+        self.seen.lock().insert(record_id, info);
+        let now = clock.time_pair();
+        self.rt.io_event(
+            clock,
+            EventParams {
+                module: ModuleId::Lustre,
+                op: OpKind::Open,
+                file: Arc::from(path),
+                record_id,
+                offset: None,
+                len: None,
+                start: now,
+                end: now,
+                cnt: 1,
+                hdf5: None,
+            },
+        );
+        info
+    }
+
+    /// The layout recorded for `path`, if any.
+    pub fn layout_of(&self, path: &str) -> Option<StripeInfo> {
+        self.seen.lock().get(&record_id_of(path)).copied()
+    }
+
+    /// Number of files with recorded layouts.
+    pub fn recorded(&self) -> usize {
+        self.seen.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::CollectingSink;
+    use crate::runtime::JobMeta;
+    use iosim_time::Epoch;
+
+    fn module() -> (DarshanLustre, Arc<CollectingSink>) {
+        let rt = RankRuntime::new(JobMeta::new(1, 1, "/x", 1), 0);
+        let sink = Arc::new(CollectingSink::new());
+        rt.set_sink(Some(sink.clone()));
+        (
+            DarshanLustre::new(
+                rt,
+                StripeInfo {
+                    stripe_size: 1024 * 1024,
+                    stripe_count: 4,
+                    stripe_offset: 0,
+                },
+            ),
+            sink,
+        )
+    }
+
+    #[test]
+    fn records_each_file_once() {
+        let (m, sink) = module();
+        let mut clock = Clock::new(Epoch::from_secs(0));
+        let a1 = m.record_layout(&mut clock, "/scratch/a");
+        let a2 = m.record_layout(&mut clock, "/scratch/a");
+        let b = m.record_layout(&mut clock, "/scratch/b");
+        assert_eq!(a1, a2);
+        assert_eq!(m.recorded(), 2);
+        // One event per distinct file.
+        let evs = sink.take();
+        assert_eq!(evs.len(), 2);
+        assert!(evs.iter().all(|e| e.module == ModuleId::Lustre));
+        // Layouts differ only in OST placement.
+        assert_eq!(a1.stripe_count, b.stripe_count);
+    }
+
+    #[test]
+    fn layout_lookup() {
+        let (m, _sink) = module();
+        let mut clock = Clock::new(Epoch::from_secs(0));
+        assert!(m.layout_of("/scratch/x").is_none());
+        let info = m.record_layout(&mut clock, "/scratch/x");
+        assert_eq!(m.layout_of("/scratch/x"), Some(info));
+    }
+
+    #[test]
+    fn ost_placement_spreads_by_hash() {
+        let (m, _sink) = module();
+        let mut clock = Clock::new(Epoch::from_secs(0));
+        let offsets: std::collections::HashSet<u32> = (0..32)
+            .map(|i| m.record_layout(&mut clock, &format!("/f{i}")).stripe_offset)
+            .collect();
+        assert!(offsets.len() > 2, "placement should spread across OSTs");
+    }
+}

@@ -1,0 +1,24 @@
+//! A DSOS (Distributed Scalable Object Store) work-alike.
+//!
+//! DSOS (built on SOS) is the paper's storage tier: schemas of typed
+//! attributes, containers of objects spread across multiple `dsosd`
+//! daemons, *joint indices* over attribute combinations (the paper's
+//! example: `job_rank_time` orders by job, then rank, then timestamp),
+//! and parallel queries that fan out to every daemon and merge the
+//! per-daemon results in index order (Section II).
+//!
+//! * [`value`] — typed attribute values with a total order;
+//! * [`schema`] — schema definition and object construction/validation;
+//! * [`store`] — one `dsosd`: partitions, objects, joint indices;
+//! * [`cluster`] — the client API: round-robin ingest across daemons,
+//!   parallel query + k-way merge, CSV import/export.
+
+pub mod cluster;
+pub mod schema;
+pub mod store;
+pub mod value;
+
+pub use cluster::DsosCluster;
+pub use schema::{AttrDef, Schema};
+pub use store::Dsosd;
+pub use value::{Type, Value};

@@ -1,0 +1,318 @@
+//! One `dsosd` storage daemon: containers, partitions, joint indices.
+
+use crate::schema::{IndexDef, Schema, SchemaError};
+use crate::value::Value;
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Location of an object: (partition index, offset within partition).
+type ObjLoc = (usize, usize);
+
+/// An index: ordered composite key → object locations.
+type IndexMap = BTreeMap<Vec<Value>, Vec<ObjLoc>>;
+
+/// A named storage partition (DSOS rotates partitions for retention;
+/// queries span all of them).
+#[derive(Debug, Default)]
+struct Partition {
+    name: String,
+    objects: Vec<Vec<Value>>,
+}
+
+/// One container shard on one daemon.
+pub struct ContainerShard {
+    schema: Arc<Schema>,
+    partitions: RwLock<Vec<Partition>>,
+    /// index name → ordered key → object locations (insertion order
+    /// preserved within equal keys).
+    indices: RwLock<HashMap<String, IndexMap>>,
+}
+
+impl ContainerShard {
+    fn new(schema: Arc<Schema>) -> Self {
+        let indices = schema
+            .indices()
+            .iter()
+            .map(|i| (i.name.clone(), BTreeMap::new()))
+            .collect();
+        Self {
+            schema,
+            partitions: RwLock::new(vec![Partition {
+                name: "default".to_string(),
+                objects: Vec::new(),
+            }]),
+            indices: RwLock::new(indices),
+        }
+    }
+
+    /// The schema of this container.
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    /// Starts a new active partition with the given name.
+    pub fn begin_partition(&self, name: &str) {
+        self.partitions.write().push(Partition {
+            name: name.to_string(),
+            objects: Vec::new(),
+        });
+    }
+
+    /// Names of all partitions.
+    pub fn partition_names(&self) -> Vec<String> {
+        self.partitions.read().iter().map(|p| p.name.clone()).collect()
+    }
+
+    /// Total stored objects across partitions.
+    pub fn object_count(&self) -> usize {
+        self.partitions.read().iter().map(|p| p.objects.len()).sum()
+    }
+
+    /// Inserts an object: validates, appends to the active partition,
+    /// and updates every joint index.
+    pub fn insert(&self, obj: Vec<Value>) -> Result<(), SchemaError> {
+        self.schema.validate(&obj)?;
+        let mut parts = self.partitions.write();
+        let pidx = parts.len() - 1;
+        let off = parts[pidx].objects.len();
+        let mut indices = self.indices.write();
+        for def in self.schema.indices() {
+            let key = self.schema.key_for(def, &obj);
+            indices
+                .get_mut(&def.name)
+                .expect("index exists by construction")
+                .entry(key)
+                .or_default()
+                .push((pidx, off));
+        }
+        parts[pidx].objects.push(obj);
+        Ok(())
+    }
+
+    fn fetch(&self, loc: ObjLoc) -> Vec<Value> {
+        let parts = self.partitions.read();
+        parts[loc.0].objects[loc.1].clone()
+    }
+
+    /// Iterates objects whose index key starts with `prefix`, in key
+    /// order. An empty prefix scans the whole index.
+    pub fn query_prefix(
+        &self,
+        index: &str,
+        prefix: &[Value],
+    ) -> Option<Vec<(Vec<Value>, Vec<Value>)>> {
+        let indices = self.indices.read();
+        let idx = indices.get(index)?;
+        let mut out = Vec::new();
+        let range: Box<dyn Iterator<Item = (&Vec<Value>, &Vec<ObjLoc>)>> = if prefix.is_empty() {
+            Box::new(idx.iter())
+        } else {
+            Box::new(idx.range(prefix.to_vec()..))
+        };
+        for (key, locs) in range {
+            if !key.starts_with(prefix) {
+                break;
+            }
+            for &loc in locs {
+                out.push((key.clone(), self.fetch(loc)));
+            }
+        }
+        Some(out)
+    }
+
+    /// Iterates objects with `from <= key < to` in key order.
+    pub fn query_range(
+        &self,
+        index: &str,
+        from: &[Value],
+        to: &[Value],
+    ) -> Option<Vec<(Vec<Value>, Vec<Value>)>> {
+        let indices = self.indices.read();
+        let idx = indices.get(index)?;
+        let mut out = Vec::new();
+        for (key, locs) in idx.range(from.to_vec()..to.to_vec()) {
+            for &loc in locs {
+                out.push((key.clone(), self.fetch(loc)));
+            }
+        }
+        Some(out)
+    }
+
+    /// The index definition backing a named index.
+    pub fn index_def(&self, name: &str) -> Option<&IndexDef> {
+        self.schema.index_def(name)
+    }
+}
+
+/// One DSOS storage daemon holding container shards.
+pub struct Dsosd {
+    name: String,
+    containers: RwLock<HashMap<String, Arc<ContainerShard>>>,
+}
+
+impl Dsosd {
+    /// Creates a daemon.
+    pub fn new(name: &str) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.to_string(),
+            containers: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// The daemon name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Creates (or returns) a container with the given schema.
+    pub fn container(&self, name: &str, schema: &Arc<Schema>) -> Arc<ContainerShard> {
+        self.containers
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| Arc::new(ContainerShard::new(schema.clone())))
+            .clone()
+    }
+
+    /// Looks up an existing container.
+    pub fn get_container(&self, name: &str) -> Option<Arc<ContainerShard>> {
+        self.containers.read().get(name).cloned()
+    }
+
+    /// Total objects across all containers (monitoring).
+    pub fn object_count(&self) -> usize {
+        self.containers
+            .read()
+            .values()
+            .map(|c| c.object_count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::Type;
+
+    fn schema() -> Arc<Schema> {
+        Schema::builder("darshan_data")
+            .attr("job_id", Type::U64)
+            .attr("rank", Type::U64)
+            .attr("timestamp", Type::F64)
+            .attr("op", Type::Str)
+            .index("job_rank_time", &["job_id", "rank", "timestamp"])
+            .index("job_time_rank", &["job_id", "timestamp", "rank"])
+            .build()
+            .unwrap()
+    }
+
+    fn obj(job: u64, rank: u64, t: f64, op: &str) -> Vec<Value> {
+        vec![
+            Value::U64(job),
+            Value::U64(rank),
+            Value::F64(t),
+            Value::Str(op.into()),
+        ]
+    }
+
+    #[test]
+    fn insert_and_query_by_prefix() {
+        let d = Dsosd::new("dsosd-0");
+        let c = d.container("darshan", &schema());
+        c.insert(obj(1, 0, 10.0, "write")).unwrap();
+        c.insert(obj(1, 1, 11.0, "write")).unwrap();
+        c.insert(obj(2, 0, 12.0, "read")).unwrap();
+        // All of job 1, ordered by (rank, time).
+        let rows = c
+            .query_prefix("job_rank_time", &[Value::U64(1)])
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1[1], Value::U64(0));
+        assert_eq!(rows[1].1[1], Value::U64(1));
+        // Rank 0 of job 1 only.
+        let rows = c
+            .query_prefix("job_rank_time", &[Value::U64(1), Value::U64(0)])
+            .unwrap();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn alternate_index_changes_order() {
+        let d = Dsosd::new("dsosd-0");
+        let c = d.container("darshan", &schema());
+        c.insert(obj(1, 5, 10.0, "w")).unwrap();
+        c.insert(obj(1, 0, 20.0, "w")).unwrap();
+        // job_rank_time: rank 0 first (rank is more significant).
+        let by_rank = c.query_prefix("job_rank_time", &[Value::U64(1)]).unwrap();
+        assert_eq!(by_rank[0].1[1], Value::U64(0));
+        // job_time_rank: t=10 first.
+        let by_time = c.query_prefix("job_time_rank", &[Value::U64(1)]).unwrap();
+        assert_eq!(by_time[0].1[2], Value::F64(10.0));
+    }
+
+    #[test]
+    fn range_query_bounds_are_half_open() {
+        let d = Dsosd::new("dsosd-0");
+        let c = d.container("darshan", &schema());
+        for t in 0..10 {
+            c.insert(obj(1, 0, t as f64, "w")).unwrap();
+        }
+        let rows = c
+            .query_range(
+                "job_time_rank",
+                &[Value::U64(1), Value::F64(3.0)],
+                &[Value::U64(1), Value::F64(7.0)],
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 4); // t = 3,4,5,6
+    }
+
+    #[test]
+    fn invalid_objects_rejected() {
+        let d = Dsosd::new("dsosd-0");
+        let c = d.container("darshan", &schema());
+        assert!(c.insert(vec![Value::U64(1)]).is_err());
+        assert!(c
+            .insert(vec![
+                Value::Str("x".into()),
+                Value::U64(0),
+                Value::F64(0.0),
+                Value::Str("w".into())
+            ])
+            .is_err());
+        assert_eq!(c.object_count(), 0);
+    }
+
+    #[test]
+    fn partitions_rotate_but_queries_span_all() {
+        let d = Dsosd::new("dsosd-0");
+        let c = d.container("darshan", &schema());
+        c.insert(obj(1, 0, 1.0, "w")).unwrap();
+        c.begin_partition("2022-07");
+        c.insert(obj(1, 0, 2.0, "w")).unwrap();
+        assert_eq!(c.partition_names(), vec!["default", "2022-07"]);
+        let rows = c.query_prefix("job_rank_time", &[Value::U64(1)]).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn duplicate_keys_keep_all_objects() {
+        let d = Dsosd::new("dsosd-0");
+        let c = d.container("darshan", &schema());
+        c.insert(obj(1, 0, 5.0, "a")).unwrap();
+        c.insert(obj(1, 0, 5.0, "b")).unwrap();
+        let rows = c.query_prefix("job_rank_time", &[Value::U64(1)]).unwrap();
+        assert_eq!(rows.len(), 2);
+        // Insertion order preserved among equal keys.
+        assert_eq!(rows[0].1[3], Value::Str("a".into()));
+        assert_eq!(rows[1].1[3], Value::Str("b".into()));
+    }
+
+    #[test]
+    fn unknown_index_returns_none() {
+        let d = Dsosd::new("dsosd-0");
+        let c = d.container("darshan", &schema());
+        assert!(c.query_prefix("nope", &[]).is_none());
+    }
+}

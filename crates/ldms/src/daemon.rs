@@ -1,0 +1,235 @@
+//! LDMS daemons (`ldmsd`) and the aggregation topology.
+//!
+//! Mirrors the paper's Section V.C deployment: sampler daemons on the
+//! compute nodes, one first-level aggregator on the head node (UGNI
+//! transport), and a second-level aggregator on the remote analysis
+//! cluster (Shirley) where the store plugins subscribe.
+
+use crate::stream::{StreamHub, StreamMessage, StreamSink, StreamStats};
+use crate::transport::TransportLink;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Role of a daemon in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DaemonRole {
+    /// Compute-node daemon running sampler plugins.
+    Sampler,
+    /// First-level aggregator (head node).
+    AggregatorL1,
+    /// Second-level aggregator (remote cluster).
+    AggregatorL2,
+}
+
+/// One LDMS daemon.
+pub struct Ldmsd {
+    name: String,
+    role: DaemonRole,
+    hub: StreamHub,
+    upstream: RwLock<Option<(TransportLink, Arc<Ldmsd>)>>,
+}
+
+impl Ldmsd {
+    /// Creates a daemon with no upstream.
+    pub fn new(name: &str, role: DaemonRole) -> Arc<Self> {
+        Arc::new(Self {
+            name: name.to_string(),
+            role,
+            hub: StreamHub::new(),
+            upstream: RwLock::new(None),
+        })
+    }
+
+    /// The daemon's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The daemon's role.
+    pub fn role(&self) -> DaemonRole {
+        self.role
+    }
+
+    /// Connects this daemon's push target.
+    pub fn connect_upstream(&self, link: TransportLink, target: Arc<Ldmsd>) {
+        *self.upstream.write() = Some((link, target));
+    }
+
+    /// Subscribes a sink to a stream tag at this daemon.
+    pub fn subscribe(&self, tag: &str, sink: Arc<dyn StreamSink>) {
+        self.hub.subscribe(tag, sink);
+    }
+
+    /// Local stream statistics.
+    pub fn stream_stats(&self) -> &StreamStats {
+        self.hub.stats()
+    }
+
+    /// Receives a message: delivers to local subscribers, then pushes
+    /// upstream (best effort — a dropped carry is not retried).
+    pub fn receive(&self, msg: StreamMessage) {
+        self.hub.dispatch(&msg);
+        let upstream = self.upstream.read();
+        if let Some((link, target)) = upstream.as_ref() {
+            if let Some(carried) = link.carry(msg) {
+                target.receive(carried);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Ldmsd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Ldmsd")
+            .field("name", &self.name)
+            .field("role", &self.role)
+            .finish()
+    }
+}
+
+/// The assembled two-level aggregation network of the paper:
+/// compute-node daemons → head-node L1 aggregator → remote L2
+/// aggregator.
+pub struct LdmsNetwork {
+    nodes: HashMap<String, Arc<Ldmsd>>,
+    l1: Arc<Ldmsd>,
+    l2: Arc<Ldmsd>,
+}
+
+impl LdmsNetwork {
+    /// Builds the network for the given compute-node names.
+    pub fn build(node_names: &[String]) -> Self {
+        let l2 = Ldmsd::new("shirley-agg", DaemonRole::AggregatorL2);
+        let l1 = Ldmsd::new("voltrino-head", DaemonRole::AggregatorL1);
+        l1.connect_upstream(TransportLink::site_network(), l2.clone());
+        let mut nodes = HashMap::with_capacity(node_names.len());
+        for n in node_names {
+            let d = Ldmsd::new(n, DaemonRole::Sampler);
+            d.connect_upstream(TransportLink::ugni(), l1.clone());
+            nodes.insert(n.clone(), d);
+        }
+        Self { nodes, l1, l2 }
+    }
+
+    /// The first-level (head node) aggregator.
+    pub fn l1(&self) -> &Arc<Ldmsd> {
+        &self.l1
+    }
+
+    /// The second-level (remote cluster) aggregator — where store
+    /// plugins subscribe.
+    pub fn l2(&self) -> &Arc<Ldmsd> {
+        &self.l2
+    }
+
+    /// The daemon on a compute node, if present.
+    pub fn node(&self, name: &str) -> Option<&Arc<Ldmsd>> {
+        self.nodes.get(name)
+    }
+
+    /// Number of compute-node daemons.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Publishes a message from a compute node into the pipeline. An
+    /// unknown producer publishes directly at L1 (matching LDMS's
+    /// tolerance for external stream sources).
+    pub fn publish(&self, msg: StreamMessage) {
+        match self.nodes.get(msg.producer.as_ref()) {
+            Some(d) => d.receive(msg),
+            None => self.l1.receive(msg),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{BufferSink, MsgFormat};
+    use iosim_time::Epoch;
+
+    fn msg(producer: &str, data: &str) -> StreamMessage {
+        StreamMessage::new(
+            "darshanConnector",
+            MsgFormat::Json,
+            data.to_string(),
+            producer,
+            Epoch::from_secs(100),
+        )
+    }
+
+    fn network() -> LdmsNetwork {
+        LdmsNetwork::build(&["nid00040".into(), "nid00041".into()])
+    }
+
+    #[test]
+    fn message_traverses_two_hops_to_l2() {
+        let net = network();
+        let sink = BufferSink::new();
+        net.l2().subscribe("darshanConnector", sink.clone());
+        net.publish(msg("nid00040", "{\"op\":\"write\"}"));
+        let got = sink.take();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].hops, 2);
+        assert!(got[0].recv_time > got[0].publish_time);
+    }
+
+    #[test]
+    fn subscriber_at_l1_sees_messages_before_l2_delay() {
+        let net = network();
+        let at_l1 = BufferSink::new();
+        let at_l2 = BufferSink::new();
+        net.l1().subscribe("darshanConnector", at_l1.clone());
+        net.l2().subscribe("darshanConnector", at_l2.clone());
+        net.publish(msg("nid00041", "{}"));
+        let m1 = &at_l1.snapshot()[0];
+        let m2 = &at_l2.snapshot()[0];
+        assert!(m1.recv_time < m2.recv_time);
+        assert_eq!(m1.hops, 1);
+    }
+
+    #[test]
+    fn unknown_producer_enters_at_l1() {
+        let net = network();
+        let sink = BufferSink::new();
+        net.l2().subscribe("darshanConnector", sink.clone());
+        net.publish(msg("external-host", "{}"));
+        let got = sink.take();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].hops, 1); // only the L1→L2 hop
+    }
+
+    #[test]
+    fn node_daemon_counts_published_messages() {
+        let net = network();
+        net.publish(msg("nid00040", "{}"));
+        net.publish(msg("nid00040", "{}"));
+        assert_eq!(net.node("nid00040").unwrap().stream_stats().published(), 2);
+        assert_eq!(net.node("nid00041").unwrap().stream_stats().published(), 0);
+        // L1 saw both; L2 saw both.
+        assert_eq!(net.l1().stream_stats().published(), 2);
+        assert_eq!(net.l2().stream_stats().published(), 2);
+    }
+
+    #[test]
+    fn concurrent_publishers_all_arrive() {
+        let net = Arc::new(LdmsNetwork::build(
+            &(0..8).map(|i| format!("nid{i:05}")).collect::<Vec<_>>(),
+        ));
+        let sink = BufferSink::new();
+        net.l2().subscribe("darshanConnector", sink.clone());
+        std::thread::scope(|s| {
+            for i in 0..8 {
+                let net = net.clone();
+                s.spawn(move || {
+                    for j in 0..50 {
+                        net.publish(msg(&format!("nid{i:05}"), &format!("{{\"n\":{j}}}")));
+                    }
+                });
+            }
+        });
+        assert_eq!(sink.len(), 400);
+    }
+}

@@ -1,0 +1,33 @@
+//! An LDMS (Lightweight Distributed Metric Service) work-alike.
+//!
+//! LDMS collects and transports HPC telemetry through `ldmsd` daemons:
+//! sampler plugins on compute nodes, multi-hop aggregation across
+//! daemon levels, and store plugins at the end of the pipeline. The
+//! paper's integration leans on two LDMS capabilities, both modelled
+//! here:
+//!
+//! * **LDMS Streams** ([`stream`]) — the publish/subscribe bus the
+//!   connector publishes JSON messages to. Semantics follow Section
+//!   IV.B: push-based, tag-matched, best-effort ("without a reconnect
+//!   or resend"), uncached (published data is only received by parties
+//!   already subscribed), and variable-length string/JSON payloads.
+//! * **Transport & aggregation** ([`daemon`], [`transport`]) — compute
+//!   node daemons push to a first-level aggregator (the paper's head
+//!   node) which pushes to a second-level aggregator on another cluster
+//!   (Shirley) where the store plugin runs.
+//!
+//! [`sampler`] adds conventional metric-set sampling (meminfo/vmstat
+//! style) so system telemetry can be collected alongside the Darshan
+//! stream, which is what enables the paper's "correlate I/O with system
+//! behaviour" analyses. [`store`] defines the stream-store interface
+//! and a CSV store matching Figure 3's JSON→CSV conversion.
+
+pub mod daemon;
+pub mod sampler;
+pub mod store;
+pub mod stream;
+pub mod transport;
+
+pub use daemon::{DaemonRole, Ldmsd, LdmsNetwork};
+pub use stream::{MsgFormat, StreamMessage, StreamSink, StreamStats};
+pub use transport::TransportLink;

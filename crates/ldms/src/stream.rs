@@ -1,0 +1,269 @@
+//! LDMS Streams: the tag-matched publish/subscribe bus.
+
+use iosim_time::Epoch;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Payload encoding (Section IV.B: "Event data can be specified as
+/// either string or JSON format").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgFormat {
+    /// JSON-formatted payload.
+    Json,
+    /// Raw string payload.
+    Str,
+}
+
+/// One stream message in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamMessage {
+    /// Stream tag the message was published under.
+    pub tag: Arc<str>,
+    /// Payload encoding.
+    pub format: MsgFormat,
+    /// The payload itself.
+    pub data: Arc<str>,
+    /// Producer (node) name of the publisher.
+    pub producer: Arc<str>,
+    /// Virtual time at publish.
+    pub publish_time: Epoch,
+    /// Virtual time at delivery to the subscriber (publish time plus
+    /// accumulated transport delay).
+    pub recv_time: Epoch,
+    /// Aggregation hops traversed.
+    pub hops: u32,
+}
+
+impl StreamMessage {
+    /// Creates a message at the publisher.
+    pub fn new(
+        tag: &str,
+        format: MsgFormat,
+        data: String,
+        producer: &str,
+        publish_time: Epoch,
+    ) -> Self {
+        Self {
+            tag: Arc::from(tag),
+            format,
+            data: Arc::from(data.as_str()),
+            producer: Arc::from(producer),
+            publish_time,
+            recv_time: publish_time,
+            hops: 0,
+        }
+    }
+
+    /// Payload size in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// A consumer of delivered stream messages (a store plugin or an
+/// analysis tap).
+pub trait StreamSink: Send + Sync {
+    /// Handles one delivered message.
+    fn deliver(&self, msg: &StreamMessage);
+}
+
+/// Delivery counters for one stream hub.
+#[derive(Debug, Default)]
+pub struct StreamStats {
+    /// Messages published into this hub.
+    pub published: AtomicU64,
+    /// Messages delivered to at least one subscriber.
+    pub delivered: AtomicU64,
+    /// Messages dropped because no subscriber matched the tag (LDMS
+    /// Streams does not cache: "the published data can only be
+    /// received after subscription").
+    pub dropped_no_subscriber: AtomicU64,
+    /// Total payload bytes published.
+    pub bytes: AtomicU64,
+}
+
+impl StreamStats {
+    /// Published count.
+    pub fn published(&self) -> u64 {
+        self.published.load(Ordering::Relaxed)
+    }
+
+    /// Delivered count.
+    pub fn delivered(&self) -> u64 {
+        self.delivered.load(Ordering::Relaxed)
+    }
+
+    /// Dropped-for-lack-of-subscriber count.
+    pub fn dropped(&self) -> u64 {
+        self.dropped_no_subscriber.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes published.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+/// The per-daemon stream hub: subscriptions by exact tag.
+#[derive(Default)]
+pub struct StreamHub {
+    subs: RwLock<HashMap<String, Vec<Arc<dyn StreamSink>>>>,
+    stats: StreamStats,
+}
+
+impl StreamHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Subscribes a sink to a tag.
+    pub fn subscribe(&self, tag: &str, sink: Arc<dyn StreamSink>) {
+        self.subs.write().entry(tag.to_string()).or_default().push(sink);
+    }
+
+    /// Number of subscribers on a tag.
+    pub fn subscriber_count(&self, tag: &str) -> usize {
+        self.subs.read().get(tag).map_or(0, Vec::len)
+    }
+
+    /// Delivers a message to all subscribers of its tag. Returns how
+    /// many sinks received it (0 = dropped, best-effort semantics).
+    pub fn dispatch(&self, msg: &StreamMessage) -> usize {
+        self.stats.published.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes
+            .fetch_add(msg.len() as u64, Ordering::Relaxed);
+        let subs = self.subs.read();
+        match subs.get(msg.tag.as_ref()) {
+            Some(sinks) if !sinks.is_empty() => {
+                for s in sinks {
+                    s.deliver(msg);
+                }
+                self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                sinks.len()
+            }
+            _ => {
+                self.stats
+                    .dropped_no_subscriber
+                    .fetch_add(1, Ordering::Relaxed);
+                0
+            }
+        }
+    }
+
+    /// Hub delivery counters.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+}
+
+/// A sink that buffers messages for later inspection (tests, analysis
+/// taps, and the simple store plugins).
+#[derive(Default)]
+pub struct BufferSink {
+    messages: Mutex<Vec<StreamMessage>>,
+}
+
+impl BufferSink {
+    /// Creates an empty buffer sink.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Number of buffered messages.
+    pub fn len(&self) -> usize {
+        self.messages.lock().len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the buffered messages.
+    pub fn take(&self) -> Vec<StreamMessage> {
+        std::mem::take(&mut self.messages.lock())
+    }
+
+    /// Clones the buffered messages without draining.
+    pub fn snapshot(&self) -> Vec<StreamMessage> {
+        self.messages.lock().clone()
+    }
+}
+
+impl StreamSink for BufferSink {
+    fn deliver(&self, msg: &StreamMessage) {
+        self.messages.lock().push(msg.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn msg(tag: &str, data: &str) -> StreamMessage {
+        StreamMessage::new(tag, MsgFormat::Json, data.to_string(), "nid00001", Epoch::from_secs(1))
+    }
+
+    #[test]
+    fn dispatch_reaches_matching_subscribers_only() {
+        let hub = StreamHub::new();
+        let a = BufferSink::new();
+        let b = BufferSink::new();
+        hub.subscribe("darshanConnector", a.clone());
+        hub.subscribe("other", b.clone());
+        assert_eq!(hub.dispatch(&msg("darshanConnector", "{}")), 1);
+        assert_eq!(a.len(), 1);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn unsubscribed_tag_drops_message() {
+        let hub = StreamHub::new();
+        assert_eq!(hub.dispatch(&msg("nobody", "{}")), 0);
+        assert_eq!(hub.stats().dropped(), 1);
+        assert_eq!(hub.stats().published(), 1);
+        assert_eq!(hub.stats().delivered(), 0);
+    }
+
+    #[test]
+    fn no_caching_late_subscriber_misses_earlier_messages() {
+        let hub = StreamHub::new();
+        hub.dispatch(&msg("t", "early"));
+        let late = BufferSink::new();
+        hub.subscribe("t", late.clone());
+        hub.dispatch(&msg("t", "later"));
+        let got = late.take();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].data.as_ref(), "later");
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_the_message() {
+        let hub = StreamHub::new();
+        let a = BufferSink::new();
+        let b = BufferSink::new();
+        hub.subscribe("t", a.clone());
+        hub.subscribe("t", b.clone());
+        assert_eq!(hub.dispatch(&msg("t", "x")), 2);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn stats_track_bytes() {
+        let hub = StreamHub::new();
+        let a = BufferSink::new();
+        hub.subscribe("t", a);
+        hub.dispatch(&msg("t", "12345"));
+        assert_eq!(hub.stats().bytes(), 5);
+    }
+}

@@ -1,0 +1,139 @@
+//! Transport links between LDMS daemons.
+//!
+//! The paper's deployment pushes stream data over Cray's UGNI transport
+//! from compute nodes to the head-node aggregator, then over the site
+//! network to the Shirley cluster. Links model per-message latency and
+//! bandwidth, accumulate the delay into each message's `recv_time`
+//! (the pipeline is asynchronous — the application does *not* wait for
+//! delivery, matching the paper's push-based design), and support loss
+//! injection to exercise the best-effort semantics.
+
+use crate::stream::StreamMessage;
+use iosim_time::SimDuration;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A one-way transport link.
+#[derive(Debug)]
+pub struct TransportLink {
+    /// Link name (e.g. "ugni", "site-net").
+    pub name: String,
+    /// Per-message latency (seconds).
+    pub latency_s: f64,
+    /// Link bandwidth (bytes/s).
+    pub bandwidth: f64,
+    /// Drop one message every `n` (0 = never); models best-effort loss.
+    drop_every: u64,
+    sent: AtomicU64,
+    dropped: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl TransportLink {
+    /// Creates a link with the given performance characteristics.
+    pub fn new(name: &str, latency_s: f64, bandwidth: f64) -> Self {
+        Self {
+            name: name.to_string(),
+            latency_s,
+            bandwidth,
+            drop_every: 0,
+            sent: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// UGNI-like defaults for the compute→head hop.
+    pub fn ugni() -> Self {
+        Self::new("ugni", 3.0e-6, 8.0e9)
+    }
+
+    /// Site-network defaults for the head→remote-cluster hop.
+    pub fn site_network() -> Self {
+        Self::new("site-net", 250.0e-6, 1.0e9)
+    }
+
+    /// Enables dropping every `n`-th message (testing best-effort
+    /// delivery). 0 disables.
+    pub fn with_loss_every(mut self, n: u64) -> Self {
+        self.drop_every = n;
+        self
+    }
+
+    /// Transit time for a message of `bytes`.
+    pub fn delay(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_secs_f64(self.latency_s + bytes as f64 / self.bandwidth)
+    }
+
+    /// Carries a message across the link: stamps delay and hop count.
+    /// Returns `None` when the message is dropped (best effort, no
+    /// resend).
+    pub fn carry(&self, mut msg: StreamMessage) -> Option<StreamMessage> {
+        let n = self.sent.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.drop_every > 0 && n % self.drop_every == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.bytes.fetch_add(msg.len() as u64, Ordering::Relaxed);
+        msg.recv_time = msg.recv_time + self.delay(msg.len());
+        msg.hops += 1;
+        Some(msg)
+    }
+
+    /// Messages offered to the link.
+    pub fn sent(&self) -> u64 {
+        self.sent.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped by the link.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Bytes carried.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::MsgFormat;
+    use iosim_time::Epoch;
+
+    fn msg(data: &str) -> StreamMessage {
+        StreamMessage::new("t", MsgFormat::Json, data.to_string(), "nid1", Epoch::from_secs(10))
+    }
+
+    #[test]
+    fn carry_accumulates_delay_and_hops() {
+        let l1 = TransportLink::ugni();
+        let l2 = TransportLink::site_network();
+        let m = l1.carry(msg("hello")).unwrap();
+        let m = l2.carry(m).unwrap();
+        assert_eq!(m.hops, 2);
+        let total_delay = m.recv_time.since(m.publish_time).as_secs_f64();
+        assert!(total_delay >= 250.0e-6);
+        assert!(total_delay < 1e-3);
+    }
+
+    #[test]
+    fn loss_injection_drops_every_nth() {
+        let l = TransportLink::ugni().with_loss_every(3);
+        let mut delivered = 0;
+        for _ in 0..9 {
+            if l.carry(msg("x")).is_some() {
+                delivered += 1;
+            }
+        }
+        assert_eq!(delivered, 6);
+        assert_eq!(l.dropped(), 3);
+        assert_eq!(l.sent(), 9);
+    }
+
+    #[test]
+    fn bandwidth_term_scales_with_size() {
+        let l = TransportLink::new("slow", 0.0, 1000.0);
+        assert!((l.delay(500).as_secs_f64() - 0.5).abs() < 1e-9);
+    }
+}

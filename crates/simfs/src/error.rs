@@ -1,0 +1,57 @@
+//! File-system error type.
+
+use std::fmt;
+
+/// Errors surfaced by the simulated file systems.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsError {
+    /// Open of a non-existent path without `create`.
+    NotFound(String),
+    /// Operation on a handle that was already closed.
+    StaleHandle(String),
+    /// Read entirely beyond end-of-file.
+    BeyondEof { path: String, offset: u64, size: u64 },
+    /// Write to a handle opened read-only.
+    ReadOnly(String),
+    /// Fault injected by a test (failure-injection hooks).
+    Injected(String),
+}
+
+/// Result alias for file-system operations.
+pub type FsResult<T> = Result<T, FsError>;
+
+impl fmt::Display for FsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsError::NotFound(p) => write!(f, "no such file: {p}"),
+            FsError::StaleHandle(p) => write!(f, "stale handle: {p}"),
+            FsError::BeyondEof { path, offset, size } => {
+                write!(f, "read beyond eof: {path} offset {offset} size {size}")
+            }
+            FsError::ReadOnly(p) => write!(f, "handle is read-only: {p}"),
+            FsError::Injected(msg) => write!(f, "injected fault: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            FsError::NotFound("/x".into()).to_string(),
+            "no such file: /x"
+        );
+        assert!(FsError::BeyondEof {
+            path: "/y".into(),
+            offset: 10,
+            size: 5
+        }
+        .to_string()
+        .contains("offset 10"));
+    }
+}

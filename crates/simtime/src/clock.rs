@@ -1,0 +1,125 @@
+//! Per-rank virtual clocks.
+
+use crate::duration::SimDuration;
+use crate::epoch::Epoch;
+
+/// The pair of timestamps Darshan's modified time path produces.
+///
+/// Stock Darshan records only `rel` (seconds since job start, from
+/// `clock_gettime()` converted to seconds). The paper threads a struct
+/// pointer through every module so the *absolute* timestamp `abs` is
+/// captured at the same instant with "no additional overhead and latency
+/// between the function call and recording" (Section IV.A). `TimePair`
+/// is that struct.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimePair {
+    /// Seconds since the start of the job (Darshan's native time base).
+    pub rel: f64,
+    /// Absolute epoch timestamp (the integration's addition).
+    pub abs: Epoch,
+}
+
+/// A per-rank virtual clock.
+///
+/// Each simulated MPI rank owns one. I/O models advance it by their
+/// computed durations; the connector charges formatting cost into it;
+/// collective operations synchronize clocks across ranks (in `simmpi`)
+/// by taking the maximum, which is how barrier semantics emerge.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    /// Epoch timestamp of job start.
+    epoch_base: Epoch,
+    /// Virtual time elapsed since job start.
+    elapsed: SimDuration,
+}
+
+impl Clock {
+    /// Creates a clock anchored at the given job-start epoch.
+    pub fn new(epoch_base: Epoch) -> Self {
+        Self {
+            epoch_base,
+            elapsed: SimDuration::ZERO,
+        }
+    }
+
+    /// The job-start epoch this clock is anchored to.
+    pub fn epoch_base(&self) -> Epoch {
+        self.epoch_base
+    }
+
+    /// Virtual time elapsed since job start.
+    pub fn elapsed(&self) -> SimDuration {
+        self.elapsed
+    }
+
+    /// Current absolute time.
+    pub fn now(&self) -> Epoch {
+        self.epoch_base + self.elapsed
+    }
+
+    /// Both time representations at the current instant — the analogue
+    /// of the modified `clock_gettime()` call site.
+    pub fn time_pair(&self) -> TimePair {
+        TimePair {
+            rel: self.elapsed.as_secs_f64(),
+            abs: self.now(),
+        }
+    }
+
+    /// Advances the clock by `d`.
+    pub fn advance(&mut self, d: SimDuration) {
+        self.elapsed += d;
+    }
+
+    /// Jumps forward to absolute time `t` if it is in the future;
+    /// returns the wait duration (zero when `t` is already past). Used
+    /// for resource-availability waits and barrier synchronization.
+    pub fn advance_to(&mut self, t: Epoch) -> SimDuration {
+        let wait = t.since(self.now());
+        self.elapsed += wait;
+        wait
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_base() {
+        let c = Clock::new(Epoch::from_secs(1000));
+        assert_eq!(c.now(), Epoch::from_secs(1000));
+        assert_eq!(c.elapsed(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn advance_moves_both_axes() {
+        let mut c = Clock::new(Epoch::from_secs(1000));
+        c.advance(SimDuration::from_millis(2500));
+        let tp = c.time_pair();
+        assert!((tp.rel - 2.5).abs() < 1e-12);
+        assert_eq!(tp.abs, Epoch::from_secs(1000) + SimDuration::from_millis(2500));
+    }
+
+    #[test]
+    fn advance_to_future_and_past() {
+        let mut c = Clock::new(Epoch::from_secs(100));
+        let waited = c.advance_to(Epoch::from_secs(105));
+        assert_eq!(waited, SimDuration::from_secs(5));
+        // advancing to the past is a no-op
+        let waited = c.advance_to(Epoch::from_secs(50));
+        assert_eq!(waited, SimDuration::ZERO);
+        assert_eq!(c.now(), Epoch::from_secs(105));
+    }
+
+    #[test]
+    fn time_pair_axes_stay_consistent() {
+        let mut c = Clock::new(Epoch::from_secs(42));
+        for i in 0..10 {
+            c.advance(SimDuration::from_micros(i * 100));
+            let tp = c.time_pair();
+            let expect_abs = c.epoch_base().as_nanos() as f64 / 1e9 + tp.rel;
+            assert!((tp.abs.as_secs_f64() - expect_abs).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Absolute epoch timestamps.
+
+use crate::duration::SimDuration;
+use std::fmt;
+use std::ops::Add;
+
+/// An absolute point in virtual time, in nanoseconds since the Unix
+/// epoch — the "absolute timestamp" the paper's Darshan modification
+/// exposes and the connector publishes as `seg:timestamp`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Epoch(u64);
+
+impl Epoch {
+    /// Creates an epoch timestamp from nanoseconds since the Unix epoch.
+    pub const fn from_nanos(ns: u64) -> Self {
+        Epoch(ns)
+    }
+
+    /// Creates an epoch timestamp from whole seconds since the epoch.
+    pub const fn from_secs(s: u64) -> Self {
+        Epoch(s * 1_000_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds since the epoch (the representation the
+    /// connector's JSON uses for `seg:timestamp`).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Elapsed duration since `earlier`; zero if `earlier` is later.
+    pub fn since(self, earlier: Epoch) -> SimDuration {
+        SimDuration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Seconds-within-day component, used by the file-system weather
+    /// model's time-of-day factor.
+    pub fn seconds_of_day(self) -> f64 {
+        const DAY_NS: u64 = 86_400 * 1_000_000_000;
+        (self.0 % DAY_NS) as f64 / 1e9
+    }
+}
+
+impl Add<SimDuration> for Epoch {
+    type Output = Epoch;
+    fn add(self, rhs: SimDuration) -> Epoch {
+        Epoch(self.0.saturating_add(rhs.as_nanos()))
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_duration() {
+        let base = Epoch::from_secs(1_650_000_000);
+        let later = base + SimDuration::from_millis(1500);
+        assert_eq!(later.as_nanos() - base.as_nanos(), 1_500_000_000);
+    }
+
+    #[test]
+    fn since_is_saturating() {
+        let a = Epoch::from_secs(100);
+        let b = Epoch::from_secs(90);
+        assert_eq!(a.since(b), SimDuration::from_secs(10));
+        assert_eq!(b.since(a), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn seconds_of_day_wraps() {
+        let noon = Epoch::from_secs(86_400 * 3 + 43_200);
+        assert!((noon.seconds_of_day() - 43_200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_epoch_float() {
+        let t = Epoch::from_nanos(1_650_000_000_123_456_789);
+        // f64 carries ~1 µs precision at this magnitude.
+        assert!(t.to_string().starts_with("1650000000.1234"));
+    }
+}

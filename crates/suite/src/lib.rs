@@ -1,0 +1,18 @@
+//! Hosts the repository-level `examples/` and `tests/` targets.
+//!
+//! The workspace root is virtual, so this crate declares the
+//! runnable examples (`examples/*.rs` at the repository root) and the
+//! cross-crate integration tests (`tests/*.rs`) via explicit target
+//! paths in its manifest. It re-exports the public API surface those
+//! targets use, so examples read as a downstream user would write them.
+
+pub use darshan_ldms_connector as connector;
+pub use darshan_sim as darshan;
+pub use dsos_sim as dsos;
+pub use hpcws_sim as hpcws;
+pub use iosim_apps as apps;
+pub use iosim_fs as simfs;
+pub use iosim_mpi as simmpi;
+pub use iosim_time as simtime;
+pub use iosim_util as util;
+pub use ldms_sim as ldms;

@@ -1,0 +1,184 @@
+//! ASCII chart primitives.
+//!
+//! The reproduction renders the paper's Grafana panels (Figures 5–9) as
+//! deterministic text charts so the harness output can be diffed and the
+//! series can also be exported as CSV. These are the shared drawing
+//! primitives; the figure-specific layouts live in `hpcws-sim`.
+
+/// Renders a horizontal bar chart. Each row is `label | ####### value`.
+///
+/// `err` (optional, parallel to `values`) renders a `±e` suffix, used
+/// for Figure 5's 95% confidence intervals.
+pub fn bar_chart(labels: &[String], values: &[f64], err: Option<&[f64]>, width: usize) -> String {
+    assert_eq!(labels.len(), values.len(), "labels/values length mismatch");
+    if let Some(e) = err {
+        assert_eq!(e.len(), values.len(), "err length mismatch");
+    }
+    let max = values.iter().cloned().fold(0.0_f64, f64::max).max(1e-12);
+    let label_w = labels.iter().map(String::len).max().unwrap_or(0);
+    let mut out = String::new();
+    for (i, (label, &v)) in labels.iter().zip(values).enumerate() {
+        let bar_len = ((v / max) * width as f64).round().max(0.0) as usize;
+        out.push_str(&format!(
+            "{label:<label_w$} | {} {v:.2}",
+            "#".repeat(bar_len)
+        ));
+        if let Some(e) = err {
+            out.push_str(&format!(" ±{:.2}", e[i]));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a scatter plot of `(x, y)` points on a `width`×`height`
+/// character grid, with `glyph` marking occupied cells. Multiple series
+/// can be overlaid by calling [`ScatterGrid::plot`] repeatedly.
+pub struct ScatterGrid {
+    width: usize,
+    height: usize,
+    x_min: f64,
+    x_max: f64,
+    y_min: f64,
+    y_max: f64,
+    cells: Vec<char>,
+}
+
+impl ScatterGrid {
+    /// Creates an empty grid covering the given data ranges. Degenerate
+    /// ranges are widened so every point still lands on the grid.
+    pub fn new(width: usize, height: usize, x: (f64, f64), y: (f64, f64)) -> Self {
+        assert!(width >= 2 && height >= 2, "grid too small");
+        let (x_min, mut x_max) = x;
+        let (y_min, mut y_max) = y;
+        if x_max <= x_min {
+            x_max = x_min + 1.0;
+        }
+        if y_max <= y_min {
+            y_max = y_min + 1.0;
+        }
+        Self {
+            width,
+            height,
+            x_min,
+            x_max,
+            y_min,
+            y_max,
+            cells: vec![' '; width * height],
+        }
+    }
+
+    /// Plots one series with the given glyph. Later series overwrite
+    /// earlier glyphs where they collide.
+    pub fn plot(&mut self, points: &[(f64, f64)], glyph: char) {
+        for &(x, y) in points {
+            let cx = ((x - self.x_min) / (self.x_max - self.x_min) * (self.width - 1) as f64)
+                .round()
+                .clamp(0.0, (self.width - 1) as f64) as usize;
+            let cy = ((y - self.y_min) / (self.y_max - self.y_min) * (self.height - 1) as f64)
+                .round()
+                .clamp(0.0, (self.height - 1) as f64) as usize;
+            // y grows upward visually: row 0 is the top.
+            let row = self.height - 1 - cy;
+            self.cells[row * self.width + cx] = glyph;
+        }
+    }
+
+    /// Renders the grid with a left axis and bottom axis labels.
+    pub fn render(&self, y_label: &str, x_label: &str) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{y_label}\n"));
+        for row in 0..self.height {
+            let y_val = self.y_max
+                - (self.y_max - self.y_min) * row as f64 / (self.height - 1) as f64;
+            out.push_str(&format!("{y_val:>10.2} |"));
+            let line: String = self.cells[row * self.width..(row + 1) * self.width]
+                .iter()
+                .collect();
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out.push_str(&format!("{:>11}+{}\n", "", "-".repeat(self.width)));
+        out.push_str(&format!(
+            "{:>12}{:<.2}{:>pad$.2}  ({x_label})\n",
+            "",
+            self.x_min,
+            self.x_max,
+            pad = self.width.saturating_sub(6)
+        ));
+        out
+    }
+}
+
+/// Renders aligned time-series columns as a stacked sparkline block —
+/// the textual analogue of a Grafana timeseries panel (Figure 9).
+pub fn sparkline(values: &[f64]) -> String {
+    const LEVELS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(0.0_f64, f64::max);
+    values
+        .iter()
+        .map(|&v| {
+            if max <= 0.0 || v <= 0.0 {
+                ' '
+            } else {
+                let idx = ((v / max) * (LEVELS.len() - 1) as f64).round() as usize;
+                LEVELS[idx.min(LEVELS.len() - 1)]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_width() {
+        let out = bar_chart(
+            &["read".into(), "write".into()],
+            &[10.0, 5.0],
+            None,
+            10,
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(&"#".repeat(10)));
+        assert!(lines[1].contains(&"#".repeat(5)));
+    }
+
+    #[test]
+    fn bar_chart_renders_error_bars() {
+        let out = bar_chart(&["open".into()], &[4.0], Some(&[0.5]), 4);
+        assert!(out.contains("±0.50"));
+    }
+
+    #[test]
+    fn scatter_marks_corners() {
+        let mut g = ScatterGrid::new(10, 5, (0.0, 9.0), (0.0, 4.0));
+        g.plot(&[(0.0, 0.0), (9.0, 4.0)], '*');
+        let out = g.render("y", "x");
+        // Bottom-left and top-right should both carry the glyph.
+        assert_eq!(out.matches('*').count(), 2);
+    }
+
+    #[test]
+    fn scatter_handles_degenerate_range() {
+        let mut g = ScatterGrid::new(4, 4, (1.0, 1.0), (2.0, 2.0));
+        g.plot(&[(1.0, 2.0)], 'o');
+        assert_eq!(g.render("y", "x").matches('o').count(), 1);
+    }
+
+    #[test]
+    fn sparkline_levels() {
+        let s = sparkline(&[0.0, 0.5, 1.0]);
+        let chars: Vec<char> = s.chars().collect();
+        assert_eq!(chars.len(), 3);
+        assert_eq!(chars[0], ' ');
+        assert_eq!(chars[2], '█');
+    }
+
+    #[test]
+    fn sparkline_all_zero_is_blank() {
+        assert_eq!(sparkline(&[0.0, 0.0]), "  ");
+    }
+}

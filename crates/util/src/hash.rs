@@ -1,0 +1,59 @@
+//! FNV-1a hashing.
+//!
+//! Darshan derives a stable 64-bit *record id* for every file path so
+//! that all ranks agree on the id without communication; the connector
+//! publishes it as `record_id` (Table I). We use FNV-1a like Darshan's
+//! own hash for this purpose: deterministic across runs, cheap, and with
+//! good dispersion on path-like strings.
+
+/// 64-bit FNV-1a offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Hashes a byte slice with 64-bit FNV-1a.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Combines an existing hash with more bytes (streaming use).
+pub fn fnv1a64_continue(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let a = fnv1a64(b"/scratch/run1/output.dat");
+        let b = fnv1a64(b"/scratch/run1/output.dat");
+        let c = fnv1a64(b"/scratch/run2/output.dat");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn continue_matches_one_shot() {
+        let h = fnv1a64_continue(fnv1a64(b"hello "), b"world");
+        assert_eq!(h, fnv1a64(b"hello world"));
+    }
+}

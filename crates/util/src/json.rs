@@ -1,0 +1,662 @@
+//! Hand-rolled JSON encoding and decoding.
+//!
+//! The encoder mirrors what the paper's connector does with `sprintf`:
+//! every integer and float is converted to its decimal string
+//! representation, one field at a time, into a growing byte buffer. The
+//! paper attributes the HMMER overhead (Table IIc) to exactly this
+//! conversion, so the encoder also reports how many bytes were formatted
+//! so the simulation can charge a calibrated cost for them.
+//!
+//! The decoder is a small recursive-descent parser used by the LDMS
+//! stream store plugin and by tests to round-trip connector messages.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+///
+/// Object keys are kept in a `BTreeMap` so iteration order (and thus CSV
+/// conversion in the store plugin) is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    Null,
+    Bool(bool),
+    /// Integers are kept distinct from floats: Darshan counters are
+    /// integral and the CSV store must not render `3` as `3.0`.
+    Int(i64),
+    /// Unsigned integers beyond `i64::MAX` (Darshan record ids).
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<JsonValue>),
+    Object(BTreeMap<String, JsonValue>),
+}
+
+impl JsonValue {
+    /// Returns the string slice if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the integer value, coercing floats with integral value.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            JsonValue::Int(i) => Some(*i),
+            JsonValue::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            JsonValue::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the unsigned value if non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(u) => Some(*u),
+            JsonValue::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// Returns the numeric value as a float.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Int(i) => Some(*i as f64),
+            JsonValue::UInt(u) => Some(*u as f64),
+            JsonValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Returns the object map if this value is an object.
+    pub fn as_object(&self) -> Option<&BTreeMap<String, JsonValue>> {
+        match self {
+            JsonValue::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Returns the array if this value is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Convenience field lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.as_object().and_then(|m| m.get(key))
+    }
+}
+
+impl fmt::Display for JsonValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut w = JsonWriter::new();
+        write_value(&mut w, self);
+        f.write_str(w.as_str())
+    }
+}
+
+fn write_value(w: &mut JsonWriter, v: &JsonValue) {
+    match v {
+        JsonValue::Null => w.raw("null"),
+        JsonValue::Bool(b) => w.raw(if *b { "true" } else { "false" }),
+        JsonValue::Int(i) => w.int(*i),
+        JsonValue::UInt(u) => w.uint(*u),
+        JsonValue::Float(x) => w.float(*x),
+        JsonValue::Str(s) => w.string(s),
+        JsonValue::Array(items) => {
+            w.begin_array();
+            for item in items {
+                w.comma();
+                write_value(w, item);
+            }
+            w.end_array();
+        }
+        JsonValue::Object(map) => {
+            w.begin_object();
+            for (k, val) in map {
+                w.comma();
+                w.key(k);
+                write_value(w, val);
+            }
+            w.end_object();
+        }
+    }
+}
+
+/// Incremental JSON writer that mimics the C connector's `sprintf` loop.
+///
+/// Tracks `formatted_digits`: the number of bytes produced by
+/// number-to-string conversion. The connector's cost model charges
+/// virtual time proportional to this, reproducing the paper's finding
+/// that integer-to-string conversion dominates overhead for I/O-intensive
+/// applications.
+#[derive(Debug, Default, Clone)]
+pub struct JsonWriter {
+    buf: String,
+    /// Bytes emitted by numeric conversions (the `sprintf` analogue).
+    formatted_digits: usize,
+    /// Stack of "need a comma before the next element" flags.
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a writer with a pre-sized buffer, avoiding reallocation in
+    /// the per-event hot path.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: String::with_capacity(cap),
+            formatted_digits: 0,
+            needs_comma: Vec::new(),
+        }
+    }
+
+    /// Clears the buffer for reuse (workhorse-buffer pattern); keeps the
+    /// allocation.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.formatted_digits = 0;
+        self.needs_comma.clear();
+    }
+
+    /// The encoded JSON so far.
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning the encoded JSON.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+
+    /// Total encoded length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Number of bytes produced by numeric formatting so far.
+    pub fn formatted_digits(&self) -> usize {
+        self.formatted_digits
+    }
+
+    fn raw(&mut self, s: &str) {
+        self.buf.push_str(s);
+    }
+
+    /// Writes a comma if the current container already has an element.
+    pub fn comma(&mut self) {
+        if let Some(top) = self.needs_comma.last_mut() {
+            if *top {
+                self.buf.push(',');
+            }
+            *top = true;
+        }
+    }
+
+    /// Opens an object.
+    pub fn begin_object(&mut self) {
+        self.buf.push('{');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes an object.
+    pub fn end_object(&mut self) {
+        self.buf.push('}');
+        self.needs_comma.pop();
+    }
+
+    /// Opens an array.
+    pub fn begin_array(&mut self) {
+        self.buf.push('[');
+        self.needs_comma.push(false);
+    }
+
+    /// Closes an array.
+    pub fn end_array(&mut self) {
+        self.buf.push(']');
+        self.needs_comma.pop();
+    }
+
+    /// Writes an object key (including the trailing colon).
+    pub fn key(&mut self, k: &str) {
+        self.string(k);
+        self.buf.push(':');
+    }
+
+    /// Writes a JSON string with escaping.
+    pub fn string(&mut self, s: &str) {
+        self.buf.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.buf.push_str("\\\""),
+                '\\' => self.buf.push_str("\\\\"),
+                '\n' => self.buf.push_str("\\n"),
+                '\r' => self.buf.push_str("\\r"),
+                '\t' => self.buf.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    use fmt::Write as _;
+                    let _ = write!(self.buf, "\\u{:04x}", c as u32);
+                }
+                c => self.buf.push(c),
+            }
+        }
+        self.buf.push('"');
+    }
+
+    /// Writes an integer, counting the converted digits (the `sprintf`
+    /// analogue the cost model charges for).
+    pub fn int(&mut self, v: i64) {
+        use fmt::Write as _;
+        let before = self.buf.len();
+        let _ = write!(self.buf, "{v}");
+        self.formatted_digits += self.buf.len() - before;
+    }
+
+    /// Writes an unsigned integer, counting the converted digits.
+    /// Needed for Darshan record ids, whose high bit is often set.
+    pub fn uint(&mut self, v: u64) {
+        use fmt::Write as _;
+        let before = self.buf.len();
+        let _ = write!(self.buf, "{v}");
+        self.formatted_digits += self.buf.len() - before;
+    }
+
+    /// Writes a float, counting the converted digits.
+    pub fn float(&mut self, v: f64) {
+        use fmt::Write as _;
+        let before = self.buf.len();
+        if v.is_finite() {
+            if v.fract() == 0.0 && v.abs() < 1e15 {
+                // Match the C connector's "%.1f"-style stability for
+                // round values while keeping full precision otherwise.
+                let _ = write!(self.buf, "{v:.1}");
+            } else {
+                let _ = write!(self.buf, "{v}");
+            }
+        } else {
+            // JSON has no NaN/Inf; Darshan uses -1 sentinels.
+            let _ = write!(self.buf, "-1");
+        }
+        self.formatted_digits += self.buf.len() - before;
+    }
+
+    /// Writes a `key: string` member with the separating comma.
+    pub fn field_str(&mut self, k: &str, v: &str) {
+        self.comma();
+        self.key(k);
+        self.string(v);
+    }
+
+    /// Writes a `key: int` member with the separating comma.
+    pub fn field_int(&mut self, k: &str, v: i64) {
+        self.comma();
+        self.key(k);
+        self.int(v);
+    }
+
+    /// Writes a `key: float` member with the separating comma.
+    pub fn field_float(&mut self, k: &str, v: f64) {
+        self.comma();
+        self.key(k);
+        self.float(v);
+    }
+
+    /// Writes a `key: unsigned` member with the separating comma.
+    pub fn field_uint(&mut self, k: &str, v: u64) {
+        self.comma();
+        self.key(k);
+        self.uint(v);
+    }
+}
+
+/// Errors produced by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset where parsing failed.
+    pub at: usize,
+    /// Human-readable description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document.
+pub fn parse(input: &str) -> Result<JsonValue, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> ParseError {
+        ParseError {
+            at: self.pos,
+            msg: msg.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b'}') => return Ok(JsonValue::Object(map)),
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump() {
+                Some(b',') => continue,
+                Some(b']') => return Ok(JsonValue::Array(items)),
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump().ok_or_else(|| self.err("bad \\u escape"))?;
+                            let v = (d as char)
+                                .to_digit(16)
+                                .ok_or_else(|| self.err("bad hex digit"))?;
+                            code = code * 16 + v;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    _ => return Err(self.err("bad escape")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(c) => {
+                    // Re-assemble a UTF-8 sequence.
+                    let start = self.pos - 1;
+                    let width = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let end = (start + width).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if is_float {
+            text.parse::<f64>()
+                .map(JsonValue::Float)
+                .map_err(|_| self.err("bad float"))
+        } else {
+            text.parse::<i64>()
+                .map(JsonValue::Int)
+                .or_else(|_| text.parse::<u64>().map(JsonValue::UInt))
+                .or_else(|_| text.parse::<f64>().map(JsonValue::Float))
+                .map_err(|_| self.err("bad integer"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_builds_flat_object() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("op", "write");
+        w.field_int("rank", 3);
+        w.field_float("dur", 0.5);
+        w.end_object();
+        assert_eq!(w.as_str(), r#"{"op":"write","rank":3,"dur":0.5}"#);
+    }
+
+    #[test]
+    fn writer_counts_formatted_digits() {
+        let mut w = JsonWriter::new();
+        w.int(-1234); // 5 bytes
+        w.float(2.5); // 3 bytes
+        assert_eq!(w.formatted_digits(), 8);
+    }
+
+    #[test]
+    fn writer_escapes_strings() {
+        let mut w = JsonWriter::new();
+        w.string("a\"b\\c\nd");
+        assert_eq!(w.as_str(), r#""a\"b\\c\nd""#);
+    }
+
+    #[test]
+    fn writer_reset_reuses_buffer() {
+        let mut w = JsonWriter::with_capacity(64);
+        w.begin_object();
+        w.field_int("x", 1);
+        w.end_object();
+        let cap = w.buf.capacity();
+        w.reset();
+        assert!(w.is_empty());
+        assert_eq!(w.formatted_digits(), 0);
+        assert_eq!(w.buf.capacity(), cap);
+    }
+
+    #[test]
+    fn nested_arrays_round_trip() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.comma();
+        w.key("seg");
+        w.begin_array();
+        for i in 0..3 {
+            w.comma();
+            w.begin_object();
+            w.field_int("len", i);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        let v = parse(w.as_str()).unwrap();
+        let seg = v.get("seg").unwrap().as_array().unwrap();
+        assert_eq!(seg.len(), 3);
+        assert_eq!(seg[2].get("len").unwrap().as_i64(), Some(2));
+    }
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("42").unwrap(), JsonValue::Int(42));
+        assert_eq!(parse("-7").unwrap(), JsonValue::Int(-7));
+        assert_eq!(parse("2.5").unwrap(), JsonValue::Float(2.5));
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(
+            parse("\"hi\"").unwrap(),
+            JsonValue::Str("hi".to_string())
+        );
+    }
+
+    #[test]
+    fn parse_rejects_trailing_garbage() {
+        assert!(parse("1 2").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn parse_unicode_escape() {
+        assert_eq!(
+            parse("\"\\u0041\"").unwrap(),
+            JsonValue::Str("A".to_string())
+        );
+    }
+
+    #[test]
+    fn parse_utf8_passthrough() {
+        let v = parse("\"naïve\"").unwrap();
+        assert_eq!(v.as_str(), Some("naïve"));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let src = r#"{"a":[1,2.5,"x"],"b":{"c":null}}"#;
+        let v = parse(src).unwrap();
+        let rendered = v.to_string();
+        assert_eq!(parse(&rendered).unwrap(), v);
+    }
+
+    #[test]
+    fn float_formatting_is_stable_for_round_values() {
+        let mut w = JsonWriter::new();
+        w.float(54.0);
+        assert_eq!(w.as_str(), "54.0");
+    }
+
+    #[test]
+    fn nonfinite_floats_become_sentinel() {
+        let mut w = JsonWriter::new();
+        w.float(f64::NAN);
+        assert_eq!(w.as_str(), "-1");
+    }
+}

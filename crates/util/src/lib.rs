@@ -1,0 +1,22 @@
+//! Utility substrate shared by every crate in the Darshan-LDMS reproduction.
+//!
+//! This crate deliberately has no third-party dependencies: the JSON
+//! encoder here is a faithful stand-in for the `sprintf`-based message
+//! formatting in the paper's C connector (Section VI.A blames that
+//! formatting for the HMMER overhead), so it is hand-rolled rather than
+//! delegated to `serde_json`. Everything else is small, well-tested
+//! machinery: statistics used by the evaluation harness, CSV encoding for
+//! the LDMS store plugin, a k-way merge used by DSOS parallel queries,
+//! and the FNV hash Darshan-style record ids are built from.
+
+pub mod chart;
+pub mod csv;
+pub mod hash;
+pub mod json;
+pub mod merge;
+pub mod stats;
+pub mod table;
+
+pub use hash::fnv1a64;
+pub use json::{JsonValue, JsonWriter};
+pub use stats::Summary;

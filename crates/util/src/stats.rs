@@ -1,0 +1,293 @@
+//! Statistics used by the evaluation harness.
+//!
+//! The paper reports means over five repetitions, 95% confidence
+//! intervals (Figure 5), and percent overhead between Darshan-only and
+//! connector runs (Table II). These helpers implement exactly those.
+
+/// Summary statistics over a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+    pub stddev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// Maximum observation.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics; returns `None` for an empty sample.
+    pub fn of(sample: &[f64]) -> Option<Self> {
+        if sample.is_empty() {
+            return None;
+        }
+        let n = sample.len();
+        let mean = sample.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            sample.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &x in sample {
+            min = min.min(x);
+            max = max.max(x);
+        }
+        Some(Summary {
+            n,
+            mean,
+            stddev: var.sqrt(),
+            min,
+            max,
+        })
+    }
+
+    /// Half-width of the 95% confidence interval around the mean using
+    /// the Student t distribution (as in the paper's Figure 5 error
+    /// bars, which use n = 5 jobs).
+    pub fn ci95_half_width(&self) -> f64 {
+        if self.n < 2 {
+            return 0.0;
+        }
+        let t = t_critical_95(self.n - 1);
+        t * self.stddev / (self.n as f64).sqrt()
+    }
+}
+
+/// Two-sided 95% critical value of Student's t for `dof` degrees of
+/// freedom. Table values for small dof (the harness uses 4), with the
+/// normal approximation beyond the table.
+pub fn t_critical_95(dof: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match dof {
+        0 => f64::INFINITY,
+        d if d <= TABLE.len() => TABLE[d - 1],
+        d if d <= 120 => 1.96 + 2.54 / d as f64, // smooth tail toward the normal limit
+        _ => 1.96,
+    }
+}
+
+/// Percent overhead of `with` relative to `baseline`, as the paper
+/// computes it for Table II: `(with - baseline) / baseline * 100`.
+///
+/// Negative values mean the instrumented run was *faster*, which the
+/// paper observed (and attributed to file-system weather between the two
+/// measurement campaigns).
+pub fn percent_overhead(baseline: f64, with: f64) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    (with - baseline) / baseline * 100.0
+}
+
+/// Mean of a sample (0 for an empty one) — convenience for hot paths
+/// that already know the sample is non-empty.
+pub fn mean(sample: &[f64]) -> f64 {
+    if sample.is_empty() {
+        0.0
+    } else {
+        sample.iter().sum::<f64>() / sample.len() as f64
+    }
+}
+
+/// Median of a sample; `None` when empty. Sorts a copy.
+pub fn median(sample: &[f64]) -> Option<f64> {
+    if sample.is_empty() {
+        return None;
+    }
+    let mut v = sample.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mid = v.len() / 2;
+    Some(if v.len() % 2 == 1 {
+        v[mid]
+    } else {
+        (v[mid - 1] + v[mid]) / 2.0
+    })
+}
+
+/// Pearson correlation coefficient of two equal-length samples;
+/// `None` when shorter than 2 or degenerate (zero variance). Used by
+/// the I/O-vs-system-telemetry correlation analysis.
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxy += (a - mx) * (b - my);
+        sxx += (a - mx) * (a - mx);
+        syy += (b - my) * (b - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Linear histogram with fixed-width bins over `[lo, hi)`.
+///
+/// Used by the Figure 8/9 analyses to bucket operation timestamps into
+/// time bins.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Sum of weights per bin (e.g. bytes), parallel to `counts`.
+    weights: Vec<f64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins spanning
+    /// `[lo, hi)`. `bins` must be non-zero and `hi > lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            weights: vec![0.0; bins],
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Width of one bin.
+    pub fn bin_width(&self) -> f64 {
+        (self.hi - self.lo) / self.counts.len() as f64
+    }
+
+    /// Left edge of bin `i`.
+    pub fn bin_start(&self, i: usize) -> f64 {
+        self.lo + self.bin_width() * i as f64
+    }
+
+    /// Adds an observation at `x` with weight `w`. Out-of-range
+    /// observations clamp to the first/last bin (the analyses always
+    /// construct the range from observed min/max so this only absorbs
+    /// floating-point edge effects).
+    pub fn add(&mut self, x: f64, w: f64) {
+        let idx = ((x - self.lo) / self.bin_width()).floor();
+        let idx = (idx.max(0.0) as usize).min(self.counts.len() - 1);
+        self.counts[idx] += 1;
+        self.weights[idx] += w;
+    }
+
+    /// Count of observations per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Summed weights per bin.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.stddev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single_has_zero_spread() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_eq!(s.stddev, 0.0);
+        assert_eq!(s.ci95_half_width(), 0.0);
+    }
+
+    #[test]
+    fn ci95_matches_hand_computation_for_n5() {
+        // n=5 -> dof=4 -> t=2.776
+        let s = Summary::of(&[10.0, 12.0, 11.0, 9.0, 13.0]).unwrap();
+        let expect = 2.776 * s.stddev / 5f64.sqrt();
+        assert!((s.ci95_half_width() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn t_table_monotone_decreasing() {
+        let mut prev = f64::INFINITY;
+        for dof in 1..100 {
+            let t = t_critical_95(dof);
+            assert!(t <= prev + 1e-9, "t should not increase with dof");
+            prev = t;
+        }
+        assert!((t_critical_95(1000) - 1.96).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overhead_signs() {
+        assert!((percent_overhead(100.0, 108.41) - 8.41).abs() < 1e-9);
+        assert!(percent_overhead(100.0, 90.0) < 0.0);
+        assert_eq!(percent_overhead(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn pearson_detects_linear_relations() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let up = [2.0, 4.0, 6.0, 8.0];
+        let down = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&x, &up).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&x, &down).unwrap() + 1.0).abs() < 1e-12);
+        // Degenerate cases.
+        assert_eq!(pearson(&x, &[1.0, 1.0, 1.0, 1.0]), None);
+        assert_eq!(pearson(&x, &x[..2]), None);
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn histogram_binning_and_clamping() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        h.add(0.0, 1.0);
+        h.add(9.99, 2.0);
+        h.add(-5.0, 1.0); // clamps to first bin
+        h.add(42.0, 1.0); // clamps to last bin
+        assert_eq!(h.counts(), &[2, 0, 0, 0, 2]);
+        assert!((h.weights()[4] - 3.0).abs() < 1e-12);
+        assert!((h.bin_start(1) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Runtime dashboard: the Grafana-style view of an anomalous job.
+//!
+//! Reproduces the paper's Section VI.B story end to end: five MPI-IO
+//! benchmark jobs run without collective I/O on Lustre; job 2 suffers a
+//! file-system storm; because every event carries an *absolute
+//! timestamp*, the analyses can show not just that job 2 was slow but
+//! *when* inside the run the slowness happened.
+//!
+//! Run with: `cargo run --release -p repro-suite --example runtime_dashboard`
+
+use repro_suite::apps::figdata;
+use repro_suite::hpcws::{dashboard, figures};
+
+fn main() {
+    let runs = figdata::mpi_io_figure_runs(5, true);
+
+    // Figure 7: per-job read/write duration means expose the outlier.
+    let all = runs.frame();
+    println!("per-job mean operation durations:");
+    for op in ["read", "write"] {
+        for (job, mean) in figures::job_mean_durations(&all, op) {
+            let marker = if job == runs.job_ids[2] { "  <-- anomalous" } else { "" };
+            println!("  job {job}: mean {op} {mean:>8.3} s{marker}");
+        }
+    }
+    println!();
+
+    // Figures 8 & 9 drill into the anomalous job.
+    let job2 = runs.job_frame(2);
+    let pts = figures::time_distribution(&job2);
+    println!(
+        "{}",
+        dashboard::render_time_distribution(
+            "job 2: operation durations over execution time",
+            &pts
+        )
+    );
+    let tl = figures::timeline(&job2, 48);
+    println!(
+        "{}",
+        dashboard::render_timeline("job 2: ops and bytes per time bin (all ranks)", &tl)
+    );
+
+    // And the healthy neighbour for contrast.
+    let job0 = runs.job_frame(0);
+    let tl0 = figures::timeline(&job0, 48);
+    println!(
+        "{}",
+        dashboard::render_timeline("job 0 (healthy) for comparison", &tl0)
+    );
+}

@@ -1,0 +1,136 @@
+//! End-to-end integration: application → Darshan → connector → LDMS
+//! Streams → aggregation → DSOS → analysis. Exercises the complete
+//! Figure 4 pipeline the way the paper's deployment does.
+
+use repro_suite::apps::experiment::{run_job, Instrumentation, RunSpec};
+use repro_suite::apps::platform::FsChoice;
+use repro_suite::apps::workloads::{HaccIo, Hmmer, MpiIoTest, Sw4, Workload};
+use repro_suite::apps::figdata;
+use repro_suite::connector::schema::column_id;
+use repro_suite::dsos::Value;
+use repro_suite::hpcws::figures;
+
+fn stored_spec(fs: FsChoice) -> RunSpec {
+    RunSpec::calm(fs, Instrumentation::connector_default()).with_store(true)
+}
+
+#[test]
+fn every_workload_flows_through_the_full_pipeline() {
+    let workloads: Vec<Box<dyn Workload>> = vec![
+        Box::new(MpiIoTest::tiny(true)),
+        Box::new(HaccIo::tiny()),
+        Box::new(Hmmer::tiny()),
+        Box::new(Sw4::tiny()),
+    ];
+    for w in &workloads {
+        let r = run_job(w.as_ref(), &stored_spec(FsChoice::Lustre));
+        let p = r.pipeline.as_ref().unwrap();
+        assert!(r.messages > 0, "{} published nothing", w.name());
+        assert_eq!(
+            p.stored_events() as u64,
+            r.messages,
+            "{}: every published message must be stored",
+            w.name()
+        );
+        assert_eq!(p.store().rejected(), 0, "{}: no rejects", w.name());
+        // Events are queryable in (rank, time) order and carry absolute
+        // timestamps.
+        let rows = p.events_of_job(259_903);
+        assert_eq!(rows.len() as u64, r.messages);
+        let ts = column_id("seg_timestamp");
+        let rank = column_id("rank");
+        let mut last = (0u64, f64::NEG_INFINITY);
+        for row in &rows {
+            let key = (row[rank].as_u64().unwrap(), row[ts].as_f64().unwrap());
+            assert!(
+                key.0 > last.0 || (key.0 == last.0 && key.1 >= last.1),
+                "{}: job_rank_time order violated",
+                w.name()
+            );
+            assert!(key.1 > 1.6e9, "absolute timestamps expected");
+            last = key;
+        }
+    }
+}
+
+#[test]
+fn met_messages_carry_paths_and_mod_messages_do_not() {
+    let r = run_job(&HaccIo::tiny(), &stored_spec(FsChoice::Nfs));
+    let p = r.pipeline.as_ref().unwrap();
+    let rows = p.events_of_job(259_903);
+    let (ty, exe, file, op) = (
+        column_id("type"),
+        column_id("exe"),
+        column_id("file"),
+        column_id("op"),
+    );
+    let mut saw_met = false;
+    let mut saw_mod = false;
+    for row in &rows {
+        match row[ty].as_str().unwrap() {
+            "MET" => {
+                saw_met = true;
+                assert_eq!(row[op], Value::Str("open".into()));
+                assert_eq!(row[exe], Value::Str("/apps/hacc/hacc-io".into()));
+                assert!(row[file].as_str().unwrap().starts_with("/scratch/"));
+            }
+            "MOD" => {
+                saw_mod = true;
+                assert_eq!(row[exe], Value::Str("N/A".into()));
+                assert_eq!(row[file], Value::Str("N/A".into()));
+            }
+            other => panic!("unexpected type {other}"),
+        }
+    }
+    assert!(saw_met && saw_mod);
+}
+
+#[test]
+fn analysis_modules_run_on_pipeline_output() {
+    let runs = figdata::hacc_figure_runs(2, true);
+    let df = runs.frame();
+    let occ = figures::op_occurrence(&df);
+    assert!(!occ.is_empty());
+    let per_node = figures::per_node_ops(&df, &["open", "close"]);
+    assert!(!per_node.is_empty());
+    let tl = figures::timeline(&runs.job_frame(0), 16);
+    assert!(tl.writes.iter().sum::<u64>() > 0);
+    assert!(tl.write_bytes.iter().sum::<f64>() > 0.0);
+}
+
+#[test]
+fn darshan_log_and_stream_agree_on_op_counts() {
+    // The post-run log (stock Darshan) and the run-time stream (the
+    // connector) observe the same events; their totals must agree.
+    let app = MpiIoTest::tiny(false);
+    let r = run_job(&app, &stored_spec(FsChoice::Lustre));
+    let log = repro_suite::darshan::log::parse_log(&r.log_bytes).unwrap();
+    let log_ops: u64 = log
+        .records
+        .iter()
+        .map(|rec| rec.counters.total_ops())
+        .sum();
+    assert_eq!(log_ops, r.messages);
+    // DXT traced the same segments the stream shipped.
+    let dxt_segs: usize = log.dxt.iter().map(|d| d.segments.len()).sum();
+    assert_eq!(dxt_segs as u64, r.messages);
+}
+
+#[test]
+fn sampling_reduces_stream_volume_but_not_darshan_records() {
+    use repro_suite::connector::ConnectorConfig;
+    let app = Hmmer::tiny();
+    let full = run_job(&app, &stored_spec(FsChoice::Lustre));
+    let sampled_cfg = ConnectorConfig {
+        sample_every: 10,
+        ..Default::default()
+    };
+    let sampled = run_job(
+        &app,
+        &RunSpec::calm(FsChoice::Lustre, Instrumentation::Connector(sampled_cfg))
+            .with_store(true),
+    );
+    assert!(sampled.messages < full.messages / 5);
+    // Darshan's own records are unaffected by connector sampling.
+    assert_eq!(sampled.events_seen, full.events_seen);
+}

@@ -1,0 +1,116 @@
+//! Failure injection across the stack: file-system faults abort jobs
+//! cleanly (MPI_Abort semantics, no hangs), transport loss degrades
+//! gracefully, and the monitoring pipeline never takes the application
+//! down with it.
+
+use repro_suite::apps::stack::DarshanStack;
+use repro_suite::connector::{ConnectorConfig, Pipeline, DEFAULT_STREAM_TAG};
+use repro_suite::darshan::runtime::JobMeta;
+use repro_suite::simfs::nfs::NfsModel;
+use repro_suite::simfs::{FsError, SimFs, Weather};
+use repro_suite::simmpi::{Job, JobParams, PosixLayer};
+use std::sync::Arc;
+
+fn fs() -> SimFs {
+    SimFs::new(Box::<NfsModel>::default(), Weather::calm(), 1024 * 1024)
+}
+
+#[test]
+fn injected_fs_fault_aborts_the_job_without_hanging() {
+    let fs = fs();
+    fs.inject_failure(); // next data op (some rank's first write) fails
+    let job = JobMeta::new(1, 1, "/apps/x", 4);
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Job::run(
+            JobParams {
+                ranks: 4,
+                ranks_per_node: 2,
+                jitter: 0.0,
+                ..Default::default()
+            },
+            |ctx| {
+                let stack = DarshanStack::new(fs.clone(), job.clone(), ctx.rank(), None);
+                let mut h = stack
+                    .posix
+                    .open(&mut ctx.io, "/f", true, true, true)
+                    .unwrap();
+                // One rank hits the injected fault and panics; the
+                // others are blocked in the barrier and must be
+                // released by communicator poisoning.
+                stack
+                    .posix
+                    .write_at(&mut ctx.io, &mut h, 0, 4096)
+                    .unwrap_or_else(|e| panic!("write failed: {e}"));
+                ctx.comm.barrier(&mut ctx.io.clock);
+                stack.posix.close(&mut ctx.io, &mut h).unwrap();
+            },
+        )
+    }));
+    assert!(result.is_err(), "job must abort, not hang or succeed");
+}
+
+#[test]
+fn fault_error_type_is_reported() {
+    let fs = fs();
+    let mut io = repro_suite::simfs::IoCtx::new(
+        1,
+        0,
+        0,
+        repro_suite::simtime::Epoch::from_secs(0),
+    );
+    let (mut h, _) = fs.open(&mut io, "/g", true, true, false).unwrap();
+    fs.inject_failure();
+    match fs.write_at(&mut io, &mut h, 0, 16) {
+        Err(FsError::Injected(msg)) => assert!(msg.contains("/g")),
+        other => panic!("expected injected fault, got {other:?}"),
+    }
+    // One-shot: the retry succeeds (application-level resilience is
+    // possible on top).
+    assert!(fs.write_at(&mut io, &mut h, 0, 16).is_ok());
+}
+
+#[test]
+fn connector_pipeline_survives_subscriber_absence_and_loss() {
+    // The monitoring side is best-effort by design: no subscriber, or a
+    // lossy hop, must never fail the application's I/O path.
+    let fs = fs();
+    let pipeline = Pipeline::build_opts(
+        &["nid00040".to_string()],
+        1,
+        DEFAULT_STREAM_TAG,
+        false, // no store subscribed: every message is dropped at L2
+    );
+    let job = JobMeta::new(7, 1, "/apps/x", 1);
+    let report = Job::run(
+        JobParams {
+            ranks: 1,
+            jitter: 0.0,
+            ..Default::default()
+        },
+        |ctx| {
+            let conn = pipeline.connector_for_rank(
+                ConnectorConfig::default(),
+                job.clone(),
+                ctx.io.producer_name(),
+            );
+            let stats = conn.stats();
+            let stack = DarshanStack::new(
+                fs.clone(),
+                job.clone(),
+                ctx.rank(),
+                Some(conn as Arc<dyn repro_suite::darshan::EventSink>),
+            );
+            let mut h = stack
+                .posix
+                .open(&mut ctx.io, "/h", true, true, false)
+                .unwrap();
+            for i in 0..10 {
+                stack.posix.write_at(&mut ctx.io, &mut h, i * 64, 64).unwrap();
+            }
+            stack.posix.close(&mut ctx.io, &mut h).unwrap();
+            stats.published()
+        },
+    );
+    assert_eq!(report.results[0], 12); // open + 10 writes + close
+    assert_eq!(pipeline.stored_events(), 0); // all dropped, nothing broke
+}
