@@ -126,8 +126,18 @@ mod tests {
     #[test]
     fn scatter_panel_renders_two_series() {
         let pts = vec![
-            TimePoint { t: 0.0, dur: 1.0, op: "write".into(), rank: 0 },
-            TimePoint { t: 10.0, dur: 0.5, op: "read".into(), rank: 1 },
+            TimePoint {
+                t: 0.0,
+                dur: 1.0,
+                op: "write".into(),
+                rank: 0,
+            },
+            TimePoint {
+                t: 10.0,
+                dur: 0.5,
+                op: "read".into(),
+                rank: 1,
+            },
         ];
         let out = render_time_distribution("Fig 8", &pts);
         assert!(out.contains('w'));

@@ -176,10 +176,30 @@ mod tests {
         DataFrame::new(
             vec!["job", "rank", "op", "dur"],
             vec![
-                vec![Value::U64(1), Value::U64(0), Value::Str("write".into()), Value::F64(0.5)],
-                vec![Value::U64(1), Value::U64(1), Value::Str("write".into()), Value::F64(0.7)],
-                vec![Value::U64(1), Value::U64(0), Value::Str("read".into()), Value::F64(0.1)],
-                vec![Value::U64(2), Value::U64(0), Value::Str("write".into()), Value::F64(0.9)],
+                vec![
+                    Value::U64(1),
+                    Value::U64(0),
+                    Value::Str("write".into()),
+                    Value::F64(0.5),
+                ],
+                vec![
+                    Value::U64(1),
+                    Value::U64(1),
+                    Value::Str("write".into()),
+                    Value::F64(0.7),
+                ],
+                vec![
+                    Value::U64(1),
+                    Value::U64(0),
+                    Value::Str("read".into()),
+                    Value::F64(0.1),
+                ],
+                vec![
+                    Value::U64(2),
+                    Value::U64(0),
+                    Value::Str("write".into()),
+                    Value::F64(0.9),
+                ],
             ],
         )
     }

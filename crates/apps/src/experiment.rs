@@ -3,13 +3,15 @@
 use crate::platform::{FsChoice, Platform};
 use crate::stack::DarshanStack;
 use crate::workloads::Workload;
-use darshan_ldms_connector::{ConnectorConfig, Pipeline, DEFAULT_STREAM_TAG};
+use darshan_ldms_connector::{
+    ConnectorConfig, FaultScript, Pipeline, PipelineOpts, QueueConfig, DEFAULT_STREAM_TAG,
+};
 use darshan_sim::log::write_log;
 use darshan_sim::runtime::JobMeta;
 use iosim_fs::stats::FsStatsSnapshot;
 use iosim_fs::CongestionWindow;
 use iosim_mpi::{Job, JobParams};
-use iosim_time::Epoch;
+use iosim_time::{Epoch, SimDuration};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -58,6 +60,12 @@ pub struct RunSpec {
     pub dsosd: usize,
     /// Jitter half-width for I/O durations.
     pub jitter: f64,
+    /// Chaos schedule applied to the LDMS network before the run
+    /// (empty = the paper's fault-free deployment).
+    pub faults: FaultScript,
+    /// Retry-queue configuration for every aggregation hop
+    /// (best-effort by default, exactly as the paper).
+    pub queue: QueueConfig,
 }
 
 impl RunSpec {
@@ -74,6 +82,8 @@ impl RunSpec {
             store: false,
             dsosd: 2,
             jitter: 0.0,
+            faults: FaultScript::new(),
+            queue: QueueConfig::default(),
         }
     }
 
@@ -118,6 +128,18 @@ impl RunSpec {
         self.jitter = jitter;
         self
     }
+
+    /// Applies a chaos schedule to the run's LDMS network.
+    pub fn with_faults(mut self, faults: FaultScript) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the retry-queue configuration for every aggregation hop.
+    pub fn with_queue(mut self, queue: QueueConfig) -> Self {
+        self.queue = queue;
+        self
+    }
 }
 
 /// Everything one run produces.
@@ -133,6 +155,10 @@ pub struct RunResult {
     pub msg_rate: f64,
     /// I/O events Darshan detected across all ranks.
     pub events_seen: u64,
+    /// Stream messages the pipeline lost end to end (0 for baselines
+    /// and for fault-free connector runs with a store attached). The
+    /// per-hop attribution lives in the pipeline's delivery ledger.
+    pub messages_lost: u64,
     /// File-system traffic counters.
     pub fs_stats: FsStatsSnapshot,
     /// The monitoring pipeline (present for connector runs; carries
@@ -148,11 +174,15 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
     fs.set_active_clients(app.io_clients());
 
     let pipeline = if spec.instrumentation.is_connector() {
-        Some(Pipeline::build_opts(
+        Some(Pipeline::build_with(
             &Platform::node_names(app.nodes()),
-            spec.dsosd,
-            DEFAULT_STREAM_TAG,
-            spec.store,
+            &PipelineOpts {
+                dsosd_count: spec.dsosd,
+                tag: DEFAULT_STREAM_TAG.to_string(),
+                attach_store: spec.store,
+                queue: spec.queue.clone(),
+                faults: spec.faults.clone(),
+            },
         ))
     } else {
         None
@@ -192,6 +222,18 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
     });
 
     let runtime_s = report.elapsed.as_secs_f64();
+
+    // Run the pipeline to quiescence: drain retry queues up to one
+    // minute of virtual time past job end, abandoning (and attributing)
+    // whatever cannot be delivered by then. After this the delivery
+    // ledger balances exactly. A no-op for fault-free best-effort runs.
+    let messages_lost = pipeline.as_ref().map_or(0, |p| {
+        let horizon =
+            spec.epoch_base + SimDuration::from_secs_f64(runtime_s) + SimDuration::from_secs(60);
+        p.settle(horizon);
+        p.ledger().total_lost()
+    });
+
     let mut per_rank = per_rank.into_inner();
     per_rank.sort_by_key(|&(r, _, _)| r);
     let rank_messages: Vec<u64> = per_rank.iter().map(|&(_, m, _)| m).collect();
@@ -216,6 +258,7 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
             0.0
         },
         events_seen,
+        messages_lost,
         fs_stats: fs.stats(),
         pipeline,
         log_bytes,
@@ -231,7 +274,10 @@ mod tests {
     #[test]
     fn baseline_and_connector_runs_share_io_shape() {
         let app = MpiIoTest::tiny(false);
-        let base = run_job(&app, &RunSpec::calm(FsChoice::Lustre, Instrumentation::DarshanOnly));
+        let base = run_job(
+            &app,
+            &RunSpec::calm(FsChoice::Lustre, Instrumentation::DarshanOnly),
+        );
         let conn = run_job(
             &app,
             &RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default()),
@@ -249,7 +295,10 @@ mod tests {
     #[test]
     fn log_is_parsable_and_complete() {
         let app = MpiIoTest::tiny(false);
-        let r = run_job(&app, &RunSpec::calm(FsChoice::Nfs, Instrumentation::DarshanOnly));
+        let r = run_job(
+            &app,
+            &RunSpec::calm(FsChoice::Nfs, Instrumentation::DarshanOnly),
+        );
         let log = parse_log(&r.log_bytes).unwrap();
         assert_eq!(log.job.nprocs, app.ranks());
         assert_eq!(log.job.exe, app.exe());
@@ -262,12 +311,31 @@ mod tests {
     #[test]
     fn stored_run_lands_events_in_dsos() {
         let app = MpiIoTest::tiny(false);
-        let spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
-            .with_store(true);
+        let spec =
+            RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default()).with_store(true);
         let r = run_job(&app, &spec);
         let p = r.pipeline.as_ref().unwrap();
         assert_eq!(p.stored_events() as u64, r.messages);
         assert_eq!(p.store().rejected(), 0);
+        assert_eq!(r.messages_lost, 0);
+        assert!(p.ledger().balances());
+        assert_eq!(p.store().total_missing(), 0);
+    }
+
+    #[test]
+    fn faulted_run_accounts_every_message() {
+        let app = MpiIoTest::tiny(false);
+        let spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+            .with_store(true)
+            .with_faults(FaultScript::new().link_loss_prob("l1", 0.2, 11));
+        let r = run_job(&app, &spec);
+        let p = r.pipeline.as_ref().unwrap();
+        assert!(r.messages_lost > 0, "20% loss on the L1→L2 hop must bite");
+        assert!(p.ledger().balances());
+        assert_eq!(p.stored_events() as u64 + r.messages_lost, r.messages);
+        // Gap detection sees at most what the ledger sees (tail losses
+        // are invisible to sequence gaps).
+        assert!(p.store().total_missing() <= r.messages_lost);
     }
 
     #[test]

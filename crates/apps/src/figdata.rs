@@ -121,8 +121,7 @@ pub fn mpi_io_figure_runs(jobs: u32, scale_down: bool) -> FigureRuns {
 /// timestamps from DSOS, so the placement only needs to land in the
 /// right regime.
 fn estimate_write_phase_s(app: &MpiIoTest) -> f64 {
-    let total_bytes =
-        app.block as f64 * f64::from(app.ranks()) * f64::from(app.iterations);
+    let total_bytes = app.block as f64 * f64::from(app.ranks()) * f64::from(app.iterations);
     let p = crate::platform::voltrino_lustre_params();
     let mut bw = p.ost_bw * f64::from(p.ost_count.min(p.stripe_count * app.ranks()));
     if app.ranks() > p.many_clients_threshold {
@@ -131,12 +130,7 @@ fn estimate_write_phase_s(app: &MpiIoTest) -> f64 {
     total_bytes / bw
 }
 
-fn run_figure_jobs<F>(
-    app: &dyn Workload,
-    fs: FsChoice,
-    jobs: u32,
-    customize: F,
-) -> FigureRuns
+fn run_figure_jobs<F>(app: &dyn Workload, fs: FsChoice, jobs: u32, customize: F) -> FigureRuns
 where
     F: Fn(u32, RunSpec) -> RunSpec,
 {

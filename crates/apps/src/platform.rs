@@ -172,7 +172,12 @@ mod tests {
             let t = sim.write_at(&mut ctx, &mut h, 0, 16 * 1024 * 1024).unwrap();
             times.push(t.duration.as_secs_f64());
         }
-        assert!(times[0] > times[1] * 1.2, "NFS {} vs Lustre {}", times[0], times[1]);
+        assert!(
+            times[0] > times[1] * 1.2,
+            "NFS {} vs Lustre {}",
+            times[0],
+            times[1]
+        );
     }
 
     #[test]

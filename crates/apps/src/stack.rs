@@ -29,12 +29,7 @@ pub struct DarshanStack {
 impl DarshanStack {
     /// Builds the stack for one rank. `sink` is the connector (or
     /// `None` for a Darshan-only baseline run).
-    pub fn new(
-        fs: SimFs,
-        job: Arc<JobMeta>,
-        rank: u32,
-        sink: Option<Arc<dyn EventSink>>,
-    ) -> Self {
+    pub fn new(fs: SimFs, job: Arc<JobMeta>, rank: u32, sink: Option<Arc<dyn EventSink>>) -> Self {
         let rt = RankRuntime::new(job, rank);
         rt.set_sink(sink);
         let posix = DarshanPosix::new(fs.clone(), rt.clone());
@@ -70,12 +65,7 @@ mod tests {
     fn all_modules_share_one_runtime_and_sink() {
         let fs = Platform::calm_filesystem(FsChoice::Lustre);
         let sink = Arc::new(CollectingSink::new());
-        let stack = DarshanStack::new(
-            fs,
-            JobMeta::new(1, 1, "/apps/x", 1),
-            0,
-            Some(sink.clone()),
-        );
+        let stack = DarshanStack::new(fs, JobMeta::new(1, 1, "/apps/x", 1), 0, Some(sink.clone()));
         let mut io = IoCtx::new(1, 0, 0, Epoch::from_secs(0)).with_jitter(0.0);
         // POSIX op
         let mut ph = stack
@@ -106,5 +96,4 @@ mod tests {
         // Counters still recorded (stock Darshan behaviour).
         assert_eq!(stack.finalize().records.len(), 1);
     }
-
 }

@@ -223,7 +223,11 @@ pub fn table2a(scale: Scale, opts: &CampaignOptions) -> Vec<CampaignResult> {
     for fs in FsChoice::both() {
         for collective in [true, false] {
             let app = mpi_io_config(fs, collective, scale);
-            let label = if collective { "collective" } else { "independent" };
+            let label = if collective {
+                "collective"
+            } else {
+                "independent"
+            };
             out.push(run_campaign(&app, fs, label, opts));
         }
     }

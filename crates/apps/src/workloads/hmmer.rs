@@ -139,8 +139,12 @@ impl Workload for Hmmer {
         for _family in 0..self.families {
             for _seq in 0..seqs_per_family {
                 // Name/accession line group, then alignment block.
-                stack.stdio.fread(&mut ctx.io, &mut seed, self.seq_bytes / 2)?;
-                stack.stdio.fread(&mut ctx.io, &mut seed, self.seq_bytes / 2)?;
+                stack
+                    .stdio
+                    .fread(&mut ctx.io, &mut seed, self.seq_bytes / 2)?;
+                stack
+                    .stdio
+                    .fread(&mut ctx.io, &mut seed, self.seq_bytes / 2)?;
             }
             // The finished profile comes back from a worker and is
             // appended to the database.
@@ -195,7 +199,10 @@ mod tests {
         // The per-op client overhead on NFS dominates millions of tiny
         // stdio reads — the paper's 749.88 s vs 135.40 s contrast.
         let app = Hmmer::tiny();
-        let nfs = run_job(&app, &RunSpec::calm(FsChoice::Nfs, Instrumentation::DarshanOnly));
+        let nfs = run_job(
+            &app,
+            &RunSpec::calm(FsChoice::Nfs, Instrumentation::DarshanOnly),
+        );
         let lustre = run_job(
             &app,
             &RunSpec::calm(FsChoice::Lustre, Instrumentation::DarshanOnly),

@@ -145,7 +145,7 @@ mod tests {
         let r = run_job(&app, &spec);
         assert!(r.runtime_s > 0.0);
         assert_eq!(r.messages, 0); // no connector
-        // 4 ranks × 3 iters × 2 phases of MPIIO+POSIX events recorded.
+                                   // 4 ranks × 3 iters × 2 phases of MPIIO+POSIX events recorded.
         assert!(r.events_seen == 0);
     }
 

@@ -95,13 +95,10 @@ impl Workload for Sw4 {
         // reads its slab as a regular hyperslab.
         let mesh_path = format!("{}/mesh.h5", self.path);
         let mut mesh = stack.hdf5.open_file(&mut ctx.io, &mesh_path, true)?;
-        let mut grid_ds = stack.hdf5.create_dataset(
-            &mut ctx.io,
-            &mut mesh,
-            "grid",
-            &self.grid,
-            8,
-        )?;
+        let mut grid_ds =
+            stack
+                .hdf5
+                .create_dataset(&mut ctx.io, &mut mesh, "grid", &self.grid, 8)?;
         if ctx.rank() == 0 {
             // Rank 0 materializes the mesh (input generation stand-in).
             stack
@@ -163,8 +160,8 @@ mod tests {
     #[test]
     fn sw4_emits_hdf5_module_events() {
         let app = Sw4::tiny();
-        let spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
-            .with_store(true);
+        let spec =
+            RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default()).with_store(true);
         let r = run_job(&app, &spec);
         assert!(r.messages > 0);
         let p = r.pipeline.as_ref().unwrap();

@@ -41,11 +41,7 @@ fn bench_queries(c: &mut Criterion) {
 
     group.bench_function("rank_slice_via_job_rank_time", |b| {
         b.iter(|| {
-            cluster.query_prefix(
-                "darshan",
-                "job_rank_time",
-                &[Value::U64(3), Value::U64(7)],
-            )
+            cluster.query_prefix("darshan", "job_rank_time", &[Value::U64(3), Value::U64(7)])
         });
     });
     group.bench_function("time_order_via_job_time_rank", |b| {

@@ -27,8 +27,7 @@ fn bench_streams(c: &mut Criterion) {
             &subs,
             |b, &subs| {
                 let hub = StreamHub::new();
-                let sinks: Vec<Arc<BufferSink>> =
-                    (0..subs).map(|_| BufferSink::new()).collect();
+                let sinks: Vec<Arc<BufferSink>> = (0..subs).map(|_| BufferSink::new()).collect();
                 for s in &sinks {
                     hub.subscribe("darshanConnector", s.clone());
                 }

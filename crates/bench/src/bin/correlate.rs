@@ -27,11 +27,7 @@ fn main() {
             .f64s("seg_timestamp")
             .into_iter()
             .fold(f64::INFINITY, f64::min);
-        let horizon = df
-            .f64s("seg_timestamp")
-            .into_iter()
-            .fold(0.0f64, f64::max)
-            - epoch0;
+        let horizon = df.f64s("seg_timestamp").into_iter().fold(0.0f64, f64::max) - epoch0;
         // Sample at ~200 points across the job (a production sampler
         // would use a fixed interval; the jobs here span seconds at
         // --quick scale and ~15 minutes at paper scale).
@@ -42,9 +38,7 @@ fn main() {
                 let t_abs = epoch0 + t_rel;
                 let load = windows
                     .iter()
-                    .filter(|w| {
-                        t_abs >= w.start.as_secs_f64() && t_abs < w.end.as_secs_f64()
-                    })
+                    .filter(|w| t_abs >= w.start.as_secs_f64() && t_abs < w.end.as_secs_f64())
                     .map(|w| w.factor)
                     .fold(1.0, f64::max);
                 (t_rel, load)

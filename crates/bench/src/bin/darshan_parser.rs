@@ -24,13 +24,13 @@ fn main() {
         a
     };
     eprintln!("running MPI-IO-TEST...");
-    let r = run_job(&app, &RunSpec::calm(FsChoice::Lustre, Instrumentation::DarshanOnly));
+    let r = run_job(
+        &app,
+        &RunSpec::calm(FsChoice::Lustre, Instrumentation::DarshanOnly),
+    );
 
     // Write the log the way darshan-runtime does at MPI_Finalize.
-    let dir = opts
-        .out
-        .clone()
-        .unwrap_or_else(std::env::temp_dir);
+    let dir = opts.out.clone().unwrap_or_else(std::env::temp_dir);
     std::fs::create_dir_all(&dir).expect("create log dir");
     let path = dir.join("mpi-io-test_id259903.darshan");
     std::fs::write(&path, &r.log_bytes).expect("write log");

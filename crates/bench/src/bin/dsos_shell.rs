@@ -36,13 +36,21 @@ fn main() {
         a
     };
     eprintln!("populating DSOS from one instrumented MPI-IO-TEST run...");
-    let spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
-        .with_store(true);
+    let spec =
+        RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default()).with_store(true);
     let r = run_job(&app, &spec);
     let cluster = r.pipeline.as_ref().unwrap().cluster();
-    eprintln!("{} events stored across {} dsosd\n", r.messages, cluster.daemon_count());
+    eprintln!(
+        "{} events stored across {} dsosd\n",
+        r.messages,
+        cluster.daemon_count()
+    );
 
-    let mut script: Vec<&str> = args.iter().map(String::as_str).filter(|a| *a != "--quick").collect();
+    let mut script: Vec<&str> = args
+        .iter()
+        .map(String::as_str)
+        .filter(|a| *a != "--quick")
+        .collect();
     if script.is_empty() {
         script = vec!["schema", "count", "query", "job_rank_time", "259903"];
     }

@@ -16,7 +16,9 @@ fn main() {
     );
     println!("{panel}");
 
-    println!("per-job mean durations (the paper: job 2 reads 6.75 s vs 0.05 s; writes 78 s vs 54 s):");
+    println!(
+        "per-job mean durations (the paper: job 2 reads 6.75 s vs 0.05 s; writes 78 s vs 54 s):"
+    );
     for op in ["read", "write"] {
         for (job, mean) in figures::job_mean_durations(&df, op) {
             println!("  job {job} mean {op} duration: {mean:.3} s");

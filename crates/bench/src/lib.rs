@@ -73,21 +73,77 @@ pub mod paper {
         ("collective", "NFS", 50390.0, 37.0, 1376.67, 1355.35, -1.55),
         ("independent", "NFS", 6397.0, 7.0, 880.46, 858.68, -2.47),
         ("collective", "Lustre", 25770.0, 95.0, 249.97, 270.98, 8.41),
-        ("independent", "Lustre", 15676.0, 38.0, 428.18, 414.35, -3.23),
+        (
+            "independent",
+            "Lustre",
+            15676.0,
+            38.0,
+            428.18,
+            414.35,
+            -3.23,
+        ),
     ];
 
     /// Table IIb as printed in the paper.
     pub const TABLE2B: [Row; 4] = [
-        ("5M particles/rank", "NFS", 1663.0, 2.0, 882.46, 775.24, -12.15),
-        ("10M particles/rank", "NFS", 1774.0, 1.0, 1353.87, 1365.24, 0.84),
-        ("5M particles/rank", "Lustre", 1995.0, 3.0, 417.14, 467.24, 12.01),
-        ("10M particles/rank", "Lustre", 1711.0, 2.0, 1616.87, 1027.44, -36.45),
+        (
+            "5M particles/rank",
+            "NFS",
+            1663.0,
+            2.0,
+            882.46,
+            775.24,
+            -12.15,
+        ),
+        (
+            "10M particles/rank",
+            "NFS",
+            1774.0,
+            1.0,
+            1353.87,
+            1365.24,
+            0.84,
+        ),
+        (
+            "5M particles/rank",
+            "Lustre",
+            1995.0,
+            3.0,
+            417.14,
+            467.24,
+            12.01,
+        ),
+        (
+            "10M particles/rank",
+            "Lustre",
+            1711.0,
+            2.0,
+            1616.87,
+            1027.44,
+            -36.45,
+        ),
     ];
 
     /// Table IIc as printed in the paper.
     pub const TABLE2C: [Row; 2] = [
-        ("Pfam-A.seed", "NFS", 3_117_342.0, 1483.0, 749.88, 2826.01, 276.86),
-        ("Pfam-A.seed", "Lustre", 4_461_738.0, 2396.0, 135.40, 1863.98, 1276.67),
+        (
+            "Pfam-A.seed",
+            "NFS",
+            3_117_342.0,
+            1483.0,
+            749.88,
+            2826.01,
+            276.86,
+        ),
+        (
+            "Pfam-A.seed",
+            "Lustre",
+            4_461_738.0,
+            2396.0,
+            135.40,
+            1863.98,
+            1276.67,
+        ),
     ];
 
     /// The paper's no-format ablation overhead.
@@ -95,9 +151,8 @@ pub mod paper {
 
     /// Renders a reference block for a report.
     pub fn reference_block(rows: &[Row]) -> String {
-        let mut out = String::from(
-            "paper reference (config, fs, msgs, rate, darshan_s, dc_s, overhead%):\n",
-        );
+        let mut out =
+            String::from("paper reference (config, fs, msgs, rate, darshan_s, dc_s, overhead%):\n");
         for (label, fs, msgs, rate, d, dc, ov) in rows {
             out.push_str(&format!(
                 "  {label:<22} {fs:<7} {msgs:>10.0} {rate:>7.1} {d:>9.2} {dc:>9.2} {ov:>+8.2}%\n"

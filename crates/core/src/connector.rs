@@ -105,6 +105,9 @@ pub struct DarshanConnector {
     network: Arc<LdmsNetwork>,
     stats: Arc<ConnectorStats>,
     writer: Mutex<JsonWriter>,
+    /// Per-connector (i.e. per job+rank) sequence counter, stamped on
+    /// every published message so the store can detect gaps.
+    seq: AtomicU64,
 }
 
 impl DarshanConnector {
@@ -125,6 +128,7 @@ impl DarshanConnector {
             network,
             stats: Arc::new(ConnectorStats::default()),
             writer: Mutex::new(JsonWriter::with_capacity(1024)),
+            seq: AtomicU64::new(0),
         })
     }
 
@@ -143,7 +147,10 @@ impl DarshanConnector {
             return true;
         }
         if self.config.always_publish_meta
-            && matches!(event.op, darshan_sim::OpKind::Open | darshan_sim::OpKind::Close)
+            && matches!(
+                event.op,
+                darshan_sim::OpKind::Open | darshan_sim::OpKind::Close
+            )
         {
             return true;
         }
@@ -183,14 +190,19 @@ impl EventSink for DarshanConnector {
             .fetch_add(1, Ordering::Relaxed);
         // Publish happens at the current (post-formatting) instant; the
         // transport pipeline is asynchronous from here on, so the
-        // application does not wait for delivery.
-        self.network.publish(StreamMessage::new(
-            &self.config.tag,
-            MsgFormat::Json,
-            payload,
-            &self.producer,
-            clock.now(),
-        ));
+        // application does not wait for delivery. Sequence numbers
+        // start at 1 per connector, letting the store detect gaps.
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        self.network.publish(
+            StreamMessage::new(
+                &self.config.tag,
+                MsgFormat::Json,
+                payload,
+                &self.producer,
+                clock.now(),
+            )
+            .with_seq(seq),
+        );
     }
 }
 
@@ -293,9 +305,18 @@ mod tests {
         let ev = event(OpKind::Close, &mut clock);
         conn.on_event(&ev, &mut clock);
         let msgs = sink.take();
-        let writes = msgs.iter().filter(|m| m.data.contains("\"op\":\"write\"")).count();
-        let opens = msgs.iter().filter(|m| m.data.contains("\"op\":\"open\"")).count();
-        let closes = msgs.iter().filter(|m| m.data.contains("\"op\":\"close\"")).count();
+        let writes = msgs
+            .iter()
+            .filter(|m| m.data.contains("\"op\":\"write\""))
+            .count();
+        let opens = msgs
+            .iter()
+            .filter(|m| m.data.contains("\"op\":\"open\""))
+            .count();
+        let closes = msgs
+            .iter()
+            .filter(|m| m.data.contains("\"op\":\"close\""))
+            .count();
         assert_eq!(opens, 1);
         assert_eq!(closes, 1);
         assert!(writes == 10, "expected ~1/10th of writes, got {writes}");
@@ -320,6 +341,9 @@ mod tests {
         };
         let full = run(1);
         let tenth = run(10);
-        assert!(full / tenth > 5.0, "sampling should cut cost: {full} vs {tenth}");
+        assert!(
+            full / tenth > 5.0,
+            "sampling should cut cost: {full} vs {tenth}"
+        );
     }
 }

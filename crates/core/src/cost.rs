@@ -42,9 +42,9 @@ pub struct CostModel {
 impl Default for CostModel {
     fn default() -> Self {
         Self {
-            base_ns: 420_000,          // 420 µs
+            base_ns: 420_000,             // 420 µs
             per_formatted_byte_ns: 1_500, // 1.5 µs per converted byte
-            publish_only_ns: 900,      // sub-µs streams call
+            publish_only_ns: 900,         // sub-µs streams call
             skip_ns: 60,
         }
     }
@@ -64,9 +64,7 @@ impl CostModel {
     /// Cost of formatting and publishing a message whose numeric
     /// conversions produced `formatted_bytes` bytes.
     pub fn format_and_publish(&self, formatted_bytes: usize) -> SimDuration {
-        SimDuration::from_nanos(
-            self.base_ns + self.per_formatted_byte_ns * formatted_bytes as u64,
-        )
+        SimDuration::from_nanos(self.base_ns + self.per_formatted_byte_ns * formatted_bytes as u64)
     }
 
     /// Cost of the publish-only (no-format) path.
@@ -90,7 +88,7 @@ mod tests {
         // ~150 formatted bytes per message is typical for a MOD message.
         let per_msg = m.format_and_publish(150).as_secs_f64();
         let total = per_msg * 3.1e6; // HMMER/NFS message count
-        // The paper adds ~2076 s to a 750 s baseline (276.86%).
+                                     // The paper adds ~2076 s to a 750 s baseline (276.86%).
         assert!(
             (1500.0..2800.0).contains(&total),
             "3.1M messages should cost ~2000s, got {total}"

@@ -38,8 +38,11 @@ pub mod schema;
 
 pub use connector::{ConnectorConfig, ConnectorStats, DarshanConnector, FormatMode};
 pub use cost::CostModel;
-pub use pipeline::Pipeline;
-pub use schema::{darshan_schema, DsosStreamStore, COLUMNS};
+pub use ldms_sim::{
+    DeliveryLedger, FaultScript, FaultSpec, LossCause, LossRecord, OverflowPolicy, QueueConfig,
+};
+pub use pipeline::{Pipeline, PipelineOpts};
+pub use schema::{darshan_schema, DsosStreamStore, GapReport, COLUMNS};
 
 /// The stream tag the connector publishes under ("the Darshan-LDMS
 /// Connector currently uses a single unique LDMS Stream tag",

@@ -136,8 +136,16 @@ mod tests {
             file: "/scratch/mpi-io-test.tmp.dat".into(),
             record_id: 1_601_543_006,
             rank: 3,
-            len: if matches!(op, OpKind::Read | OpKind::Write) { 4096 } else { -1 },
-            offset: if matches!(op, OpKind::Read | OpKind::Write) { 0 } else { -1 },
+            len: if matches!(op, OpKind::Read | OpKind::Write) {
+                4096
+            } else {
+                -1
+            },
+            offset: if matches!(op, OpKind::Read | OpKind::Write) {
+                0
+            } else {
+                -1
+            },
             start,
             end: clock.time_pair(),
             dur: 0.005,
@@ -244,8 +252,21 @@ mod tests {
         let v = iosim_util::json::parse(w.as_str()).unwrap();
         let top: Vec<&str> = v.as_object().unwrap().keys().map(String::as_str).collect();
         let mut expected_top = vec![
-            "uid", "exe", "file", "job_id", "rank", "ProducerName", "record_id",
-            "module", "type", "max_byte", "switches", "flushes", "cnt", "op", "seg",
+            "uid",
+            "exe",
+            "file",
+            "job_id",
+            "rank",
+            "ProducerName",
+            "record_id",
+            "module",
+            "type",
+            "max_byte",
+            "switches",
+            "flushes",
+            "cnt",
+            "op",
+            "seg",
         ];
         expected_top.sort_unstable();
         assert_eq!(top, expected_top, "top-level field set");
@@ -257,8 +278,16 @@ mod tests {
             .map(String::as_str)
             .collect();
         let mut expected_seg = vec![
-            "data_set", "pt_sel", "irreg_hslab", "reg_hslab", "ndims", "npoints",
-            "off", "len", "dur", "timestamp",
+            "data_set",
+            "pt_sel",
+            "irreg_hslab",
+            "reg_hslab",
+            "ndims",
+            "npoints",
+            "off",
+            "len",
+            "dur",
+            "timestamp",
         ];
         expected_seg.sort_unstable();
         assert_eq!(seg_fields, expected_seg, "seg field set");

@@ -9,8 +9,38 @@ use crate::connector::{ConnectorConfig, DarshanConnector};
 use crate::schema::{DsosStreamStore, CONTAINER};
 use darshan_sim::runtime::JobMeta;
 use dsos_sim::{DsosCluster, Value};
-use ldms_sim::LdmsNetwork;
+use iosim_time::Epoch;
+use ldms_sim::{DeliveryLedger, FaultScript, LdmsNetwork, QueueConfig};
 use std::sync::Arc;
+
+/// Full pipeline construction options. The defaults reproduce the
+/// paper's deployment exactly: best-effort hops, no faults, store
+/// attached.
+#[derive(Debug, Clone)]
+pub struct PipelineOpts {
+    /// `dsosd` backend count for the DSOS cluster.
+    pub dsosd_count: usize,
+    /// Stream tag the store subscribes under.
+    pub tag: String,
+    /// Whether to subscribe the DSOS store at L2.
+    pub attach_store: bool,
+    /// Retry-queue configuration applied to every aggregation hop.
+    pub queue: QueueConfig,
+    /// Chaos schedule applied to the network before the run.
+    pub faults: FaultScript,
+}
+
+impl Default for PipelineOpts {
+    fn default() -> Self {
+        Self {
+            dsosd_count: 2,
+            tag: crate::DEFAULT_STREAM_TAG.to_string(),
+            attach_store: true,
+            queue: QueueConfig::default(),
+            faults: FaultScript::new(),
+        }
+    }
+}
 
 /// The assembled monitoring pipeline.
 pub struct Pipeline {
@@ -38,11 +68,26 @@ impl Pipeline {
         tag: &str,
         attach_store: bool,
     ) -> Self {
-        let network = Arc::new(LdmsNetwork::build(node_names));
-        let cluster = DsosCluster::new(dsosd_count);
+        Self::build_with(
+            node_names,
+            &PipelineOpts {
+                dsosd_count,
+                tag: tag.to_string(),
+                attach_store,
+                ..PipelineOpts::default()
+            },
+        )
+    }
+
+    /// Builds the pipeline with full options: per-hop retry-queue
+    /// configuration and a chaos schedule applied before the run.
+    pub fn build_with(node_names: &[String], opts: &PipelineOpts) -> Self {
+        let network = Arc::new(LdmsNetwork::build_with(node_names, opts.queue.clone()));
+        network.apply_faults(&opts.faults);
+        let cluster = DsosCluster::new(opts.dsosd_count);
         let store = DsosStreamStore::new(cluster.clone());
-        if attach_store {
-            network.l2().subscribe(tag, store.clone());
+        if opts.attach_store {
+            network.l2().subscribe(&opts.tag, store.clone());
         }
         Self {
             network,
@@ -64,6 +109,20 @@ impl Pipeline {
     /// The DSOS store plugin.
     pub fn store(&self) -> &Arc<DsosStreamStore> {
         &self.store
+    }
+
+    /// The network-wide delivery ledger.
+    pub fn ledger(&self) -> &Arc<DeliveryLedger> {
+        self.network.ledger()
+    }
+
+    /// Runs the network to quiescence: drains retry queues up to
+    /// `horizon` in virtual time, then abandons (and attributes)
+    /// whatever is still parked. Afterwards the ledger balances:
+    /// `published == delivered + total_lost`. Returns the number of
+    /// abandoned messages.
+    pub fn settle(&self, horizon: Epoch) -> usize {
+        self.network.settle(horizon)
     }
 
     /// Builds the connector instance for one rank.

@@ -9,6 +9,8 @@
 use dsos_sim::{DsosCluster, Schema, Type, Value};
 use ldms_sim::store::json_to_rows;
 use ldms_sim::{StreamMessage, StreamSink};
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -66,13 +68,46 @@ pub fn column_id(name: &str) -> usize {
         .unwrap_or_else(|| panic!("no such darshan_data column: {name}"))
 }
 
+/// Sequence-gap accounting for one publisher, keyed by
+/// `(producer, job_id, rank)` — two ranks on one node share a producer
+/// name, so the key must include the rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GapReport {
+    /// Producer (compute-node) name.
+    pub producer: String,
+    /// Job the publisher belonged to.
+    pub job_id: u64,
+    /// Publishing rank.
+    pub rank: u64,
+    /// Messages received from this publisher.
+    pub received: u64,
+    /// Highest sequence number seen.
+    pub max_seq: u64,
+    /// Sequence numbers missing below `max_seq` (tail loss — messages
+    /// after the last received one — is invisible to gap detection;
+    /// the delivery ledger covers totals).
+    pub missing: u64,
+}
+
+#[derive(Debug, Default)]
+struct SeqTrack {
+    received: u64,
+    max_seq: u64,
+}
+
 /// A store plugin that ingests connector stream messages straight into
 /// a DSOS cluster (JSON → CSV row → typed object, as in Figure 3).
+///
+/// Sequence-stamped messages additionally feed per-publisher gap
+/// detection: connectors number their messages from 1, so any sequence
+/// number missing below the highest one seen is a message the pipeline
+/// lost in transit.
 pub struct DsosStreamStore {
     cluster: Arc<DsosCluster>,
     schema: Arc<Schema>,
     ingested: AtomicU64,
     rejected: AtomicU64,
+    seqs: Mutex<HashMap<(String, u64, u64), SeqTrack>>,
 }
 
 impl DsosStreamStore {
@@ -85,6 +120,7 @@ impl DsosStreamStore {
             schema,
             ingested: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            seqs: Mutex::new(HashMap::new()),
         })
     }
 
@@ -102,6 +138,57 @@ impl DsosStreamStore {
     /// The schema in use.
     pub fn schema(&self) -> &Arc<Schema> {
         &self.schema
+    }
+
+    /// Per-publisher sequence-gap reports, sorted by
+    /// `(producer, job_id, rank)`. Publishers with no gaps are
+    /// included (with `missing == 0`) so callers can see coverage.
+    pub fn gap_reports(&self) -> Vec<GapReport> {
+        let mut out: Vec<GapReport> = self
+            .seqs
+            .lock()
+            .iter()
+            .map(|((producer, job_id, rank), t)| GapReport {
+                producer: producer.clone(),
+                job_id: *job_id,
+                rank: *rank,
+                received: t.received,
+                max_seq: t.max_seq,
+                missing: t.max_seq.saturating_sub(t.received),
+            })
+            .collect();
+        out.sort_by(|a, b| (&a.producer, a.job_id, a.rank).cmp(&(&b.producer, b.job_id, b.rank)));
+        out
+    }
+
+    /// Total sequence numbers known to be missing, over all publishers.
+    pub fn total_missing(&self) -> u64 {
+        self.seqs
+            .lock()
+            .values()
+            .map(|t| t.max_seq.saturating_sub(t.received))
+            .sum()
+    }
+
+    /// Updates gap tracking for one sequence-stamped message. `row` is
+    /// the parsed Figure 3 row, used to recover the job/rank key.
+    fn track_seq(&self, msg: &StreamMessage, row: &[String]) {
+        let Some(seq) = msg.seq else { return };
+        if row.len() != COLUMNS.len() {
+            return;
+        }
+        let (Ok(job_id), Ok(rank)) = (
+            row[column_id("job_id")].parse::<u64>(),
+            row[column_id("rank")].parse::<u64>(),
+        ) else {
+            return;
+        };
+        let mut seqs = self.seqs.lock();
+        let t = seqs
+            .entry((msg.producer.to_string(), job_id, rank))
+            .or_default();
+        t.received += 1;
+        t.max_seq = t.max_seq.max(seq);
     }
 
     fn row_to_object(&self, row: &[String]) -> Option<Vec<Value>> {
@@ -125,6 +212,11 @@ impl StreamSink for DsosStreamStore {
                 return;
             }
         };
+        if let Some(first) = rows.first() {
+            // One message = one event = one (or more) rows of the same
+            // publisher; the first row carries the job/rank key.
+            self.track_seq(msg, first);
+        }
         for row in rows {
             // Not collapsible into a match guard: ingest consumes `obj`.
             if let Some(obj) = self.row_to_object(&row) {
@@ -168,7 +260,11 @@ mod tests {
         assert_eq!(s.indices().len(), 3);
         assert_eq!(
             s.index_def("job_rank_time").unwrap().attrs,
-            vec![column_id("job_id"), column_id("rank"), column_id("seg_timestamp")]
+            vec![
+                column_id("job_id"),
+                column_id("rank"),
+                column_id("seg_timestamp")
+            ]
         );
     }
 
@@ -197,6 +293,44 @@ mod tests {
         deliver(&store, MSG);
         assert_eq!(store.ingested(), 1);
         assert!(store.rejected() >= 2);
+    }
+
+    #[test]
+    fn sequence_gaps_are_detected_per_publisher() {
+        let cluster = DsosCluster::new(1);
+        let store = DsosStreamStore::new(cluster);
+        // Sequences 1, 2, 5 arrive; 3 and 4 were lost upstream.
+        for seq in [1u64, 2, 5] {
+            store.deliver(
+                &StreamMessage::new(
+                    "darshanConnector",
+                    MsgFormat::Json,
+                    MSG.to_string(),
+                    "nid00046",
+                    iosim_time::Epoch::from_secs(1),
+                )
+                .with_seq(seq),
+            );
+        }
+        assert_eq!(store.total_missing(), 2);
+        let reports = store.gap_reports();
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].producer, "nid00046");
+        assert_eq!(reports[0].job_id, 7);
+        assert_eq!(reports[0].rank, 3);
+        assert_eq!(reports[0].received, 3);
+        assert_eq!(reports[0].max_seq, 5);
+        assert_eq!(reports[0].missing, 2);
+    }
+
+    #[test]
+    fn unsequenced_messages_do_not_enter_gap_tracking() {
+        let cluster = DsosCluster::new(1);
+        let store = DsosStreamStore::new(cluster);
+        deliver(&store, MSG);
+        assert_eq!(store.ingested(), 1);
+        assert!(store.gap_reports().is_empty());
+        assert_eq!(store.total_missing(), 0);
     }
 
     #[test]

@@ -163,12 +163,7 @@ impl DarshanHdf5 {
     }
 
     /// `H5Fcreate`/`H5Fopen` analogue.
-    pub fn open_file(
-        &self,
-        io: &mut IoCtx,
-        path: &str,
-        create: bool,
-    ) -> FsResult<H5File> {
+    pub fn open_file(&self, io: &mut IoCtx, path: &str, create: bool) -> FsResult<H5File> {
         let start = io.clock.time_pair();
         let ph = self
             .posix
@@ -242,9 +237,11 @@ impl DarshanHdf5 {
         let points = sel.npoints(d.npoints_total());
         let bytes = points * d.elem_size;
         if is_write {
-            self.posix.write_at(&mut *io, &mut f.ph, d.base_offset, bytes)?;
+            self.posix
+                .write_at(&mut *io, &mut f.ph, d.base_offset, bytes)?;
         } else {
-            self.posix.read_at(&mut *io, &mut f.ph, d.base_offset, bytes)?;
+            self.posix
+                .read_at(&mut *io, &mut f.ph, d.base_offset, bytes)?;
         }
         if !d.selections_seen.contains(&sel) {
             d.selections_seen.push(sel.clone());
@@ -256,7 +253,11 @@ impl DarshanHdf5 {
             &mut io.clock,
             EventParams {
                 module: ModuleId::H5d,
-                op: if is_write { OpKind::Write } else { OpKind::Read },
+                op: if is_write {
+                    OpKind::Write
+                } else {
+                    OpKind::Read
+                },
                 file: f.path.clone(),
                 record_id: d.record_id,
                 offset: Some(d.base_offset),
@@ -349,11 +350,7 @@ mod tests {
         let sink = Arc::new(CollectingSink::new());
         rt.set_sink(Some(sink.clone()));
         let io = IoCtx::new(1, 0, 0, Epoch::from_secs(1_650_000_000)).with_jitter(0.0);
-        (
-            DarshanHdf5::new(DarshanPosix::new(fs, rt)),
-            sink,
-            io,
-        )
+        (DarshanHdf5::new(DarshanPosix::new(fs, rt)), sink, io)
     }
 
     #[test]
@@ -371,7 +368,10 @@ mod tests {
             &mut io,
             &mut f,
             &mut d,
-            Selection::RegularHyperslab { count: 4, block: 512 },
+            Selection::RegularHyperslab {
+                count: 4,
+                block: 512,
+            },
         )
         .unwrap();
         h5.flush_file(&mut io, &mut f).unwrap();
@@ -394,7 +394,7 @@ mod tests {
         let rinfo = h5d_read.hdf5.as_ref().unwrap();
         assert_eq!(rinfo.reg_hslab, 4);
         assert_eq!(rinfo.pt_sel, 2); // two distinct selections seen
-        // H5F flush is counted in flushes.
+                                     // H5F flush is counted in flushes.
         let h5f_flush = evs
             .iter()
             .find(|e| e.module == ModuleId::H5f && e.op == OpKind::Flush)
@@ -408,11 +408,19 @@ mod tests {
     fn selections_compute_npoints() {
         assert_eq!(Selection::All.npoints(100), 100);
         assert_eq!(
-            Selection::RegularHyperslab { count: 3, block: 10 }.npoints(100),
+            Selection::RegularHyperslab {
+                count: 3,
+                block: 10
+            }
+            .npoints(100),
             30
         );
         assert_eq!(
-            Selection::IrregularHyperslab { pieces: 5, points: 37 }.npoints(100),
+            Selection::IrregularHyperslab {
+                pieces: 5,
+                points: 37
+            }
+            .npoints(100),
             37
         );
         assert_eq!(Selection::Points(7).npoints(100), 7);
@@ -426,8 +434,10 @@ mod tests {
         let mut f = h5.open_file(&mut io, "/multi.h5", true).unwrap();
         let mut a = h5.create_dataset(&mut io, &mut f, "a", &[128], 4).unwrap();
         let mut b = h5.create_dataset(&mut io, &mut f, "b", &[128], 4).unwrap();
-        h5.write_dataset(&mut io, &mut f, &mut a, Selection::All).unwrap();
-        h5.write_dataset(&mut io, &mut f, &mut b, Selection::All).unwrap();
+        h5.write_dataset(&mut io, &mut f, &mut a, Selection::All)
+            .unwrap();
+        h5.write_dataset(&mut io, &mut f, &mut b, Selection::All)
+            .unwrap();
         let evs = sink.take();
         let posix_writes: Vec<_> = evs
             .iter()

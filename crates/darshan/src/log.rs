@@ -234,7 +234,9 @@ pub fn parse_log(data: &[u8]) -> Result<LogFile, LogError> {
     }
     let version = buf.get_u32();
     if version != VERSION {
-        return Err(LogError::BadHeader(format!("unsupported version {version}")));
+        return Err(LogError::BadHeader(format!(
+            "unsupported version {version}"
+        )));
     }
     if buf.remaining() < 16 {
         return Err(LogError::Truncated);
@@ -348,7 +350,7 @@ impl LogFile {
         let mut out: HashMap<(ModuleId, u64), RecordCounters> = HashMap::new();
         for r in &self.records {
             // Not `or_default()`: `new()` seeds the -1 sentinels.
-            #[allow(clippy::or_fun_call)]
+            #[allow(clippy::unwrap_or_default)]
             out.entry((r.module, r.record_id))
                 .or_insert_with(RecordCounters::new)
                 .merge(&r.counters);
@@ -483,7 +485,10 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(parse_log(b"????"), Err(LogError::Truncated) | Err(LogError::BadHeader(_))));
+        assert!(matches!(
+            parse_log(b"????"),
+            Err(LogError::Truncated) | Err(LogError::BadHeader(_))
+        ));
         let job = JobMeta::new(1, 1, "/x", 1);
         let mut bytes = write_log(&job, 0.0, 1.0, &[]);
         bytes[0] = b'X';

@@ -220,11 +220,9 @@ mod tests {
                 let hints = CollectiveHints {
                     cb_nodes: 2,
                     cb_buffer_size: 1024 * 1024,
-                ..Default::default()
+                    ..Default::default()
                 };
-                let mut h = mpiio
-                    .open_all(ctx, "/coll.dat", true, true, hints)
-                    .unwrap();
+                let mut h = mpiio.open_all(ctx, "/coll.dat", true, true, hints).unwrap();
                 let off = u64::from(ctx.rank()) * block;
                 mpiio.write_at_all(ctx, &mut h, off, block).unwrap();
                 mpiio.close(ctx, h).unwrap();

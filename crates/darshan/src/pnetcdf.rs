@@ -122,7 +122,16 @@ impl DarshanPnetcdf {
             alloc_cursor: HEADER_BYTES,
             nranks: u64::from(ctx.comm.size()),
         };
-        self.fire(ctx, &f.path.clone(), f.record_id, OpKind::Open, None, None, 1, start);
+        self.fire(
+            ctx,
+            &f.path.clone(),
+            f.record_id,
+            OpKind::Open,
+            None,
+            None,
+            1,
+            start,
+        );
         Ok(f)
     }
 
@@ -175,7 +184,11 @@ impl DarshanPnetcdf {
             ctx,
             &f.path.clone(),
             v.record_id,
-            if is_write { OpKind::Write } else { OpKind::Read },
+            if is_write {
+                OpKind::Write
+            } else {
+                OpKind::Read
+            },
             Some(off),
             Some(len),
             v.cnt,
@@ -234,10 +247,7 @@ mod tests {
                 let sink = std::sync::Arc::new(CollectingSink::new());
                 rt.set_sink(Some(sink.clone()));
                 sinks.lock().push(sink);
-                let nc = DarshanPnetcdf::new(DarshanMpiio::new(DarshanPosix::new(
-                    fs.clone(),
-                    rt,
-                )));
+                let nc = DarshanPnetcdf::new(DarshanMpiio::new(DarshanPosix::new(fs.clone(), rt)));
                 let hints = CollectiveHints {
                     cb_nodes: 2,
                     cb_buffer_size: 1024 * 1024,
@@ -277,10 +287,7 @@ mod tests {
             },
             |ctx| {
                 let rt = RankRuntime::new(job.clone(), ctx.rank());
-                let nc = DarshanPnetcdf::new(DarshanMpiio::new(DarshanPosix::new(
-                    fs.clone(),
-                    rt,
-                )));
+                let nc = DarshanPnetcdf::new(DarshanMpiio::new(DarshanPosix::new(fs.clone(), rt)));
                 let mut f = nc
                     .open(ctx, "/v.nc", true, CollectiveHints::default())
                     .unwrap();

@@ -238,7 +238,13 @@ mod tests {
         let ops: Vec<OpKind> = evs.iter().map(|e| e.op).collect();
         assert_eq!(
             ops,
-            vec![OpKind::Open, OpKind::Write, OpKind::Read, OpKind::Flush, OpKind::Close]
+            vec![
+                OpKind::Open,
+                OpKind::Write,
+                OpKind::Read,
+                OpKind::Flush,
+                OpKind::Close
+            ]
         );
         // cnt increments through the lifecycle.
         let cnts: Vec<u64> = evs.iter().map(|e| e.cnt).collect();

@@ -150,9 +150,9 @@ impl RankRuntime {
             .entry(p.record_id)
             .or_insert_with(|| p.file.clone());
         // `RecordCounters::new` is NOT `Default::default()` — it seeds
-        // the -1 sentinels — so the `or_fun_call`-style suggestion to
-        // use `or_default` would change behaviour.
-        #[allow(clippy::or_fun_call)]
+        // the -1 sentinels — so clippy's suggestion to use
+        // `or_default` would change behaviour.
+        #[allow(clippy::unwrap_or_default)]
         let rec = inner
             .records
             .entry((p.module, p.record_id))
@@ -309,7 +309,7 @@ mod tests {
         assert_eq!(events[1].rank, 3);
         assert_eq!(events[1].max_byte, 4095);
         assert_eq!(events[0].len, -1); // open has no length
-        // Absolute timestamps flow through.
+                                       // Absolute timestamps flow through.
         assert!(events[3].end.abs.as_secs_f64() > 1_650_000_000.0);
         assert_eq!(rt.events_fired(), 4);
     }

@@ -150,7 +150,13 @@ mod tests {
 
     #[test]
     fn op_codes_round_trip() {
-        for op in [OpKind::Open, OpKind::Close, OpKind::Read, OpKind::Write, OpKind::Flush] {
+        for op in [
+            OpKind::Open,
+            OpKind::Close,
+            OpKind::Read,
+            OpKind::Write,
+            OpKind::Flush,
+        ] {
             assert_eq!(OpKind::from_code(op.code()), Some(op));
         }
         assert_eq!(OpKind::from_code(77), None);

@@ -86,17 +86,15 @@ impl DsosCluster {
 
     /// Queries all objects whose `index` key starts with `prefix`,
     /// merged across daemons in key order.
-    pub fn query_prefix(
-        &self,
-        container: &str,
-        index: &str,
-        prefix: &[Value],
-    ) -> Vec<Vec<Value>> {
+    pub fn query_prefix(&self, container: &str, index: &str, prefix: &[Value]) -> Vec<Vec<Value>> {
         let parts = self.parallel_fetch(|d| {
             d.get_container(container)
                 .and_then(|c| c.query_prefix(index, prefix))
         });
-        merge_sorted(parts).into_iter().map(|(_, obj)| obj).collect()
+        merge_sorted(parts)
+            .into_iter()
+            .map(|(_, obj)| obj)
+            .collect()
     }
 
     /// Queries objects with `from <= key < to`, merged in key order.
@@ -111,7 +109,10 @@ impl DsosCluster {
             d.get_container(container)
                 .and_then(|c| c.query_range(index, from, to))
         });
-        merge_sorted(parts).into_iter().map(|(_, obj)| obj).collect()
+        merge_sorted(parts)
+            .into_iter()
+            .map(|(_, obj)| obj)
+            .collect()
     }
 
     /// Imports CSV rows (as produced by the LDMS CSV store) into a

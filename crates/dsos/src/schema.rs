@@ -119,11 +119,7 @@ impl SchemaBuilder {
             }
             let mut ids = Vec::with_capacity(attrs.len());
             for a in attrs {
-                ids.push(
-                    *by_name
-                        .get(&a)
-                        .ok_or(SchemaError::NoSuchAttr(a.clone()))?,
-                );
+                ids.push(*by_name.get(&a).ok_or(SchemaError::NoSuchAttr(a.clone()))?);
             }
             indices.push(IndexDef { name, attrs: ids });
         }
@@ -229,7 +225,10 @@ mod tests {
         assert!(s.validate(&good).is_ok());
         assert!(matches!(
             s.validate(&good[..3]),
-            Err(SchemaError::Arity { expected: 4, got: 3 })
+            Err(SchemaError::Arity {
+                expected: 4,
+                got: 3
+            })
         ));
         let bad = vec![
             Value::I64(1), // wrong type

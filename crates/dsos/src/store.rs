@@ -61,7 +61,11 @@ impl ContainerShard {
 
     /// Names of all partitions.
     pub fn partition_names(&self) -> Vec<String> {
-        self.partitions.read().iter().map(|p| p.name.clone()).collect()
+        self.partitions
+            .read()
+            .iter()
+            .map(|p| p.name.clone())
+            .collect()
     }
 
     /// Total stored objects across partitions.
@@ -224,9 +228,7 @@ mod tests {
         c.insert(obj(1, 1, 11.0, "write")).unwrap();
         c.insert(obj(2, 0, 12.0, "read")).unwrap();
         // All of job 1, ordered by (rank, time).
-        let rows = c
-            .query_prefix("job_rank_time", &[Value::U64(1)])
-            .unwrap();
+        let rows = c.query_prefix("job_rank_time", &[Value::U64(1)]).unwrap();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].1[1], Value::U64(0));
         assert_eq!(rows[1].1[1], Value::U64(1));

@@ -4,9 +4,28 @@
 //! compute nodes, one first-level aggregator on the head node (UGNI
 //! transport), and a second-level aggregator on the remote analysis
 //! cluster (Shirley) where the store plugins subscribe.
+//!
+//! Beyond the paper's always-up, fire-and-forget pipeline, each daemon
+//! carries a [`Lifecycle`] (crash/restart windows in virtual time) and
+//! each upstream connection a bounded [`RetryQueue`]: a send that fails
+//! detectably (link flapped down, target daemon crashed) or silently
+//! (transport loss) may be parked and retried with exponential backoff,
+//! depending on the hop's [`QueueConfig`]. Every message entering the
+//! network through [`LdmsNetwork::publish`] is accounted for exactly
+//! once in the shared [`DeliveryLedger`] — delivered at the terminal
+//! daemon, or lost with a `(hop, cause)` attribution. The default
+//! [`QueueConfig::best_effort`] keeps the paper's semantics untouched.
+//!
+//! Forwarding walks the upstream chain iteratively (not recursively),
+//! with cycle detection: a misconfigured topology drops the looping
+//! message and counts it instead of overflowing the stack.
 
+use crate::fault::{FaultScript, FaultSpec, Lifecycle};
+use crate::ledger::{DeliveryLedger, LossCause};
+use crate::queue::{QueueConfig, QueueEntry, RetryQueue};
 use crate::stream::{StreamHub, StreamMessage, StreamSink, StreamStats};
 use crate::transport::TransportLink;
+use iosim_time::Epoch;
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -22,21 +41,42 @@ pub enum DaemonRole {
     AggregatorL2,
 }
 
+/// One upstream connection: the link, its target, and the bounded
+/// store-and-forward queue guarding the hop.
+struct Upstream {
+    link: TransportLink,
+    target: Arc<Ldmsd>,
+    queue: RetryQueue,
+    /// Loss-attribution label for the link (`"<owner>/<link>"`).
+    link_hop: String,
+    /// Loss-attribution label for the queue (`"<owner>/queue"`).
+    queue_hop: String,
+}
+
 /// One LDMS daemon.
 pub struct Ldmsd {
     name: String,
     role: DaemonRole,
     hub: StreamHub,
-    upstream: RwLock<Option<(TransportLink, Arc<Ldmsd>)>>,
+    lifecycle: Lifecycle,
+    ledger: Arc<DeliveryLedger>,
+    upstream: RwLock<Option<Upstream>>,
 }
 
 impl Ldmsd {
-    /// Creates a daemon with no upstream.
+    /// Creates a daemon with no upstream and a private ledger.
     pub fn new(name: &str, role: DaemonRole) -> Arc<Self> {
+        Self::with_ledger(name, role, Arc::new(DeliveryLedger::new()))
+    }
+
+    /// Creates a daemon sharing a network-wide delivery ledger.
+    pub fn with_ledger(name: &str, role: DaemonRole, ledger: Arc<DeliveryLedger>) -> Arc<Self> {
         Arc::new(Self {
             name: name.to_string(),
             role,
             hub: StreamHub::new(),
+            lifecycle: Lifecycle::new(),
+            ledger,
             upstream: RwLock::new(None),
         })
     }
@@ -51,9 +91,82 @@ impl Ldmsd {
         self.role
     }
 
-    /// Connects this daemon's push target.
+    /// The delivery ledger this daemon reports to.
+    pub fn ledger(&self) -> &Arc<DeliveryLedger> {
+        &self.ledger
+    }
+
+    /// Connects this daemon's push target with best-effort semantics
+    /// (the paper's behavior: no retry, no queueing).
     pub fn connect_upstream(&self, link: TransportLink, target: Arc<Ldmsd>) {
-        *self.upstream.write() = Some((link, target));
+        self.connect_upstream_with(link, target, QueueConfig::default());
+    }
+
+    /// Connects this daemon's push target with an explicit retry-queue
+    /// configuration for the hop.
+    pub fn connect_upstream_with(
+        &self,
+        link: TransportLink,
+        target: Arc<Ldmsd>,
+        config: QueueConfig,
+    ) {
+        let link_hop = format!("{}/{}", self.name, link.name);
+        let queue_hop = format!("{}/queue", self.name);
+        *self.upstream.write() = Some(Upstream {
+            queue: RetryQueue::new(config),
+            link,
+            target,
+            link_hop,
+            queue_hop,
+        });
+    }
+
+    /// Schedules a crash/restart window `[from, until)` for this
+    /// daemon. While down it neither delivers locally nor forwards;
+    /// senders with retry queues park messages until the restart.
+    pub fn schedule_outage(&self, from: Epoch, until: Epoch) {
+        self.lifecycle.schedule_down(from, until);
+    }
+
+    /// True when the daemon is up at `t`.
+    pub fn is_up(&self, t: Epoch) -> bool {
+        self.lifecycle.is_up(t)
+    }
+
+    /// Schedules a flap window on the upstream link. Returns false if
+    /// this daemon has no upstream.
+    pub fn schedule_link_flap(&self, from: Epoch, until: Epoch) -> bool {
+        match self.upstream.read().as_ref() {
+            Some(up) => {
+                up.link.schedule_flap(from, until);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Enables seeded probabilistic loss on the upstream link. Returns
+    /// false if this daemon has no upstream.
+    pub fn set_link_loss_prob(&self, prob: f64, seed: u64) -> bool {
+        match self.upstream.read().as_ref() {
+            Some(up) => {
+                up.link.set_loss_prob(prob, seed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Enables deterministic every-`n`-th loss on the upstream link.
+    /// Returns false if this daemon has no upstream.
+    pub fn set_link_drop_every(&self, every: u64) -> bool {
+        match self.upstream.read().as_ref() {
+            Some(up) => {
+                up.link.set_drop_every(every);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Subscribes a sink to a stream tag at this daemon.
@@ -66,16 +179,212 @@ impl Ldmsd {
         self.hub.stats()
     }
 
-    /// Receives a message: delivers to local subscribers, then pushes
-    /// upstream (best effort — a dropped carry is not retried).
+    /// Messages currently parked in this daemon's retry queue.
+    pub fn queued(&self) -> usize {
+        self.upstream.read().as_ref().map_or(0, |u| u.queue.len())
+    }
+
+    /// Earliest virtual instant at which this daemon's retry queue has
+    /// something actionable (a retry due or a deadline expiring).
+    pub fn queue_next_event(&self) -> Option<Epoch> {
+        self.upstream
+            .read()
+            .as_ref()
+            .and_then(|u| u.queue.next_event())
+    }
+
+    /// Receives a message: delivers to local subscribers, then walks
+    /// the upstream chain iteratively. Failed hops are parked for
+    /// retry or attributed to the ledger, per each hop's queue
+    /// configuration.
     pub fn receive(&self, msg: StreamMessage) {
-        self.hub.dispatch(&msg);
-        let upstream = self.upstream.read();
-        if let Some((link, target)) = upstream.as_ref() {
-            if let Some(carried) = link.carry(msg) {
-                target.receive(carried);
+        let mut visited: Vec<*const Ldmsd> = Vec::with_capacity(4);
+        let mut hop = self.process_hop(msg, &mut visited);
+        while let Some((daemon, carried)) = hop {
+            hop = daemon.process_hop(carried, &mut visited);
+        }
+    }
+
+    /// One hop of the chain walk: local dispatch plus the attempt to
+    /// forward. Returns the next daemon and the carried message when
+    /// the hop succeeded; `None` when the walk ends here (terminal
+    /// daemon, parked for retry, or attributed loss).
+    fn process_hop(
+        &self,
+        msg: StreamMessage,
+        visited: &mut Vec<*const Ldmsd>,
+    ) -> Option<(Arc<Ldmsd>, StreamMessage)> {
+        let me = self as *const Ldmsd;
+        if visited.contains(&me) {
+            self.ledger.record_loss(&self.name, LossCause::CycleDropped);
+            return None;
+        }
+        visited.push(me);
+        let now = msg.recv_time;
+        if !self.lifecycle.is_up(now) {
+            // The message arrived at a crashed daemon (it was in
+            // flight when the crash hit, or was injected directly).
+            self.ledger.record_loss(&self.name, LossCause::DaemonDown);
+            return None;
+        }
+        let fanout = self.hub.dispatch(&msg);
+        let guard = self.upstream.read();
+        match guard.as_ref() {
+            None => {
+                // Terminal daemon: this is where end-to-end delivery
+                // is decided. Intermediate dispatches above are taps.
+                if fanout > 0 {
+                    self.ledger.record_delivered();
+                } else {
+                    self.ledger.record_loss(&self.name, LossCause::NoSubscriber);
+                }
+                None
+            }
+            Some(up) => self.try_send(up, msg, 0, None, now),
+        }
+    }
+
+    /// Attempts one send over the upstream hop. `prior_attempts` is
+    /// how many attempts the message has already consumed (0 for a
+    /// fresh message); `expire` carries a block-with-deadline sojourn
+    /// deadline across re-parks.
+    fn try_send(
+        &self,
+        up: &Upstream,
+        msg: StreamMessage,
+        prior_attempts: u32,
+        expire: Option<Epoch>,
+        now: Epoch,
+    ) -> Option<(Arc<Ldmsd>, StreamMessage)> {
+        let attempts = prior_attempts + 1;
+        let cfg = up.queue.config();
+        let retryable = cfg.retries_enabled() && attempts < cfg.max_attempts;
+
+        // Detectable failures: the sender can see a flapped link or a
+        // crashed peer (the connection refuses), so the message is not
+        // offered to the link at all.
+        let detected = if up.link.is_down(now) {
+            Some((LossCause::LinkLoss, up.link.next_up(now)))
+        } else if !up.target.lifecycle.is_up(now) {
+            Some((LossCause::DaemonDown, up.target.lifecycle.next_up(now)))
+        } else {
+            None
+        };
+        if let Some((cause, component_up)) = detected {
+            if retryable {
+                // Retry no earlier than the component's scheduled
+                // recovery — reconnect-on-restart, not blind polling.
+                let next_attempt = up.queue.backoff_after(attempts, now).max(component_up);
+                self.park(
+                    up,
+                    QueueEntry {
+                        msg,
+                        attempts,
+                        next_attempt,
+                        expire,
+                        cause,
+                    },
+                    now,
+                );
+            } else {
+                match cause {
+                    LossCause::DaemonDown => {
+                        self.ledger.record_loss(up.target.name(), cause);
+                    }
+                    _ => self.ledger.record_loss(&up.link_hop, cause),
+                }
+            }
+            return None;
+        }
+
+        // Silent loss: the link accepts the message and may drop it in
+        // transit. Clone first only when a retry could use the copy.
+        let backup = if retryable { Some(msg.clone()) } else { None };
+        match up.link.carry(msg) {
+            Some(carried) => Some((up.target.clone(), carried)),
+            None => {
+                match backup {
+                    Some(m) => {
+                        let next_attempt = up.queue.backoff_after(attempts, now);
+                        self.park(
+                            up,
+                            QueueEntry {
+                                msg: m,
+                                attempts,
+                                next_attempt,
+                                expire,
+                                cause: LossCause::LinkLoss,
+                            },
+                            now,
+                        );
+                    }
+                    None => self.ledger.record_loss(&up.link_hop, LossCause::LinkLoss),
+                }
+                None
             }
         }
+    }
+
+    /// Parks an entry in the hop's queue, attributing any messages the
+    /// overflow policy evicted to admit it.
+    fn park(&self, up: &Upstream, entry: QueueEntry, now: Epoch) {
+        for evicted in up.queue.push(entry, now) {
+            self.attribute(up, evicted);
+        }
+    }
+
+    /// Records an abandoned queue entry as lost, attributed to the hop
+    /// responsible for its final failure cause.
+    fn attribute(&self, up: &Upstream, entry: QueueEntry) {
+        match entry.cause {
+            LossCause::LinkLoss => self.ledger.record_loss(&up.link_hop, entry.cause),
+            LossCause::DaemonDown => self.ledger.record_loss(up.target.name(), entry.cause),
+            _ => self.ledger.record_loss(&up.queue_hop, entry.cause),
+        }
+    }
+
+    /// Drains this daemon's retry queue as of virtual instant `now`:
+    /// expires over-deadline entries, then re-attempts every entry
+    /// whose retry time has come. Successful re-sends continue walking
+    /// the chain from the target.
+    pub fn pump(&self, now: Epoch) {
+        let continuations = {
+            let guard = self.upstream.read();
+            let Some(up) = guard.as_ref() else { return };
+            if up.queue.is_empty() {
+                return;
+            }
+            for expired in up.queue.take_expired(now) {
+                self.attribute(up, expired);
+            }
+            let mut conts = Vec::new();
+            while let Some(mut entry) = up.queue.pop_due(now) {
+                // A buffered message cannot arrive before the retry
+                // that re-sent it: bump its clock to the drain time.
+                entry.msg.recv_time = entry.msg.recv_time.max(now);
+                if let Some(c) = self.try_send(up, entry.msg, entry.attempts, entry.expire, now) {
+                    conts.push(c);
+                }
+            }
+            conts
+        };
+        for (target, carried) in continuations {
+            target.receive(carried);
+        }
+    }
+
+    /// Abandons everything still parked, attributing each entry to the
+    /// hop of its last failure. Returns how many were abandoned. Used
+    /// when settling a campaign past its horizon.
+    pub fn abandon_queue(&self) -> usize {
+        let guard = self.upstream.read();
+        let Some(up) = guard.as_ref() else { return 0 };
+        let entries = up.queue.drain_all();
+        let n = entries.len();
+        for e in entries {
+            self.attribute(up, e);
+        }
+        n
     }
 }
 
@@ -90,26 +399,62 @@ impl std::fmt::Debug for Ldmsd {
 
 /// The assembled two-level aggregation network of the paper:
 /// compute-node daemons → head-node L1 aggregator → remote L2
-/// aggregator.
+/// aggregator. All daemons share one [`DeliveryLedger`].
 pub struct LdmsNetwork {
     nodes: HashMap<String, Arc<Ldmsd>>,
+    /// Deterministic pump/settle order: sorted samplers, then L1, L2.
+    ordered: Vec<Arc<Ldmsd>>,
     l1: Arc<Ldmsd>,
     l2: Arc<Ldmsd>,
+    ledger: Arc<DeliveryLedger>,
 }
 
 impl LdmsNetwork {
-    /// Builds the network for the given compute-node names.
+    /// Builds the network for the given compute-node names with the
+    /// paper's best-effort hop semantics.
     pub fn build(node_names: &[String]) -> Self {
-        let l2 = Ldmsd::new("shirley-agg", DaemonRole::AggregatorL2);
-        let l1 = Ldmsd::new("voltrino-head", DaemonRole::AggregatorL1);
-        l1.connect_upstream(TransportLink::site_network(), l2.clone());
-        let mut nodes = HashMap::with_capacity(node_names.len());
-        for n in node_names {
-            let d = Ldmsd::new(n, DaemonRole::Sampler);
-            d.connect_upstream(TransportLink::ugni(), l1.clone());
-            nodes.insert(n.clone(), d);
+        Self::build_with(node_names, QueueConfig::default())
+    }
+
+    /// Builds the network with an explicit retry-queue configuration
+    /// applied to every hop. Each hop's jitter RNG is decorrelated by
+    /// deriving its seed from the configured seed and the hop index.
+    pub fn build_with(node_names: &[String], queue: QueueConfig) -> Self {
+        let ledger = Arc::new(DeliveryLedger::new());
+        let l2 = Ldmsd::with_ledger("shirley-agg", DaemonRole::AggregatorL2, ledger.clone());
+        let l1 = Ldmsd::with_ledger("voltrino-head", DaemonRole::AggregatorL1, ledger.clone());
+        l1.connect_upstream_with(
+            TransportLink::site_network(),
+            l2.clone(),
+            queue
+                .clone()
+                .with_seed(queue.seed ^ crate::fault::mix64(u64::MAX)),
+        );
+        let mut sorted: Vec<String> = node_names.to_vec();
+        sorted.sort();
+        let mut nodes = HashMap::with_capacity(sorted.len());
+        let mut ordered = Vec::with_capacity(sorted.len() + 2);
+        for (i, n) in sorted.iter().enumerate() {
+            let d = Ldmsd::with_ledger(n, DaemonRole::Sampler, ledger.clone());
+            d.connect_upstream_with(
+                TransportLink::ugni(),
+                l1.clone(),
+                queue
+                    .clone()
+                    .with_seed(queue.seed ^ crate::fault::mix64(i as u64)),
+            );
+            nodes.insert(n.clone(), d.clone());
+            ordered.push(d);
         }
-        Self { nodes, l1, l2 }
+        ordered.push(l1.clone());
+        ordered.push(l2.clone());
+        Self {
+            nodes,
+            ordered,
+            l1,
+            l2,
+            ledger,
+        }
     }
 
     /// The first-level (head node) aggregator.
@@ -133,14 +478,98 @@ impl LdmsNetwork {
         self.nodes.len()
     }
 
+    /// The network-wide delivery ledger.
+    pub fn ledger(&self) -> &Arc<DeliveryLedger> {
+        &self.ledger
+    }
+
+    /// Resolves a fault-script component name: a compute-node name, an
+    /// aggregator host name, or the aliases `"l1"` / `"l2"`.
+    fn resolve(&self, name: &str) -> Option<&Arc<Ldmsd>> {
+        match name {
+            "l1" => Some(&self.l1),
+            "l2" => Some(&self.l2),
+            n if n == self.l1.name() => Some(&self.l1),
+            n if n == self.l2.name() => Some(&self.l2),
+            n => self.nodes.get(n),
+        }
+    }
+
+    /// Applies a chaos script to the network. Returns how many faults
+    /// were applied; specs naming unknown components are skipped (and
+    /// not counted), so a script can be shared across topologies.
+    pub fn apply_faults(&self, script: &FaultScript) -> usize {
+        let mut applied = 0;
+        for spec in script.specs() {
+            let ok = match spec {
+                FaultSpec::DaemonOutage {
+                    daemon,
+                    from,
+                    until,
+                } => self
+                    .resolve(daemon)
+                    .map(|d| d.schedule_outage(*from, *until))
+                    .is_some(),
+                FaultSpec::LinkFlap {
+                    daemon,
+                    from,
+                    until,
+                } => self
+                    .resolve(daemon)
+                    .is_some_and(|d| d.schedule_link_flap(*from, *until)),
+                FaultSpec::LinkLossProb { daemon, prob, seed } => self
+                    .resolve(daemon)
+                    .is_some_and(|d| d.set_link_loss_prob(*prob, *seed)),
+                FaultSpec::LinkDropEvery { daemon, every } => self
+                    .resolve(daemon)
+                    .is_some_and(|d| d.set_link_drop_every(*every)),
+            };
+            if ok {
+                applied += 1;
+            }
+        }
+        applied
+    }
+
     /// Publishes a message from a compute node into the pipeline. An
     /// unknown producer publishes directly at L1 (matching LDMS's
-    /// tolerance for external stream sources).
+    /// tolerance for external stream sources). Retries that have come
+    /// due by the message's publish instant are drained first, so
+    /// buffered traffic re-flows in virtual-time order.
     pub fn publish(&self, msg: StreamMessage) {
+        self.ledger.record_published();
+        self.pump(msg.recv_time);
         match self.nodes.get(msg.producer.as_ref()) {
             Some(d) => d.receive(msg),
             None => self.l1.receive(msg),
         }
+    }
+
+    /// Drains every daemon's retry queue as of virtual instant `now`.
+    pub fn pump(&self, now: Epoch) {
+        for d in &self.ordered {
+            d.pump(now);
+        }
+    }
+
+    /// Runs the network to quiescence: repeatedly advances virtual
+    /// time to the next queued retry/deadline event up to `horizon`,
+    /// then abandons (and attributes) anything still parked. After
+    /// this returns, the ledger balances:
+    /// `published == delivered + total_lost`.
+    pub fn settle(&self, horizon: Epoch) -> usize {
+        loop {
+            let next = self
+                .ordered
+                .iter()
+                .filter_map(|d| d.queue_next_event())
+                .min();
+            match next {
+                Some(t) if t <= horizon => self.pump(t),
+                _ => break,
+            }
+        }
+        self.ordered.iter().map(|d| d.abandon_queue()).sum()
     }
 }
 
@@ -160,6 +589,16 @@ mod tests {
         )
     }
 
+    fn msg_at(producer: &str, at: Epoch) -> StreamMessage {
+        StreamMessage::new(
+            "darshanConnector",
+            MsgFormat::Json,
+            "{}".into(),
+            producer,
+            at,
+        )
+    }
+
     fn network() -> LdmsNetwork {
         LdmsNetwork::build(&["nid00040".into(), "nid00041".into()])
     }
@@ -174,6 +613,8 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].hops, 2);
         assert!(got[0].recv_time > got[0].publish_time);
+        assert!(net.ledger().balances());
+        assert_eq!(net.ledger().delivered(), 1);
     }
 
     #[test]
@@ -231,5 +672,104 @@ mod tests {
             }
         });
         assert_eq!(sink.len(), 400);
+        assert_eq!(net.ledger().published(), 400);
+        assert_eq!(net.ledger().delivered(), 400);
+        assert!(net.ledger().balances());
+    }
+
+    #[test]
+    fn topology_cycle_is_dropped_not_looped() {
+        let ledger = Arc::new(DeliveryLedger::new());
+        let a = Ldmsd::with_ledger("a", DaemonRole::AggregatorL1, ledger.clone());
+        let b = Ldmsd::with_ledger("b", DaemonRole::AggregatorL1, ledger.clone());
+        a.connect_upstream(TransportLink::ugni(), b.clone());
+        b.connect_upstream(TransportLink::ugni(), a.clone());
+        ledger.record_published();
+        a.receive(msg("a", "{}")); // returns instead of recursing forever
+        assert_eq!(ledger.lost_with_cause(LossCause::CycleDropped), 1);
+        assert!(ledger.balances());
+    }
+
+    #[test]
+    fn deep_chain_forwards_iteratively() {
+        let ledger = Arc::new(DeliveryLedger::new());
+        let daemons: Vec<Arc<Ldmsd>> = (0..2000)
+            .map(|i| Ldmsd::with_ledger(&format!("d{i}"), DaemonRole::AggregatorL1, ledger.clone()))
+            .collect();
+        for w in daemons.windows(2) {
+            w[0].connect_upstream(TransportLink::ugni(), w[1].clone());
+        }
+        let sink = BufferSink::new();
+        daemons
+            .last()
+            .unwrap()
+            .subscribe("darshanConnector", sink.clone());
+        ledger.record_published();
+        daemons[0].receive(msg("d0", "{}"));
+        let got = sink.take();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].hops, 1999);
+        assert_eq!(ledger.delivered(), 1);
+    }
+
+    #[test]
+    fn daemon_outage_parks_then_delivers_after_restart() {
+        let net = LdmsNetwork::build_with(&["nid0".into()], QueueConfig::reliable());
+        let down_from = Epoch::from_secs(100);
+        let down_until = Epoch::from_secs(140);
+        net.apply_faults(&FaultScript::new().daemon_outage("l2", down_from, down_until));
+        let sink = BufferSink::new();
+        net.l2().subscribe("darshanConnector", sink.clone());
+
+        net.publish(msg_at("nid0", Epoch::from_secs(120)));
+        assert_eq!(sink.len(), 0, "L2 is down; nothing delivered yet");
+        assert_eq!(net.l1().queued(), 1, "parked at the L1 hop");
+        assert!(!net.ledger().balances(), "in flight, not yet accounted");
+
+        let abandoned = net.settle(Epoch::from_secs(200));
+        assert_eq!(abandoned, 0);
+        let got = sink.take();
+        assert_eq!(got.len(), 1);
+        assert!(
+            got[0].recv_time >= down_until,
+            "delivered only after restart"
+        );
+        assert_eq!(net.ledger().delivered(), 1);
+        assert!(net.ledger().balances());
+    }
+
+    #[test]
+    fn best_effort_outage_is_attributed_not_buffered() {
+        let net = LdmsNetwork::build(&["nid0".into()]);
+        net.apply_faults(&FaultScript::new().daemon_outage(
+            "l2",
+            Epoch::from_secs(100),
+            Epoch::from_secs(140),
+        ));
+        let sink = BufferSink::new();
+        net.l2().subscribe("darshanConnector", sink.clone());
+        net.publish(msg_at("nid0", Epoch::from_secs(120)));
+        assert_eq!(sink.len(), 0);
+        assert_eq!(net.l1().queued(), 0, "best effort: nothing parked");
+        assert_eq!(net.ledger().lost_with_cause(LossCause::DaemonDown), 1);
+        assert_eq!(net.ledger().lost_at("shirley-agg"), 1);
+        assert!(net.ledger().balances());
+    }
+
+    #[test]
+    fn settle_abandons_past_horizon_and_balances() {
+        let net = LdmsNetwork::build_with(&["nid0".into()], QueueConfig::reliable());
+        // L2 never comes back within the horizon.
+        net.apply_faults(&FaultScript::new().daemon_outage(
+            "l2",
+            Epoch::from_secs(100),
+            Epoch::from_secs(10_000),
+        ));
+        net.l2().subscribe("darshanConnector", BufferSink::new());
+        net.publish(msg_at("nid0", Epoch::from_secs(120)));
+        let abandoned = net.settle(Epoch::from_secs(200));
+        assert_eq!(abandoned, 1);
+        assert_eq!(net.ledger().lost_with_cause(LossCause::DaemonDown), 1);
+        assert!(net.ledger().balances());
     }
 }

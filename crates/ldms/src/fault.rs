@@ -1,0 +1,291 @@
+//! Fault injection: component lifecycles, a seeded RNG, and chaos
+//! scripts.
+//!
+//! The paper's deployment is implicitly always-up: daemons never crash
+//! and links never flap. Production-scale monitoring cannot assume
+//! that, so this module models scheduled *downtime windows* in virtual
+//! time ([`Lifecycle`]) for both daemons and transport links, plus a
+//! declarative [`FaultScript`] the experiment driver can hand to
+//! [`crate::LdmsNetwork::apply_faults`] to run a whole overhead
+//! campaign under injected faults. All randomness is drawn from the
+//! seeded, reproducible [`SimRng`] so campaigns stay replayable.
+
+use iosim_time::Epoch;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A small deterministic PRNG (splitmix64), used for probabilistic
+/// loss and retry jitter. Sequences depend only on the seed.
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    state: u64,
+}
+
+impl SimRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        mix64(self.state)
+    }
+
+    /// Next draw in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// splitmix64 finalizer: avalanches one 64-bit state word.
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Lock-free variant of [`SimRng`] for sampling from shared components
+/// (a [`crate::TransportLink`] is sampled under a read lock).
+#[derive(Debug)]
+pub(crate) struct AtomicRng {
+    state: AtomicU64,
+}
+
+impl AtomicRng {
+    pub(crate) fn new(seed: u64) -> Self {
+        Self {
+            state: AtomicU64::new(seed),
+        }
+    }
+
+    pub(crate) fn reseed(&self, seed: u64) {
+        self.state.store(seed, Ordering::Relaxed);
+    }
+
+    pub(crate) fn next_f64(&self) -> f64 {
+        let s = self
+            .state
+            .fetch_add(0x9E37_79B9_7F4A_7C15, Ordering::Relaxed)
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        (mix64(s) >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// Up/Down schedule of one component (daemon or link) in virtual time.
+///
+/// A component is up unless the queried instant falls inside a
+/// scheduled downtime window `[from, until)`. Windows may overlap or
+/// chain; [`Lifecycle::next_up`] resolves through all of them.
+#[derive(Debug, Default)]
+pub struct Lifecycle {
+    windows: RwLock<Vec<(Epoch, Epoch)>>,
+}
+
+impl Lifecycle {
+    /// Creates an always-up lifecycle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a downtime window `[from, until)`. Empty or inverted
+    /// windows are ignored.
+    pub fn schedule_down(&self, from: Epoch, until: Epoch) {
+        if until > from {
+            self.windows.write().push((from, until));
+        }
+    }
+
+    /// True when the component is up at `t`.
+    pub fn is_up(&self, t: Epoch) -> bool {
+        !self
+            .windows
+            .read()
+            .iter()
+            .any(|&(from, until)| from <= t && t < until)
+    }
+
+    /// Earliest instant `>= t` at which the component is up. Chained
+    /// and overlapping windows are resolved transitively.
+    pub fn next_up(&self, t: Epoch) -> Epoch {
+        let windows = self.windows.read();
+        let mut t = t;
+        loop {
+            match windows
+                .iter()
+                .find(|&&(from, until)| from <= t && t < until)
+            {
+                Some(&(_, until)) => t = until,
+                None => return t,
+            }
+        }
+    }
+
+    /// True when no downtime is scheduled at all (fast path).
+    pub fn always_up(&self) -> bool {
+        self.windows.read().is_empty()
+    }
+}
+
+/// One fault to inject. Components are addressed by daemon name; the
+/// aliases `"l1"` / `"l2"` address the aggregators of a
+/// [`crate::LdmsNetwork`] without knowing their host names. Link
+/// faults apply to the *upstream* link owned by the named daemon
+/// (e.g. the UGNI hop out of a compute node, or the site-network hop
+/// out of the L1 aggregator).
+#[derive(Debug, Clone)]
+pub enum FaultSpec {
+    /// Crash the daemon at `from` and restart it at `until`.
+    DaemonOutage {
+        /// Daemon name (or `"l1"` / `"l2"`).
+        daemon: String,
+        /// Crash instant.
+        from: Epoch,
+        /// Restart instant.
+        until: Epoch,
+    },
+    /// Take the daemon's upstream link down for `[from, until)`.
+    LinkFlap {
+        /// Owning daemon name (or `"l1"` / `"l2"`).
+        daemon: String,
+        /// Flap start.
+        from: Epoch,
+        /// Flap end.
+        until: Epoch,
+    },
+    /// Drop each message crossing the daemon's upstream link with
+    /// probability `prob`, sampled from a seeded reproducible RNG.
+    LinkLossProb {
+        /// Owning daemon name (or `"l1"` / `"l2"`).
+        daemon: String,
+        /// Per-message drop probability in `[0, 1]`.
+        prob: f64,
+        /// RNG seed.
+        seed: u64,
+    },
+    /// Drop every `n`-th message crossing the daemon's upstream link
+    /// (the deterministic legacy loss model; 0 disables).
+    LinkDropEvery {
+        /// Owning daemon name (or `"l1"` / `"l2"`).
+        daemon: String,
+        /// Drop period (0 = never).
+        every: u64,
+    },
+}
+
+/// A declarative chaos schedule: an ordered list of faults to apply to
+/// a network before (or while) a campaign runs.
+#[derive(Debug, Clone, Default)]
+pub struct FaultScript {
+    specs: Vec<FaultSpec>,
+}
+
+impl FaultScript {
+    /// Creates an empty script (no faults).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a daemon crash/restart window.
+    pub fn daemon_outage(mut self, daemon: &str, from: Epoch, until: Epoch) -> Self {
+        self.specs.push(FaultSpec::DaemonOutage {
+            daemon: daemon.to_string(),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Adds a link flap window on the daemon's upstream link.
+    pub fn link_flap(mut self, daemon: &str, from: Epoch, until: Epoch) -> Self {
+        self.specs.push(FaultSpec::LinkFlap {
+            daemon: daemon.to_string(),
+            from,
+            until,
+        });
+        self
+    }
+
+    /// Adds seeded probabilistic loss on the daemon's upstream link.
+    pub fn link_loss_prob(mut self, daemon: &str, prob: f64, seed: u64) -> Self {
+        self.specs.push(FaultSpec::LinkLossProb {
+            daemon: daemon.to_string(),
+            prob,
+            seed,
+        });
+        self
+    }
+
+    /// Adds deterministic every-`n`-th loss on the daemon's upstream
+    /// link.
+    pub fn link_drop_every(mut self, daemon: &str, every: u64) -> Self {
+        self.specs.push(FaultSpec::LinkDropEvery {
+            daemon: daemon.to_string(),
+            every,
+        });
+        self
+    }
+
+    /// The scripted faults, in order.
+    pub fn specs(&self) -> &[FaultSpec] {
+        &self.specs
+    }
+
+    /// True when the script injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_and_uniform_ish() {
+        let mut a = SimRng::new(42);
+        let mut b = SimRng::new(42);
+        let draws: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        assert_eq!(draws, (0..8).map(|_| b.next_u64()).collect::<Vec<_>>());
+        let mut c = SimRng::new(43);
+        assert_ne!(draws[0], c.next_u64());
+        let mean: f64 = (0..1000).map(|_| a.next_f64()).sum::<f64>() / 1000.0;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn lifecycle_windows_and_next_up() {
+        let lc = Lifecycle::new();
+        assert!(lc.always_up());
+        lc.schedule_down(Epoch::from_secs(10), Epoch::from_secs(20));
+        lc.schedule_down(Epoch::from_secs(20), Epoch::from_secs(25));
+        assert!(lc.is_up(Epoch::from_secs(9)));
+        assert!(!lc.is_up(Epoch::from_secs(10)));
+        assert!(!lc.is_up(Epoch::from_secs(22)));
+        assert!(lc.is_up(Epoch::from_secs(25)));
+        // Chained windows resolve transitively.
+        assert_eq!(lc.next_up(Epoch::from_secs(15)), Epoch::from_secs(25));
+        assert_eq!(lc.next_up(Epoch::from_secs(5)), Epoch::from_secs(5));
+    }
+
+    #[test]
+    fn inverted_window_is_ignored() {
+        let lc = Lifecycle::new();
+        lc.schedule_down(Epoch::from_secs(20), Epoch::from_secs(10));
+        assert!(lc.always_up());
+    }
+
+    #[test]
+    fn script_collects_specs_in_order() {
+        let s = FaultScript::new()
+            .daemon_outage("l2", Epoch::from_secs(1), Epoch::from_secs(2))
+            .link_loss_prob("nid00040", 0.25, 7);
+        assert_eq!(s.specs().len(), 2);
+        assert!(!s.is_empty());
+        assert!(matches!(
+            s.specs()[1],
+            FaultSpec::LinkLossProb { prob, seed: 7, .. } if (prob - 0.25).abs() < 1e-12
+        ));
+    }
+}

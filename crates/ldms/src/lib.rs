@@ -21,13 +21,28 @@
 //! stream, which is what enables the paper's "correlate I/O with system
 //! behaviour" analyses. [`store`] defines the stream-store interface
 //! and a CSV store matching Figure 3's JSON→CSV conversion.
+//!
+//! On top of the paper's always-up, fire-and-forget pipeline sits a
+//! fault-tolerance layer: [`fault`] (daemon/link lifecycles, seeded
+//! RNG, declarative chaos scripts), [`queue`] (bounded per-hop
+//! store-and-forward retry queues), and [`ledger`] (end-to-end delivery
+//! accounting — every published message is eventually counted exactly
+//! once as delivered or as lost with a `(hop, cause)` attribution).
+//! All of it is opt-in: the default [`queue::QueueConfig::best_effort`]
+//! preserves the paper's semantics unchanged.
 
 pub mod daemon;
+pub mod fault;
+pub mod ledger;
+pub mod queue;
 pub mod sampler;
 pub mod store;
 pub mod stream;
 pub mod transport;
 
-pub use daemon::{DaemonRole, Ldmsd, LdmsNetwork};
+pub use daemon::{DaemonRole, LdmsNetwork, Ldmsd};
+pub use fault::{FaultScript, FaultSpec, Lifecycle, SimRng};
+pub use ledger::{DeliveryLedger, LossCause, LossRecord};
+pub use queue::{OverflowPolicy, QueueConfig, RetryQueue};
 pub use stream::{MsgFormat, StreamMessage, StreamSink, StreamStats};
 pub use transport::TransportLink;

@@ -98,7 +98,8 @@ impl SamplerPlugin for VmstatSampler {
 
     fn sample(&self, producer: &str, now: Epoch) -> MetricSet {
         let tod = now.seconds_of_day() / 86_400.0;
-        let load = 0.4 + 0.3 * (std::f64::consts::TAU * tod).sin().abs()
+        let load = 0.4
+            + 0.3 * (std::f64::consts::TAU * tod).sin().abs()
             + 0.2 * unit_noise(self.seed, now);
         let mut metrics = BTreeMap::new();
         metrics.insert("cpu_load".into(), MetricValue::F64(load));

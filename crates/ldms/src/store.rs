@@ -77,9 +77,8 @@ pub fn json_to_rows(data: &str) -> Result<Vec<Vec<String>>, json::ParseError> {
         top("op"),
         top("cnt"),
     ];
-    let seg_field = |seg: Option<&JsonValue>, name: &str| {
-        field_to_string(seg.and_then(|s| s.get(name)))
-    };
+    let seg_field =
+        |seg: Option<&JsonValue>, name: &str| field_to_string(seg.and_then(|s| s.get(name)));
     let build_row = |seg: Option<&JsonValue>| {
         let mut row = Vec::with_capacity(CSV_HEADER.len());
         row.extend(base.iter().cloned());

@@ -34,6 +34,9 @@ pub struct StreamMessage {
     pub recv_time: Epoch,
     /// Aggregation hops traversed.
     pub hops: u32,
+    /// Per-publisher sequence number, stamped by the connector so the
+    /// store can detect gaps (`None` for unsequenced sources).
+    pub seq: Option<u64>,
 }
 
 impl StreamMessage {
@@ -53,7 +56,14 @@ impl StreamMessage {
             publish_time,
             recv_time: publish_time,
             hops: 0,
+            seq: None,
         }
+    }
+
+    /// Stamps a per-publisher sequence number on the message.
+    pub fn with_seq(mut self, seq: u64) -> Self {
+        self.seq = Some(seq);
+        self
     }
 
     /// Payload size in bytes.
@@ -126,7 +136,11 @@ impl StreamHub {
 
     /// Subscribes a sink to a tag.
     pub fn subscribe(&self, tag: &str, sink: Arc<dyn StreamSink>) {
-        self.subs.write().entry(tag.to_string()).or_default().push(sink);
+        self.subs
+            .write()
+            .entry(tag.to_string())
+            .or_default()
+            .push(sink);
     }
 
     /// Number of subscribers on a tag.
@@ -166,16 +180,29 @@ impl StreamHub {
 }
 
 /// A sink that buffers messages for later inspection (tests, analysis
-/// taps, and the simple store plugins).
+/// taps, and the simple store plugins). Optionally bounded: a full
+/// bounded sink rejects new messages and counts the overflow rather
+/// than growing without limit.
 #[derive(Default)]
 pub struct BufferSink {
     messages: Mutex<Vec<StreamMessage>>,
+    capacity: usize,
+    overflowed: AtomicU64,
 }
 
 impl BufferSink {
-    /// Creates an empty buffer sink.
+    /// Creates an unbounded buffer sink.
     pub fn new() -> Arc<Self> {
         Arc::new(Self::default())
+    }
+
+    /// Creates a bounded buffer sink holding at most `capacity`
+    /// messages (0 = unbounded).
+    pub fn with_capacity(capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            capacity,
+            ..Self::default()
+        })
     }
 
     /// Number of buffered messages.
@@ -186,6 +213,11 @@ impl BufferSink {
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Messages rejected because the sink was full.
+    pub fn overflowed(&self) -> u64 {
+        self.overflowed.load(Ordering::Relaxed)
     }
 
     /// Drains the buffered messages.
@@ -201,7 +233,12 @@ impl BufferSink {
 
 impl StreamSink for BufferSink {
     fn deliver(&self, msg: &StreamMessage) {
-        self.messages.lock().push(msg.clone());
+        let mut messages = self.messages.lock();
+        if self.capacity > 0 && messages.len() >= self.capacity {
+            self.overflowed.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        messages.push(msg.clone());
     }
 }
 
@@ -210,7 +247,13 @@ mod tests {
     use super::*;
 
     fn msg(tag: &str, data: &str) -> StreamMessage {
-        StreamMessage::new(tag, MsgFormat::Json, data.to_string(), "nid00001", Epoch::from_secs(1))
+        StreamMessage::new(
+            tag,
+            MsgFormat::Json,
+            data.to_string(),
+            "nid00001",
+            Epoch::from_secs(1),
+        )
     }
 
     #[test]
@@ -256,6 +299,29 @@ mod tests {
         assert_eq!(hub.dispatch(&msg("t", "x")), 2);
         assert_eq!(a.len(), 1);
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn bounded_sink_counts_overflow() {
+        let hub = StreamHub::new();
+        let sink = BufferSink::with_capacity(2);
+        hub.subscribe("t", sink.clone());
+        for i in 0..5 {
+            hub.dispatch(&msg("t", &format!("{i}")));
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.overflowed(), 3);
+        // Draining makes room again.
+        assert_eq!(sink.take().len(), 2);
+        hub.dispatch(&msg("t", "again"));
+        assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn seq_stamp_round_trips() {
+        let m = msg("t", "{}").with_seq(41);
+        assert_eq!(m.seq, Some(41));
+        assert_eq!(msg("t", "{}").seq, None);
     }
 
     #[test]

@@ -7,9 +7,18 @@
 //! (the pipeline is asynchronous — the application does *not* wait for
 //! delivery, matching the paper's push-based design), and support loss
 //! injection to exercise the best-effort semantics.
+//!
+//! Two loss models coexist: the deterministic `drop_every` period the
+//! seed shipped with, and a seeded probabilistic mode (`loss_prob`)
+//! whose drops are reproducible per seed. Links also carry a
+//! [`Lifecycle`] so a chaos script can flap them for a virtual-time
+//! window; a flap is *detectable* by the sender (the connection is
+//! down), unlike silent loss, so the daemon layer can park the message
+//! for retry instead of offering it to a dead link.
 
+use crate::fault::{AtomicRng, Lifecycle};
 use crate::stream::StreamMessage;
-use iosim_time::SimDuration;
+use iosim_time::{Epoch, SimDuration};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A one-way transport link.
@@ -22,7 +31,12 @@ pub struct TransportLink {
     /// Link bandwidth (bytes/s).
     pub bandwidth: f64,
     /// Drop one message every `n` (0 = never); models best-effort loss.
-    drop_every: u64,
+    drop_every: AtomicU64,
+    /// Per-message drop probability in `[0, 1]`, stored as f64 bits
+    /// (0 = never).
+    loss_prob_bits: AtomicU64,
+    rng: AtomicRng,
+    lifecycle: Lifecycle,
     sent: AtomicU64,
     dropped: AtomicU64,
     bytes: AtomicU64,
@@ -35,7 +49,10 @@ impl TransportLink {
             name: name.to_string(),
             latency_s,
             bandwidth,
-            drop_every: 0,
+            drop_every: AtomicU64::new(0),
+            loss_prob_bits: AtomicU64::new(0f64.to_bits()),
+            rng: AtomicRng::new(0),
+            lifecycle: Lifecycle::new(),
             sent: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
@@ -54,9 +71,51 @@ impl TransportLink {
 
     /// Enables dropping every `n`-th message (testing best-effort
     /// delivery). 0 disables.
-    pub fn with_loss_every(mut self, n: u64) -> Self {
-        self.drop_every = n;
+    pub fn with_loss_every(self, n: u64) -> Self {
+        self.drop_every.store(n, Ordering::Relaxed);
         self
+    }
+
+    /// Enables seeded probabilistic loss: each carried message is
+    /// dropped with probability `prob`. 0 disables.
+    pub fn with_loss_prob(self, prob: f64, seed: u64) -> Self {
+        self.set_loss_prob(prob, seed);
+        self
+    }
+
+    /// Reconfigures probabilistic loss on a live link.
+    pub fn set_loss_prob(&self, prob: f64, seed: u64) {
+        self.loss_prob_bits
+            .store(prob.clamp(0.0, 1.0).to_bits(), Ordering::Relaxed);
+        self.rng.reseed(seed);
+    }
+
+    /// Reconfigures deterministic every-`n`-th loss on a live link.
+    pub fn set_drop_every(&self, n: u64) {
+        self.drop_every.store(n, Ordering::Relaxed);
+    }
+
+    /// Current probabilistic drop rate.
+    pub fn loss_prob(&self) -> f64 {
+        f64::from_bits(self.loss_prob_bits.load(Ordering::Relaxed))
+    }
+
+    /// Schedules a connectivity outage (flap) for `[from, until)` in
+    /// virtual time. A down link refuses messages outright — the
+    /// failure is visible to the sender, so the daemon layer can park
+    /// the message for retry rather than losing it silently.
+    pub fn schedule_flap(&self, from: Epoch, until: Epoch) {
+        self.lifecycle.schedule_down(from, until);
+    }
+
+    /// True when the link is flapped down at `t`.
+    pub fn is_down(&self, t: Epoch) -> bool {
+        !self.lifecycle.is_up(t)
+    }
+
+    /// Earliest instant `>= t` at which the link is up again.
+    pub fn next_up(&self, t: Epoch) -> Epoch {
+        self.lifecycle.next_up(t)
     }
 
     /// Transit time for a message of `bytes`.
@@ -65,11 +124,18 @@ impl TransportLink {
     }
 
     /// Carries a message across the link: stamps delay and hop count.
-    /// Returns `None` when the message is dropped (best effort, no
-    /// resend).
+    /// Returns `None` when the message is dropped (silent loss — the
+    /// sender cannot tell; flap windows are checked by the sender via
+    /// [`TransportLink::is_down`] *before* offering the message).
     pub fn carry(&self, mut msg: StreamMessage) -> Option<StreamMessage> {
         let n = self.sent.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.drop_every > 0 && n % self.drop_every == 0 {
+        let drop_every = self.drop_every.load(Ordering::Relaxed);
+        if drop_every > 0 && n % drop_every == 0 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        let loss_prob = self.loss_prob();
+        if loss_prob > 0.0 && self.rng.next_f64() < loss_prob {
             self.dropped.fetch_add(1, Ordering::Relaxed);
             return None;
         }
@@ -102,7 +168,13 @@ mod tests {
     use iosim_time::Epoch;
 
     fn msg(data: &str) -> StreamMessage {
-        StreamMessage::new("t", MsgFormat::Json, data.to_string(), "nid1", Epoch::from_secs(10))
+        StreamMessage::new(
+            "t",
+            MsgFormat::Json,
+            data.to_string(),
+            "nid1",
+            Epoch::from_secs(10),
+        )
     }
 
     #[test]
@@ -129,6 +201,38 @@ mod tests {
         assert_eq!(delivered, 6);
         assert_eq!(l.dropped(), 3);
         assert_eq!(l.sent(), 9);
+    }
+
+    #[test]
+    fn probabilistic_loss_is_seeded_and_near_rate() {
+        let run = |seed| {
+            let l = TransportLink::ugni().with_loss_prob(0.25, seed);
+            (0..2000).filter(|_| l.carry(msg("x")).is_none()).count()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed reproduces the same drops");
+        assert_ne!(a, run(8), "different seed, different drops");
+        let rate = a as f64 / 2000.0;
+        assert!((rate - 0.25).abs() < 0.05, "observed rate {rate}");
+    }
+
+    #[test]
+    fn zero_probability_never_drops() {
+        let l = TransportLink::ugni().with_loss_prob(0.0, 1);
+        for _ in 0..100 {
+            assert!(l.carry(msg("x")).is_some());
+        }
+        assert_eq!(l.dropped(), 0);
+    }
+
+    #[test]
+    fn flap_window_marks_link_down() {
+        let l = TransportLink::site_network();
+        assert!(!l.is_down(Epoch::from_secs(5)));
+        l.schedule_flap(Epoch::from_secs(10), Epoch::from_secs(20));
+        assert!(l.is_down(Epoch::from_secs(15)));
+        assert!(!l.is_down(Epoch::from_secs(20)));
+        assert_eq!(l.next_up(Epoch::from_secs(15)), Epoch::from_secs(20));
     }
 
     #[test]

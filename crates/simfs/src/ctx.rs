@@ -84,7 +84,9 @@ mod tests {
     fn different_ranks_diverge() {
         let mut a = IoCtx::new(7, 0, 0, Epoch::from_secs(0));
         let mut b = IoCtx::new(7, 1, 0, Epoch::from_secs(0));
-        let same = (0..32).filter(|_| a.jitter_factor() == b.jitter_factor()).count();
+        let same = (0..32)
+            .filter(|_| a.jitter_factor() == b.jitter_factor())
+            .count();
         assert!(same < 4, "rank streams should be effectively independent");
     }
 

@@ -10,7 +10,11 @@ pub enum FsError {
     /// Operation on a handle that was already closed.
     StaleHandle(String),
     /// Read entirely beyond end-of-file.
-    BeyondEof { path: String, offset: u64, size: u64 },
+    BeyondEof {
+        path: String,
+        offset: u64,
+        size: u64,
+    },
     /// Write to a handle opened read-only.
     ReadOnly(String),
     /// Fault injected by a test (failure-injection hooks).

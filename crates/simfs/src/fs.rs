@@ -195,7 +195,9 @@ impl SimFs {
     ) -> OpCtx {
         let align = self.inner.alignment;
         OpCtx {
-            active_clients: ctx.concurrency_override.unwrap_or_else(|| self.active_clients()),
+            active_clients: ctx
+                .concurrency_override
+                .unwrap_or_else(|| self.active_clients()),
             load_factor: self.inner.weather.factor_at(ctx.clock.now()),
             jitter: ctx.jitter_factor(),
             aligned: offset % align == 0 && (bytes % align == 0 || bytes >= align),
@@ -289,7 +291,10 @@ impl SimFs {
             h.written_max = h.written_max.max(offset + len);
         }
         self.inner.stats.writes.fetch_add(1, Ordering::Relaxed);
-        self.inner.stats.bytes_written.fetch_add(len, Ordering::Relaxed);
+        self.inner
+            .stats
+            .bytes_written
+            .fetch_add(len, Ordering::Relaxed);
         Ok(timing)
     }
 
@@ -332,7 +337,10 @@ impl SimFs {
         });
         h.last_end = Some(offset + avail);
         self.inner.stats.reads.fetch_add(1, Ordering::Relaxed);
-        self.inner.stats.bytes_read.fetch_add(avail, Ordering::Relaxed);
+        self.inner
+            .stats
+            .bytes_read
+            .fetch_add(avail, Ordering::Relaxed);
         Ok(timing)
     }
 
@@ -533,7 +541,11 @@ mod tests {
         fs.write_at(&mut ctx, &mut h, 0, 16 * 1024 * 1024).unwrap();
         let read_back = fs.read_at(&mut ctx, &mut h, 0, 16 * 1024 * 1024).unwrap();
         // Pays the server round trip + bandwidth, not the page cache.
-        assert!(read_back.duration.as_secs_f64() > 0.05, "got {}", read_back.duration);
+        assert!(
+            read_back.duration.as_secs_f64() > 0.05,
+            "got {}",
+            read_back.duration
+        );
     }
 
     #[test]

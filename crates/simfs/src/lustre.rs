@@ -176,7 +176,10 @@ mod tests {
         let shared = m.transfer(XferKind::Write, 64 * 1024 * 1024, &crowded);
         let ratio = shared.as_secs_f64() / solo.as_secs_f64();
         assert!(ratio < 6.0, "Lustre should scale with OSTs, ratio {ratio}");
-        assert!(ratio > 1.5, "but 8 clients on 8 OSTs still share, ratio {ratio}");
+        assert!(
+            ratio > 1.5,
+            "but 8 clients on 8 OSTs still share, ratio {ratio}"
+        );
     }
 
     #[test]

@@ -121,8 +121,8 @@ impl PerfModel for NfsModel {
         match ctx.cached {
             CacheState::PageCache => {
                 // Buffered/own pages: no server involvement.
-                let secs = self.params.cached_op_latency_s
-                    + transfer_secs(bytes, self.params.cache_bw);
+                let secs =
+                    self.params.cached_op_latency_s + transfer_secs(bytes, self.params.cache_bw);
                 SimDuration::from_secs_f64(secs * ctx.load_factor * ctx.jitter)
             }
             CacheState::Readahead => {
@@ -134,8 +134,7 @@ impl PerfModel for NfsModel {
             }
             CacheState::Miss => {
                 let latency = self.params.rpc_latency_s;
-                let mut bw_secs =
-                    transfer_secs(bytes, self.shared_bw(kind, ctx.active_clients));
+                let mut bw_secs = transfer_secs(bytes, self.shared_bw(kind, ctx.active_clients));
                 if kind == XferKind::Write && bytes > self.params.write_cache_bytes {
                     bw_secs *= self.params.overflow_penalty;
                 }

@@ -196,7 +196,11 @@ impl Communicator {
 
     /// Broadcast from `root`: every rank receives root's payload.
     pub fn bcast(&self, clock: &mut iosim_time::Clock, root: u32, payload: Vec<u8>) -> Vec<u8> {
-        let to_send = if self.rank == root { payload } else { Vec::new() };
+        let to_send = if self.rank == root {
+            payload
+        } else {
+            Vec::new()
+        };
         let mut all = self.allgather(clock, to_send);
         all.swap_remove(root as usize)
     }

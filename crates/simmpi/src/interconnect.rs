@@ -33,8 +33,7 @@ impl Interconnect {
     /// Time for a collective that moves `bytes` through each
     /// participant's injection port, plus the dissemination latency.
     pub fn collective_transfer(&self, ranks: u32, bytes: u64) -> SimDuration {
-        self.collective_latency(ranks)
-            + SimDuration::from_secs_f64(bytes as f64 / self.node_bw)
+        self.collective_latency(ranks) + SimDuration::from_secs_f64(bytes as f64 / self.node_bw)
     }
 
     /// Point-to-point transfer of `bytes`.

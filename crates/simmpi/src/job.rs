@@ -94,28 +94,21 @@ impl Job {
     {
         assert!(params.ranks > 0, "job needs at least one rank");
         let comm0 = Communicator::new(params.ranks, params.interconnect);
-        let mut slots: Vec<Option<(SimDuration, R)>> =
-            (0..params.ranks).map(|_| None).collect();
+        let mut slots: Vec<Option<(SimDuration, R)>> = (0..params.ranks).map(|_| None).collect();
         crossbeam::thread::scope(|s| {
             for (rank, slot) in slots.iter_mut().enumerate() {
                 let rank = rank as u32;
                 let comm = comm0.for_rank(rank);
                 let f = &f;
                 s.spawn(move |_| {
-                    let io = IoCtx::new(
-                        params.seed,
-                        rank,
-                        params.node_of(rank),
-                        params.epoch_base,
-                    )
-                    .with_jitter(params.jitter);
+                    let io = IoCtx::new(params.seed, rank, params.node_of(rank), params.epoch_base)
+                        .with_jitter(params.jitter);
                     let mut ctx = RankCtx { io, comm };
                     // MPI_Abort semantics: if this rank panics, poison
                     // the communicator so ranks blocked in collectives
                     // abort too instead of deadlocking the job.
-                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                        || f(&mut ctx),
-                    ));
+                    let outcome =
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut ctx)));
                     match outcome {
                         Ok(result) => {
                             *slot = Some((ctx.io.clock.elapsed(), result));
@@ -136,7 +129,11 @@ impl Job {
             rank_elapsed.push(e);
             results.push(r);
         }
-        let elapsed = rank_elapsed.iter().copied().max().unwrap_or(SimDuration::ZERO);
+        let elapsed = rank_elapsed
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO);
         JobReport {
             rank_elapsed,
             elapsed,
@@ -190,8 +187,7 @@ mod tests {
         };
         let report = Job::run(p, |ctx| {
             let me = u64::from(ctx.rank());
-            ctx.comm
-                .allreduce_u64(&mut ctx.io.clock, me, |a, b| a + b)
+            ctx.comm.allreduce_u64(&mut ctx.io.clock, me, |a, b| a + b)
         });
         assert!(report.results.iter().all(|&s| s == 15));
     }

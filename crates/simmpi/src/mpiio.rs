@@ -233,13 +233,7 @@ impl<P: PosixLayer> MpiFile<P> {
     /// ROMIO's NFS path reads each sieve buffer's extent (where the
     /// file already has data), merges, and writes it back. Returns the
     /// number of POSIX operations issued.
-    fn sieved_write(
-        &mut self,
-        layer: &P,
-        io: &mut IoCtx,
-        offset: u64,
-        len: u64,
-    ) -> FsResult<u32> {
+    fn sieved_write(&mut self, layer: &P, io: &mut IoCtx, offset: u64, len: u64) -> FsResult<u32> {
         let sieve = self.hints.sieve_size.max(1);
         let mut ops = 0;
         let mut done = 0u64;
@@ -299,10 +293,7 @@ impl<P: PosixLayer> MpiFile<P> {
         // aggregator; the busiest aggregator's receive volume bounds the
         // phase, so all clocks advance by that transfer time.
         let per_agg = total_bytes.div_ceil(u64::from(cb_nodes));
-        let shuffle = ctx
-            .comm
-            .interconnect()
-            .collective_transfer(size, per_agg);
+        let shuffle = ctx.comm.interconnect().collective_transfer(size, per_agg);
         ctx.io.clock.advance(shuffle);
 
         // Phase 2: aggregators issue chunked, aligned POSIX transfers
@@ -322,8 +313,7 @@ impl<P: PosixLayer> MpiFile<P> {
                     let off = my_start + done;
                     if is_write {
                         if self.hints.data_sieving {
-                            posix_ops +=
-                                self.sieved_write(layer, &mut ctx.io, off, this)?;
+                            posix_ops += self.sieved_write(layer, &mut ctx.io, off, this)?;
                         } else {
                             layer.write_at(&mut ctx.io, &mut self.handle, off, this)?;
                             posix_ops += 1;
@@ -405,11 +395,10 @@ mod tests {
         let hints = CollectiveHints {
             cb_nodes: 2,
             cb_buffer_size: 2 * 1024 * 1024,
-                ..Default::default()
+            ..Default::default()
         };
         let report = Job::run(params(8, 4), |ctx| {
-            let mut f =
-                MpiFile::open_all(&fs, ctx, "/coll.dat", true, true, hints).unwrap();
+            let mut f = MpiFile::open_all(&fs, ctx, "/coll.dat", true, true, hints).unwrap();
             let off = u64::from(ctx.rank()) * block;
             let out = f.write_at_all(&fs, ctx, off, block).unwrap();
             f.close(&fs, ctx).unwrap();

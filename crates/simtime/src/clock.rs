@@ -98,7 +98,10 @@ mod tests {
         c.advance(SimDuration::from_millis(2500));
         let tp = c.time_pair();
         assert!((tp.rel - 2.5).abs() < 1e-12);
-        assert_eq!(tp.abs, Epoch::from_secs(1000) + SimDuration::from_millis(2500));
+        assert_eq!(
+            tp.abs,
+            Epoch::from_secs(1000) + SimDuration::from_millis(2500)
+        );
     }
 
     #[test]

@@ -143,7 +143,10 @@ mod tests {
     fn arithmetic_saturates() {
         let big = SimDuration::from_nanos(u64::MAX);
         assert_eq!(big + SimDuration::from_secs(1), big);
-        assert_eq!(SimDuration::ZERO - SimDuration::from_secs(1), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::ZERO - SimDuration::from_secs(1),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

@@ -89,8 +89,8 @@ impl ScatterGrid {
         let mut out = String::new();
         out.push_str(&format!("{y_label}\n"));
         for row in 0..self.height {
-            let y_val = self.y_max
-                - (self.y_max - self.y_min) * row as f64 / (self.height - 1) as f64;
+            let y_val =
+                self.y_max - (self.y_max - self.y_min) * row as f64 / (self.height - 1) as f64;
             out.push_str(&format!("{y_val:>10.2} |"));
             let line: String = self.cells[row * self.width..(row + 1) * self.width]
                 .iter()
@@ -134,12 +134,7 @@ mod tests {
 
     #[test]
     fn bar_chart_scales_to_width() {
-        let out = bar_chart(
-            &["read".into(), "write".into()],
-            &[10.0, 5.0],
-            None,
-            10,
-        );
+        let out = bar_chart(&["read".into(), "write".into()], &[10.0, 5.0], None, 10);
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains(&"#".repeat(10)));

@@ -611,10 +611,7 @@ mod tests {
         assert_eq!(parse("2.5").unwrap(), JsonValue::Float(2.5));
         assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
         assert_eq!(parse("null").unwrap(), JsonValue::Null);
-        assert_eq!(
-            parse("\"hi\"").unwrap(),
-            JsonValue::Str("hi".to_string())
-        );
+        assert_eq!(parse("\"hi\"").unwrap(), JsonValue::Str("hi".to_string()));
     }
 
     #[test]

@@ -28,9 +28,8 @@ fn main() {
 
     // Figure 6: per-node open/close counts for the first two jobs.
     let job_col = repro_suite::connector::schema::column_id("job_id");
-    let two_jobs = df.filter(|row| {
-        matches!(row[job_col], repro_suite::dsos::Value::U64(j) if j <= 301)
-    });
+    let two_jobs =
+        df.filter(|row| matches!(row[job_col], repro_suite::dsos::Value::U64(j) if j <= 301));
     let per_node = figures::per_node_ops(&two_jobs, &["open", "close"]);
     println!(
         "{}",
@@ -40,6 +39,9 @@ fn main() {
     // The runs also wrote classic Darshan logs; show one summary to
     // contrast post-run aggregates with the run-time stream.
     let log = repro_suite::darshan::log::parse_log(&runs.results[0].log_bytes).unwrap();
-    println!("--- stock Darshan post-run summary of job {} ---", runs.job_ids[0]);
+    println!(
+        "--- stock Darshan post-run summary of job {} ---",
+        runs.job_ids[0]
+    );
     print!("{}", log.summary());
 }

@@ -6,9 +6,7 @@
 //! Run with: `cargo run -p repro-suite --example quickstart`
 
 use repro_suite::apps::stack::DarshanStack;
-use repro_suite::connector::{
-    schema::column_id, ConnectorConfig, Pipeline, DEFAULT_STREAM_TAG,
-};
+use repro_suite::connector::{schema::column_id, ConnectorConfig, Pipeline, DEFAULT_STREAM_TAG};
 use repro_suite::darshan::runtime::JobMeta;
 use repro_suite::dsos::Value;
 use repro_suite::simfs::nfs::NfsModel;
@@ -47,8 +45,14 @@ fn main() {
             .open(&mut ctx.io, "/scratch/quickstart.dat", true, true, true)
             .unwrap();
         let off = u64::from(ctx.rank()) * 1024 * 1024;
-        stack.posix.write_at(&mut ctx.io, &mut h, off, 1024 * 1024).unwrap();
-        stack.posix.read_at(&mut ctx.io, &mut h, off, 1024 * 1024).unwrap();
+        stack
+            .posix
+            .write_at(&mut ctx.io, &mut h, off, 1024 * 1024)
+            .unwrap();
+        stack
+            .posix
+            .read_at(&mut ctx.io, &mut h, off, 1024 * 1024)
+            .unwrap();
         stack.posix.close(&mut ctx.io, &mut h).unwrap();
     });
 

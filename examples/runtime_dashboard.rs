@@ -19,7 +19,11 @@ fn main() {
     println!("per-job mean operation durations:");
     for op in ["read", "write"] {
         for (job, mean) in figures::job_mean_durations(&all, op) {
-            let marker = if job == runs.job_ids[2] { "  <-- anomalous" } else { "" };
+            let marker = if job == runs.job_ids[2] {
+                "  <-- anomalous"
+            } else {
+                ""
+            };
             println!("  job {job}: mean {op} {mean:>8.3} s{marker}");
         }
     }
@@ -30,10 +34,7 @@ fn main() {
     let pts = figures::time_distribution(&job2);
     println!(
         "{}",
-        dashboard::render_time_distribution(
-            "job 2: operation durations over execution time",
-            &pts
-        )
+        dashboard::render_time_distribution("job 2: operation durations over execution time", &pts)
     );
     let tl = figures::timeline(&job2, 48);
     println!(

@@ -35,7 +35,9 @@ fn main() {
     let start = Epoch::from_secs(1_655_300_000);
     let end = start + SimDuration::from_secs(600);
     for (i, node) in nodes.iter().enumerate() {
-        let vmstat = VmstatSampler { seed: 100 + i as u64 };
+        let vmstat = VmstatSampler {
+            seed: 100 + i as u64,
+        };
         let meminfo = MeminfoSampler {
             mem_total: 64 << 30,
             seed: 200 + i as u64,

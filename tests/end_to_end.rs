@@ -3,9 +3,9 @@
 //! Figure 4 pipeline the way the paper's deployment does.
 
 use repro_suite::apps::experiment::{run_job, Instrumentation, RunSpec};
+use repro_suite::apps::figdata;
 use repro_suite::apps::platform::FsChoice;
 use repro_suite::apps::workloads::{HaccIo, Hmmer, MpiIoTest, Sw4, Workload};
-use repro_suite::apps::figdata;
 use repro_suite::connector::schema::column_id;
 use repro_suite::dsos::Value;
 use repro_suite::hpcws::figures;
@@ -105,11 +105,7 @@ fn darshan_log_and_stream_agree_on_op_counts() {
     let app = MpiIoTest::tiny(false);
     let r = run_job(&app, &stored_spec(FsChoice::Lustre));
     let log = repro_suite::darshan::log::parse_log(&r.log_bytes).unwrap();
-    let log_ops: u64 = log
-        .records
-        .iter()
-        .map(|rec| rec.counters.total_ops())
-        .sum();
+    let log_ops: u64 = log.records.iter().map(|rec| rec.counters.total_ops()).sum();
     assert_eq!(log_ops, r.messages);
     // DXT traced the same segments the stream shipped.
     let dxt_segs: usize = log.dxt.iter().map(|d| d.segments.len()).sum();
@@ -127,8 +123,7 @@ fn sampling_reduces_stream_volume_but_not_darshan_records() {
     };
     let sampled = run_job(
         &app,
-        &RunSpec::calm(FsChoice::Lustre, Instrumentation::Connector(sampled_cfg))
-            .with_store(true),
+        &RunSpec::calm(FsChoice::Lustre, Instrumentation::Connector(sampled_cfg)).with_store(true),
     );
     assert!(sampled.messages < full.messages / 5);
     // Darshan's own records are unaffected by connector sampling.

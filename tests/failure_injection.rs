@@ -1,14 +1,28 @@
 //! Failure injection across the stack: file-system faults abort jobs
 //! cleanly (MPI_Abort semantics, no hangs), transport loss degrades
 //! gracefully, and the monitoring pipeline never takes the application
-//! down with it.
+//! down with it. Daemon outages, queue overflow, and sequence-gap
+//! detection are exercised against the delivery ledger: every injected
+//! loss must be attributed to exactly one `(hop, cause)` bucket.
 
+#[path = "fault_common/mod.rs"]
+mod fault_common;
+
+use fault_common::{
+    base_epoch, check_invariants, node_names, payload, random_scenario, run_scenario, Scenario, TAG,
+};
 use repro_suite::apps::stack::DarshanStack;
-use repro_suite::connector::{ConnectorConfig, Pipeline, DEFAULT_STREAM_TAG};
+use repro_suite::connector::{
+    ConnectorConfig, FaultScript, LossCause, OverflowPolicy, Pipeline, PipelineOpts, QueueConfig,
+    DEFAULT_STREAM_TAG,
+};
 use repro_suite::darshan::runtime::JobMeta;
+use repro_suite::ldms::stream::BufferSink;
+use repro_suite::ldms::{MsgFormat, StreamMessage};
 use repro_suite::simfs::nfs::NfsModel;
 use repro_suite::simfs::{FsError, SimFs, Weather};
 use repro_suite::simmpi::{Job, JobParams, PosixLayer};
+use repro_suite::simtime::{Epoch, SimDuration};
 use std::sync::Arc;
 
 fn fs() -> SimFs {
@@ -52,12 +66,7 @@ fn injected_fs_fault_aborts_the_job_without_hanging() {
 #[test]
 fn fault_error_type_is_reported() {
     let fs = fs();
-    let mut io = repro_suite::simfs::IoCtx::new(
-        1,
-        0,
-        0,
-        repro_suite::simtime::Epoch::from_secs(0),
-    );
+    let mut io = repro_suite::simfs::IoCtx::new(1, 0, 0, repro_suite::simtime::Epoch::from_secs(0));
     let (mut h, _) = fs.open(&mut io, "/g", true, true, false).unwrap();
     fs.inject_failure();
     match fs.write_at(&mut io, &mut h, 0, 16) {
@@ -105,7 +114,10 @@ fn connector_pipeline_survives_subscriber_absence_and_loss() {
                 .open(&mut ctx.io, "/h", true, true, false)
                 .unwrap();
             for i in 0..10 {
-                stack.posix.write_at(&mut ctx.io, &mut h, i * 64, 64).unwrap();
+                stack
+                    .posix
+                    .write_at(&mut ctx.io, &mut h, i * 64, 64)
+                    .unwrap();
             }
             stack.posix.close(&mut ctx.io, &mut h).unwrap();
             stats.published()
@@ -113,4 +125,178 @@ fn connector_pipeline_survives_subscriber_absence_and_loss() {
     );
     assert_eq!(report.results[0], 12); // open + 10 writes + close
     assert_eq!(pipeline.stored_events(), 0); // all dropped, nothing broke
+}
+
+/// Publishes `count` sequence-stamped messages from one node starting
+/// at the base epoch, 10 ms apart.
+fn publish_from(p: &Pipeline, node: &str, count: u64) {
+    for i in 0..count {
+        let t = base_epoch() + SimDuration::from_millis(i * 10);
+        p.network().publish(
+            StreamMessage::new(
+                TAG,
+                MsgFormat::Json,
+                payload(node, 7, 0, t.as_secs_f64()),
+                node,
+                t,
+            )
+            .with_seq(i + 1),
+        );
+    }
+}
+
+#[test]
+fn daemon_outage_window_buffers_and_delivers_after_restart() {
+    // L2 crashes before the workload starts and restarts after it
+    // ends; with store-and-forward queues, every message is parked at
+    // the L1 hop and delivered once L2 is back. Zero loss.
+    let restart = Epoch::from_secs(130);
+    let p = Pipeline::build_with(
+        &node_names(1),
+        &PipelineOpts {
+            dsosd_count: 1,
+            queue: QueueConfig::reliable(),
+            faults: FaultScript::new().daemon_outage("l2", Epoch::from_secs(90), restart),
+            ..PipelineOpts::default()
+        },
+    );
+    let tap = BufferSink::new();
+    p.network().l2().subscribe(TAG, tap.clone());
+
+    publish_from(&p, "nid00000", 12);
+    assert_eq!(p.stored_events(), 0, "nothing delivered while L2 is down");
+    assert!(
+        p.network().l1().queued() > 0,
+        "messages parked at the L1 hop"
+    );
+
+    p.settle(Epoch::from_secs(300));
+    assert_eq!(p.stored_events(), 12, "every buffered message delivered");
+    assert_eq!(p.ledger().total_lost(), 0);
+    assert!(p.ledger().balances());
+    assert_eq!(p.store().total_missing(), 0, "no gaps after recovery");
+    let delivered = tap.take();
+    assert_eq!(delivered.len(), 12);
+    assert!(
+        delivered.iter().all(|m| m.recv_time >= restart),
+        "nothing can arrive before the restart instant"
+    );
+}
+
+#[test]
+fn queue_overflow_drops_oldest_and_ledger_accounts() {
+    // A 2-deep drop-oldest queue under a long outage: of 5 messages,
+    // the 3 oldest are evicted (QueueOverflow at the L1 queue) and the
+    // 2 newest survive to delivery after the restart.
+    let p = Pipeline::build_with(
+        &node_names(1),
+        &PipelineOpts {
+            dsosd_count: 1,
+            queue: QueueConfig::reliable()
+                .with_capacity(2)
+                .with_policy(OverflowPolicy::DropOldest),
+            faults: FaultScript::new().daemon_outage(
+                "l2",
+                Epoch::from_secs(90),
+                Epoch::from_secs(200),
+            ),
+            ..PipelineOpts::default()
+        },
+    );
+    publish_from(&p, "nid00000", 5);
+    assert_eq!(p.network().l1().queued(), 2);
+
+    p.settle(Epoch::from_secs(300));
+    assert_eq!(p.stored_events(), 2);
+    assert_eq!(p.ledger().lost_with_cause(LossCause::QueueOverflow), 3);
+    assert_eq!(p.ledger().lost_at("voltrino-head/queue"), 3);
+    assert!(p.ledger().balances());
+    // The store received the newest two sequences (4 and 5): gap
+    // detection sees exactly the three evicted ones missing.
+    let reports = p.store().gap_reports();
+    assert_eq!(reports.len(), 1);
+    assert_eq!(reports[0].received, 2);
+    assert_eq!(reports[0].max_seq, 5);
+    assert_eq!(reports[0].missing, 3);
+}
+
+#[test]
+fn store_gap_detection_matches_injected_loss_exactly() {
+    // Deterministic every-3rd loss on the compute node's UGNI hop with
+    // best-effort semantics: messages 3, 6 and 9 of 10 vanish. The
+    // last message (10) arrives, so every loss sits below max_seq and
+    // gap detection agrees with the ledger to the message.
+    let p = Pipeline::build_with(
+        &node_names(1),
+        &PipelineOpts {
+            dsosd_count: 1,
+            faults: FaultScript::new().link_drop_every("nid00000", 3),
+            ..PipelineOpts::default()
+        },
+    );
+    publish_from(&p, "nid00000", 10);
+    p.settle(Epoch::from_secs(300));
+    assert_eq!(p.stored_events(), 7);
+    assert_eq!(p.ledger().lost_with_cause(LossCause::LinkLoss), 3);
+    assert_eq!(p.ledger().lost_at("nid00000/ugni"), 3);
+    assert!(p.ledger().balances());
+    assert_eq!(p.store().total_missing(), 3);
+}
+
+#[test]
+fn link_flap_parks_detectably_and_recovers() {
+    // A flapped link is a *detectable* failure: the sender parks the
+    // message instead of offering it to a dead link, so a flap window
+    // shorter than the horizon costs nothing.
+    let p = Pipeline::build_with(
+        &node_names(1),
+        &PipelineOpts {
+            dsosd_count: 1,
+            queue: QueueConfig::reliable(),
+            faults: FaultScript::new().link_flap(
+                "nid00000",
+                Epoch::from_secs(90),
+                Epoch::from_secs(150),
+            ),
+            ..PipelineOpts::default()
+        },
+    );
+    publish_from(&p, "nid00000", 4);
+    assert_eq!(p.stored_events(), 0);
+    p.settle(Epoch::from_secs(300));
+    assert_eq!(p.stored_events(), 4);
+    assert_eq!(p.ledger().total_lost(), 0);
+    assert!(p.ledger().balances());
+}
+
+#[test]
+fn ledger_balances_across_randomized_fault_scenarios() {
+    // Deterministic sweep of the same invariant the props.rs property
+    // test explores: under arbitrary fault scripts and queue policies,
+    // published == stored + sum(per-hop attributed losses) once the
+    // network settles, and sequence gaps never exceed real losses.
+    for seed in 0..48u64 {
+        let sc = random_scenario(seed);
+        let (_p, outcome) = run_scenario(&sc);
+        if let Err(e) = check_invariants(&outcome) {
+            panic!("seed {seed}: {e}\nscenario: {sc:?}\noutcome: {outcome:?}");
+        }
+    }
+}
+
+#[test]
+fn fault_free_scenario_is_lossless_and_gapless() {
+    let sc = Scenario {
+        nodes: 2,
+        msgs_per_node: 20,
+        queue: QueueConfig::best_effort(),
+        script: FaultScript::new(),
+        slack_s: 60,
+    };
+    let (p, outcome) = run_scenario(&sc);
+    check_invariants(&outcome).unwrap();
+    assert_eq!(outcome.stored, 40);
+    assert_eq!(outcome.lost, 0);
+    assert_eq!(outcome.missing, 0);
+    assert_eq!(p.ledger().delivered(), 40);
 }

@@ -1,0 +1,185 @@
+//! Shared fault-injection scenario machinery, `#[path]`-included by
+//! both `failure_injection.rs` (deterministic multi-seed sweeps) and
+//! `props.rs` (property-based transcription of the same invariants).
+#![allow(dead_code)]
+
+use repro_suite::connector::{
+    FaultScript, OverflowPolicy, Pipeline, PipelineOpts, QueueConfig, DEFAULT_STREAM_TAG,
+};
+use repro_suite::ldms::{MsgFormat, SimRng, StreamMessage};
+use repro_suite::simtime::{Epoch, SimDuration};
+
+/// The stream tag scenarios publish under.
+pub const TAG: &str = DEFAULT_STREAM_TAG;
+
+/// Virtual start of every scenario's publish phase.
+pub fn base_epoch() -> Epoch {
+    Epoch::from_secs(100)
+}
+
+/// Compute-node names `nid00000..`.
+pub fn node_names(n: u64) -> Vec<String> {
+    (0..n).map(|i| format!("nid{i:05}")).collect()
+}
+
+/// A connector-shaped JSON payload the DSOS store can ingest, carrying
+/// the `(job_id, rank)` key gap detection needs.
+pub fn payload(producer: &str, job_id: u64, rank: u64, ts: f64) -> String {
+    format!(
+        concat!(
+            r#"{{"uid":99066,"exe":"/apps/t","file":"/scratch/o.dat","job_id":{},"#,
+            r#""rank":{},"ProducerName":"{}","record_id":42,"module":"POSIX","type":"MOD","#,
+            r#""max_byte":4095,"switches":0,"flushes":-1,"cnt":1,"op":"write","#,
+            r#""seg":[{{"data_set":"N/A","pt_sel":-1,"irreg_hslab":-1,"reg_hslab":-1,"#,
+            r#""ndims":-1,"npoints":-1,"off":0,"len":4096,"dur":0.005,"timestamp":{}}}]}}"#
+        ),
+        job_id, rank, producer, ts
+    )
+}
+
+/// One fault-injection scenario: a topology, a publish workload, a
+/// per-hop queue configuration, and a chaos script.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Compute-node count.
+    pub nodes: u64,
+    /// Sequence-stamped messages published per node.
+    pub msgs_per_node: u64,
+    /// Retry-queue configuration for every hop.
+    pub queue: QueueConfig,
+    /// Faults applied before publishing.
+    pub script: FaultScript,
+    /// Settle horizon, seconds past the base epoch.
+    pub slack_s: u64,
+}
+
+/// What a scenario run produced, reduced to the accounting numbers the
+/// invariants are stated over.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// Messages the scenario pushed into the network.
+    pub published: u64,
+    /// Messages the ledger saw enter the network.
+    pub ledger_published: u64,
+    /// Events the DSOS store holds (1 per delivered message).
+    pub stored: u64,
+    /// Messages the ledger attributes as lost, all hops and causes.
+    pub lost: u64,
+    /// Sequence gaps the store detected.
+    pub missing: u64,
+    /// `published == delivered + lost` per the ledger.
+    pub balances: bool,
+}
+
+/// Runs a scenario to quiescence and returns the pipeline (for
+/// cause/hop-level queries) plus the reduced outcome.
+pub fn run_scenario(sc: &Scenario) -> (Pipeline, Outcome) {
+    let nodes = node_names(sc.nodes);
+    let p = Pipeline::build_with(
+        &nodes,
+        &PipelineOpts {
+            dsosd_count: 1,
+            tag: TAG.to_string(),
+            attach_store: true,
+            queue: sc.queue.clone(),
+            faults: sc.script.clone(),
+        },
+    );
+    let base = base_epoch();
+    let mut published = 0u64;
+    for i in 0..sc.msgs_per_node {
+        for (n_idx, name) in nodes.iter().enumerate() {
+            let t = base + SimDuration::from_millis(i * 10 + n_idx as u64);
+            let data = payload(name, 7, n_idx as u64, t.as_secs_f64());
+            p.network()
+                .publish(StreamMessage::new(TAG, MsgFormat::Json, data, name, t).with_seq(i + 1));
+            published += 1;
+        }
+    }
+    p.settle(base + SimDuration::from_secs(sc.slack_s));
+    let outcome = Outcome {
+        published,
+        ledger_published: p.ledger().published(),
+        stored: p.stored_events() as u64,
+        lost: p.ledger().total_lost(),
+        missing: p.store().total_missing(),
+        balances: p.ledger().balances(),
+    };
+    (p, outcome)
+}
+
+/// The end-to-end loss-accounting invariants every scenario must
+/// satisfy once settled, regardless of queue configuration or faults.
+pub fn check_invariants(o: &Outcome) -> Result<(), String> {
+    if o.ledger_published != o.published {
+        return Err(format!(
+            "ledger saw {} published, scenario pushed {}",
+            o.ledger_published, o.published
+        ));
+    }
+    if !o.balances {
+        return Err(format!(
+            "ledger does not balance: published={} stored={} lost={}",
+            o.published, o.stored, o.lost
+        ));
+    }
+    if o.stored + o.lost != o.published {
+        return Err(format!(
+            "published ({}) != stored ({}) + attributed losses ({})",
+            o.published, o.stored, o.lost
+        ));
+    }
+    if o.missing > o.lost {
+        return Err(format!(
+            "gap detection reports {} missing but only {} were lost",
+            o.missing, o.lost
+        ));
+    }
+    Ok(())
+}
+
+/// Derives a full scenario deterministically from one seed: topology
+/// size, workload length, queue configuration (all four policies), and
+/// up to two faults drawn from every [`FaultScript`] constructor.
+pub fn random_scenario(seed: u64) -> Scenario {
+    let mut rng = SimRng::new(seed);
+    let nodes = 1 + rng.next_u64() % 3;
+    let msgs_per_node = 5 + rng.next_u64() % 26;
+    let queue = match rng.next_u64() % 4 {
+        0 => QueueConfig::best_effort(),
+        1 => QueueConfig::reliable().with_seed(rng.next_u64()),
+        2 => QueueConfig::reliable()
+            .with_capacity(2)
+            .with_seed(rng.next_u64()),
+        _ => QueueConfig::reliable()
+            .with_policy(OverflowPolicy::BlockWithDeadline(SimDuration::from_millis(
+                50,
+            )))
+            .with_seed(rng.next_u64()),
+    };
+    // Fault windows overlap the publish span (10 ms per message step).
+    let span_ms = msgs_per_node * 10 + 10;
+    let mut script = FaultScript::new();
+    for _ in 0..rng.next_u64() % 3 {
+        let target = match rng.next_u64() % 3 {
+            0 => "l1".to_string(),
+            1 => "l2".to_string(),
+            _ => format!("nid{:05}", rng.next_u64() % nodes),
+        };
+        let from = base_epoch() + SimDuration::from_millis(rng.next_u64() % span_ms);
+        let until = from + SimDuration::from_millis(1 + rng.next_u64() % 200);
+        script = match rng.next_u64() % 4 {
+            0 => script.daemon_outage(&target, from, until),
+            1 => script.link_flap(&target, from, until),
+            2 => script.link_loss_prob(&target, 0.1 + 0.4 * rng.next_f64(), rng.next_u64()),
+            _ => script.link_drop_every(&target, 2 + rng.next_u64() % 4),
+        };
+    }
+    Scenario {
+        nodes,
+        msgs_per_node,
+        queue,
+        script,
+        slack_s: 60,
+    }
+}

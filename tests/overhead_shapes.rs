@@ -93,7 +93,10 @@ fn low_rate_apps_pay_little_high_rate_apps_pay_dearly() {
         particles_per_rank: 2_000_000,
         path: "/scratch/hacc.shape".into(),
     };
-    let base = run_job(&hacc, &RunSpec::calm(FsChoice::Lustre, Instrumentation::DarshanOnly));
+    let base = run_job(
+        &hacc,
+        &RunSpec::calm(FsChoice::Lustre, Instrumentation::DarshanOnly),
+    );
     let with = run_job(
         &hacc,
         &RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default()),
@@ -109,7 +112,10 @@ fn low_rate_apps_pay_little_high_rate_apps_pay_dearly() {
     let mut hmmer = Hmmer::tiny();
     hmmer.families = 150;
     hmmer.sequences = 6_000;
-    let base = run_job(&hmmer, &RunSpec::calm(FsChoice::Lustre, Instrumentation::DarshanOnly));
+    let base = run_job(
+        &hmmer,
+        &RunSpec::calm(FsChoice::Lustre, Instrumentation::DarshanOnly),
+    );
     let with = run_job(
         &hmmer,
         &RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default()),
@@ -149,8 +155,5 @@ fn hmmer_runs_far_slower_on_nfs_than_lustre() {
     hmmer.compute_s_per_family = 0.0; // isolate the I/O contrast
     let nfs = baseline(&hmmer, FsChoice::Nfs);
     let lustre = baseline(&hmmer, FsChoice::Lustre);
-    assert!(
-        nfs > lustre * 2.0,
-        "NFS {nfs:.2}s vs Lustre {lustre:.2}s"
-    );
+    assert!(nfs > lustre * 2.0, "NFS {nfs:.2}s vs Lustre {lustre:.2}s");
 }

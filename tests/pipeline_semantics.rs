@@ -6,9 +6,9 @@ use repro_suite::connector::{darshan_schema, DsosStreamStore, DEFAULT_STREAM_TAG
 use repro_suite::dsos::{DsosCluster, Value};
 use repro_suite::ldms::daemon::DaemonRole;
 use repro_suite::ldms::store::CsvStreamStore;
-use repro_suite::ldms::StreamSink;
 use repro_suite::ldms::stream::{BufferSink, MsgFormat};
-use repro_suite::ldms::{Ldmsd, LdmsNetwork, StreamMessage, TransportLink};
+use repro_suite::ldms::StreamSink;
+use repro_suite::ldms::{LdmsNetwork, Ldmsd, StreamMessage, TransportLink};
 use repro_suite::simtime::Epoch;
 
 fn connector_msg(ts: f64) -> StreamMessage {

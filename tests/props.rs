@@ -1,5 +1,8 @@
 //! Property-based tests over the core data structures and invariants.
 
+#[path = "fault_common/mod.rs"]
+mod fault_common;
+
 use proptest::prelude::*;
 use repro_suite::dsos::{DsosCluster, Schema, Type, Value};
 use repro_suite::ldms::store::json_to_rows;
@@ -236,6 +239,24 @@ proptest! {
         prop_assert_eq!(rows.len(), nsegs);
         for row in rows {
             prop_assert_eq!(row.len(), 24);
+        }
+    }
+
+    // --- end-to-end delivery accounting ---------------------------------
+
+    #[test]
+    fn delivery_ledger_balances_under_arbitrary_fault_scripts(seed in any::<u64>()) {
+        // The scenario (topology size, workload, queue policy, chaos
+        // script) is derived deterministically from the seed, so any
+        // failure here replays exactly from the reported seed. The
+        // invariant: once the network settles, every published message
+        // is stored or attributed to exactly one (hop, cause) bucket,
+        // and sequence-gap detection never claims more missing
+        // messages than were actually lost.
+        let sc = fault_common::random_scenario(seed);
+        let (_p, outcome) = fault_common::run_scenario(&sc);
+        if let Err(e) = fault_common::check_invariants(&outcome) {
+            prop_assert!(false, "{} (scenario: {:?}, outcome: {:?})", e, sc, outcome);
         }
     }
 }
