@@ -16,6 +16,8 @@
 //! * [`dashboard`] — deterministic text rendering of those series (the
 //!   Grafana panel analogue) plus CSV export for external plotting.
 
+#![forbid(unsafe_code)]
+
 pub mod dashboard;
 pub mod figures;
 pub mod frame;

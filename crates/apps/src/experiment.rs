@@ -8,6 +8,7 @@ use darshan_ldms_connector::{
 };
 use darshan_sim::log::write_log;
 use darshan_sim::runtime::JobMeta;
+use iolint::{check_pipeline_topology, check_pipeline_trace, LintConfig, TraceLintOpts};
 use iosim_fs::stats::FsStatsSnapshot;
 use iosim_fs::CongestionWindow;
 use iosim_mpi::{Job, JobParams};
@@ -166,6 +167,14 @@ pub struct RunResult {
     pub pipeline: Option<Pipeline>,
     /// The Darshan log written at job end.
     pub log_bytes: Vec<u8>,
+    /// Pre-flight topology diagnostics, computed before any message
+    /// flows (empty for baselines). Unstored overhead runs legitimately
+    /// report `TOP004` here: the terminal daemon drops everything.
+    pub topology_report: iolint::Report,
+    /// Post-run trace diagnostics over the stored events, with
+    /// sequence gaps reconciled against the delivery ledger (empty for
+    /// baselines and unstored runs).
+    pub trace_report: iolint::Report,
 }
 
 /// Runs one job to completion through the full stack.
@@ -187,6 +196,12 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
     } else {
         None
     };
+
+    // Pre-flight: statically validate the topology (including the
+    // chaos script's downtime windows) before a single message flows.
+    let topology_report = pipeline.as_ref().map_or_else(iolint::Report::default, |p| {
+        check_pipeline_topology(p, DEFAULT_STREAM_TAG, &spec.faults, &LintConfig::new())
+    });
 
     let job = JobMeta::new(spec.job_id, 99_066, app.exe(), app.ranks());
     let params = JobParams {
@@ -234,6 +249,15 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
         p.ledger().total_lost()
     });
 
+    // Post-run: lint the stored trace, reconciling sequence gaps
+    // against the delivery ledger. Only meaningful with a store.
+    let trace_report = match pipeline.as_ref() {
+        Some(p) if spec.store => {
+            check_pipeline_trace(p, &TraceLintOpts::default(), &LintConfig::new())
+        }
+        _ => iolint::Report::default(),
+    };
+
     let mut per_rank = per_rank.into_inner();
     per_rank.sort_by_key(|&(r, _, _)| r);
     let rank_messages: Vec<u64> = per_rank.iter().map(|&(_, m, _)| m).collect();
@@ -262,6 +286,8 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
         fs_stats: fs.stats(),
         pipeline,
         log_bytes,
+        topology_report,
+        trace_report,
     }
 }
 
@@ -345,6 +371,62 @@ mod tests {
         let r = run_job(&app, &spec);
         assert!(r.messages > 0);
         assert_eq!(r.pipeline.as_ref().unwrap().stored_events(), 0);
+    }
+
+    #[test]
+    fn lint_reports_ride_along_with_runs() {
+        let app = MpiIoTest::tiny(false);
+
+        // Baselines have no pipeline: both reports are empty.
+        let base = run_job(
+            &app,
+            &RunSpec::calm(FsChoice::Lustre, Instrumentation::DarshanOnly),
+        );
+        assert!(base.topology_report.is_clean());
+        assert!(base.trace_report.is_clean());
+
+        // A stored fault-free run passes pre-flight cleanly and its
+        // trace carries no structural errors (anti-pattern *warnings*
+        // about the workload's own I/O are legitimate findings).
+        let stored = run_job(
+            &app,
+            &RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default()).with_store(true),
+        );
+        assert!(
+            stored.topology_report.is_clean(),
+            "{}",
+            stored.topology_report.render_text()
+        );
+        assert!(
+            !stored.trace_report.has_errors(),
+            "{}",
+            stored.trace_report.render_text()
+        );
+
+        // An unstored overhead run is flagged pre-flight: the terminal
+        // daemon has no subscriber, so everything will be dropped.
+        let unstored = run_job(
+            &app,
+            &RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default()),
+        );
+        assert!(unstored.topology_report.codes().contains("TOP004"));
+    }
+
+    #[test]
+    fn faulted_run_gaps_are_explained_by_the_ledger() {
+        // Losses the ledger attributes must never surface as TRC006:
+        // a diagnosed outage is not a monitoring-integrity defect.
+        let app = MpiIoTest::tiny(false);
+        let spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+            .with_store(true)
+            .with_faults(FaultScript::new().link_loss_prob("l1", 0.2, 11));
+        let r = run_job(&app, &spec);
+        assert!(r.messages_lost > 0);
+        assert!(
+            !r.trace_report.codes().contains("TRC006"),
+            "{}",
+            r.trace_report.render_text()
+        );
     }
 
     #[test]

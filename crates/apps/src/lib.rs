@@ -19,6 +19,8 @@
 //! * [`figdata`] — runs the figure experiments and extracts analysis
 //!   dataframes from DSOS.
 
+#![forbid(unsafe_code)]
+
 pub mod experiment;
 pub mod figdata;
 pub mod platform;

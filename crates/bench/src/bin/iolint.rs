@@ -1,0 +1,160 @@
+//! `iolint` CLI: static topology validation and stored-trace linting.
+//!
+//! ```text
+//! iolint [--json|--table] [-A CODE] [-W CODE] [-D CODE] topo <conf-file>...
+//! iolint [--json|--table] [-A CODE] [-W CODE] [-D CODE] trace <csv-file>...
+//! ```
+//!
+//! `topo` lints declarative topology conf files (see the `iolint`
+//! crate docs for the format); `trace` lints Figure 3 CSV exports (24
+//! columns in schema order, optional header row). `-A`/`-W`/`-D`
+//! re-level a lint by code (`TOP004`) or name (`missing-subscriber`).
+//!
+//! Exit status: 0 when every file is clean or carries only warnings,
+//! 1 when any error-severity diagnostic fires, 2 on usage, I/O, or
+//! parse errors.
+
+use darshan_ldms_connector::COLUMNS;
+use iolint::{check_topology, check_trace, parse_conf, LintConfig, TraceEvent, TraceLintOpts};
+use std::process::ExitCode;
+
+const USAGE: &str =
+    "usage: iolint [--json|--table] [-A CODE] [-W CODE] [-D CODE] <topo|trace> <file>...";
+
+enum Output {
+    Text,
+    Table,
+    Json,
+}
+
+struct Cli {
+    output: Output,
+    config: LintConfig,
+    mode: String,
+    files: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut output = Output::Text;
+    let mut config = LintConfig::new();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => output = Output::Json,
+            "--table" => output = Output::Table,
+            "-A" | "--allow" | "-W" | "--warn" | "-D" | "--deny" => {
+                let code = it.next().ok_or_else(|| format!("{a} needs a lint code"))?;
+                let level = match a.as_str() {
+                    "-A" | "--allow" => iolint::LintLevel::Allow,
+                    "-W" | "--warn" => iolint::LintLevel::Warn,
+                    _ => iolint::LintLevel::Deny,
+                };
+                config.set(code, level)?;
+            }
+            "-h" | "--help" => return Err(USAGE.to_string()),
+            other => rest.push(other.to_string()),
+        }
+    }
+    let (mode, files) = rest
+        .split_first()
+        .ok_or_else(|| USAGE.to_string())
+        .map(|(m, f)| (m.clone(), f.to_vec()))?;
+    if mode != "topo" && mode != "trace" {
+        return Err(format!("unknown mode `{mode}`\n{USAGE}"));
+    }
+    if files.is_empty() {
+        return Err(format!("no input files\n{USAGE}"));
+    }
+    Ok(Cli {
+        output,
+        config,
+        mode,
+        files,
+    })
+}
+
+/// Decodes one trace CSV: 24 fields per row in `COLUMNS` order, with
+/// an optional header row. Returns `(line, reason)` on failure.
+fn read_trace_csv(text: &str) -> Result<Vec<TraceEvent>, (usize, String)> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields = iosim_util::csv::decode_row(line);
+        if i == 0 && fields.first().map(String::as_str) == Some(COLUMNS[0].0) {
+            continue; // header row
+        }
+        match TraceEvent::from_csv_fields(&fields) {
+            Some(e) => events.push(e),
+            None => {
+                return Err((
+                    i + 1,
+                    format!(
+                        "expected {} typed fields in schema order, got {}",
+                        COLUMNS.len(),
+                        fields.len()
+                    ),
+                ))
+            }
+        }
+    }
+    Ok(events)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut any_error = false;
+    for file in &cli.files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("iolint: {file}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = if cli.mode == "topo" {
+            match parse_conf(&text) {
+                Ok(spec) => check_topology(&spec, &cli.config),
+                Err(e) => {
+                    eprintln!("iolint: {file}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            match read_trace_csv(&text) {
+                Ok(events) => check_trace(&events, &TraceLintOpts::default(), &cli.config),
+                Err((line, msg)) => {
+                    eprintln!("iolint: {file}:{line}: {msg}");
+                    return ExitCode::from(2);
+                }
+            }
+        };
+        any_error |= report.has_errors();
+        match cli.output {
+            Output::Json => println!("{}", report.render_json()),
+            Output::Table => {
+                println!("== {file}");
+                print!("{}", report.render_table());
+            }
+            Output::Text => {
+                println!("== {file}");
+                print!("{}", report.render_text());
+            }
+        }
+    }
+    if any_error {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

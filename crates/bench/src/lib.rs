@@ -5,6 +5,8 @@
 //! the default; they simulate hundreds of ranks and millions of events
 //! and can take minutes of wall-clock time.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 
 /// Parsed command-line options shared by the harness binaries.

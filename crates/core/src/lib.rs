@@ -30,6 +30,8 @@
 //! plugin that ingests stream messages into a DSOS cluster. [`pipeline`]
 //! assembles the whole Figure 4 topology in one call.
 
+#![forbid(unsafe_code)]
+
 pub mod connector;
 pub mod cost;
 pub mod message;
@@ -42,7 +44,7 @@ pub use ldms_sim::{
     DeliveryLedger, FaultScript, FaultSpec, LossCause, LossRecord, OverflowPolicy, QueueConfig,
 };
 pub use pipeline::{Pipeline, PipelineOpts};
-pub use schema::{darshan_schema, DsosStreamStore, GapReport, COLUMNS};
+pub use schema::{column_id, darshan_schema, DsosStreamStore, GapReport, COLUMNS, CONTAINER};
 
 /// The stream tag the connector publishes under ("the Darshan-LDMS
 /// Connector currently uses a single unique LDMS Stream tag",

@@ -26,6 +26,8 @@
 //! * [`dxt`] — DXT-style per-operation segment tracing;
 //! * [`log`] — binary log writer and the `darshan-util`-style parser.
 
+#![forbid(unsafe_code)]
+
 pub mod counters;
 pub mod dxt;
 pub mod hdf5;

@@ -13,6 +13,8 @@
 //! * [`cluster`] — the client API: round-robin ingest across daemons,
 //!   parallel query + k-way merge, CSV import/export.
 
+#![forbid(unsafe_code)]
+
 pub mod cluster;
 pub mod schema;
 pub mod store;

@@ -1,0 +1,91 @@
+//! `iolint` — a diagnostics framework for the Darshan-LDMS pipeline.
+//!
+//! Two passes, one report format:
+//!
+//! * **Topology** (`TOP001`–`TOP010`): static validation of an
+//!   aggregation topology — forwarding cycles, orphan samplers,
+//!   unreachable stores, missing subscribers, queue-capacity and
+//!   retry-deadline feasibility against scheduled downtime, duplicate
+//!   producer names, and Table I schema coverage. Runs on a live
+//!   [`Pipeline`]/[`LdmsNetwork`](ldms_sim::daemon::LdmsNetwork)
+//!   *before* any message flows, or on a declarative conf file in CI.
+//! * **Trace** (`TRC001`–`TRC008`): linting of stored `darshan_data`
+//!   rows — unmatched opens/closes, impossible or overlapping
+//!   durations, timestamp regressions, sequence gaps the delivery
+//!   ledger cannot explain, and the I/O anti-patterns (tiny unaligned
+//!   writes, rank stragglers) the paper diagnoses at run time.
+//!
+//! Diagnostics carry stable codes with rustc-style `allow`/`warn`/
+//! `deny` configuration ([`LintConfig`]) and render as plain text, a
+//! table, or JSON ([`Report`]).
+//!
+//! ```
+//! use iolint::{check_topology, parse_conf, LintConfig};
+//!
+//! let spec = parse_conf("
+//!     daemon nid0 sampler
+//!       upstream agg
+//!     daemon agg l2
+//! ").unwrap();
+//! let report = check_topology(&spec, &LintConfig::new());
+//! assert!(report.codes().contains("TOP004")); // no subscriber at `agg`
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(clippy::pedantic)]
+// Pedantic triage — deliberate exceptions, each with a reason:
+#![allow(clippy::must_use_candidate)] // pure getters pervade the diag API; per-fn annotation is noise
+#![allow(clippy::missing_errors_doc)] // error conditions are documented in prose on the error types
+#![allow(clippy::missing_panics_doc)] // the only panics are internal-invariant expects
+#![allow(clippy::cast_precision_loss)] // counts/capacities ≪ 2^52, so u64→f64 is exact in practice
+#![allow(clippy::too_many_lines)] // lint_topology/lint_trace are deliberately single linear sweeps
+
+pub mod diag;
+pub mod topology;
+pub mod trace;
+
+pub use diag::{
+    find_lint, Diagnostic, LintCode, LintConfig, LintLevel, Report, Severity, REGISTRY,
+};
+pub use topology::{
+    lint_topology, parse_conf, ConfError, DaemonSpec, OutageKind, OutageSpec, Role, TopologySpec,
+};
+pub use trace::{
+    events_from_cluster, lint_gaps, lint_trace, LossBudget, TraceEvent, TraceLintOpts,
+};
+
+use darshan_ldms_connector::Pipeline;
+use ldms_sim::fault::FaultScript;
+
+/// Runs the topology pass over a spec and folds the findings into a
+/// configured [`Report`].
+pub fn check_topology(spec: &TopologySpec, config: &LintConfig) -> Report {
+    Report::new(lint_topology(spec), config)
+}
+
+/// Pre-flight check of an assembled pipeline: extracts the topology
+/// (including the store schema and the fault script's downtime
+/// windows) and runs the topology pass.
+pub fn check_pipeline_topology(
+    p: &Pipeline,
+    tag: &str,
+    faults: &FaultScript,
+    config: &LintConfig,
+) -> Report {
+    let spec = TopologySpec::from_pipeline(p, tag, faults);
+    Report::new(lint_topology(&spec), config)
+}
+
+/// Runs the trace pass over a slice of decoded events (no gap
+/// reconciliation — use [`lint_gaps`] separately when a ledger is
+/// available).
+pub fn check_trace(events: &[TraceEvent], opts: &TraceLintOpts, config: &LintConfig) -> Report {
+    Report::new(lint_trace(events, opts), config)
+}
+
+/// Post-run check of an assembled pipeline: lints every stored event
+/// and reconciles the store's sequence gaps against the pipeline's
+/// delivery ledger.
+pub fn check_pipeline_trace(p: &Pipeline, opts: &TraceLintOpts, config: &LintConfig) -> Report {
+    Report::new(trace::lint_pipeline_trace(p, opts), config)
+}

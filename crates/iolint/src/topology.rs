@@ -1,0 +1,892 @@
+//! The topology pass: static validation of an aggregation pipeline.
+//!
+//! Works on a [`TopologySpec`] — a plain-data intermediate
+//! representation of the Figure 4 topology that can be extracted from
+//! a live [`ldms_sim::daemon::LdmsNetwork`] / `Pipeline` *or* parsed
+//! from a declarative conf file, so the same lints run pre-flight
+//! inside the experiment driver and ahead of time in CI.
+//!
+//! ## Conf format
+//!
+//! Line-oriented, `#` comments, whitespace-separated tokens:
+//!
+//! ```text
+//! tag darshanConnector
+//!
+//! daemon nid00040 sampler
+//!   upstream voltrino-head
+//!   link ugni
+//!   rate 120
+//!   queue capacity=1024 policy=drop-oldest attempts=8 backoff=0.001 max-backoff=1.0
+//!
+//! daemon voltrino-head l1
+//!   upstream shirley-agg
+//!   link site-net
+//!
+//! daemon shirley-agg l2
+//!   subscribe darshanConnector
+//!
+//! outage shirley-agg 100 160      # daemon down [100, 160) virtual secs
+//! flap voltrino-head 10 20        # its upstream link down [10, 20)
+//! schema module uid ProducerName ...
+//! ```
+//!
+//! `daemon` starts a section; the indented attribute lines apply to
+//! the most recent daemon. Roles are `sampler`, `l1`, `l2`. Queue
+//! policies are `drop-oldest`, `drop-newest`, `deadline:<secs>`.
+
+use crate::diag::{self, Diagnostic, Severity};
+use darshan_ldms_connector::{Pipeline, COLUMNS};
+use iosim_time::{Epoch, SimDuration};
+use ldms_sim::daemon::{DaemonRole, LdmsNetwork};
+use ldms_sim::fault::{FaultScript, FaultSpec};
+use ldms_sim::queue::{OverflowPolicy, QueueConfig};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// Role of a daemon in the spec (mirrors [`DaemonRole`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Compute-node sampler daemon (publishes the stream).
+    Sampler,
+    /// First-level aggregator.
+    AggregatorL1,
+    /// Second-level aggregator.
+    AggregatorL2,
+}
+
+impl Role {
+    /// The conf-file spelling of the role.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Sampler => "sampler",
+            Role::AggregatorL1 => "l1",
+            Role::AggregatorL2 => "l2",
+        }
+    }
+}
+
+/// One daemon in the IR.
+#[derive(Debug, Clone)]
+pub struct DaemonSpec {
+    /// Producer / daemon name.
+    pub name: String,
+    /// Topology role.
+    pub role: Role,
+    /// Name of the daemon this one forwards to, if any.
+    pub upstream: Option<String>,
+    /// Name of the transport link used for the upstream hop.
+    pub link: Option<String>,
+    /// Retry-queue configuration guarding the upstream hop.
+    pub queue: QueueConfig,
+    /// Stream tags with subscribers attached at this daemon.
+    pub subscribers: Vec<String>,
+    /// Expected publish rate in messages per second (samplers;
+    /// conf-file only — live networks do not know their future rate).
+    pub rate_hz: Option<f64>,
+}
+
+impl DaemonSpec {
+    /// A daemon with no upstream, no subscribers, best-effort queue.
+    pub fn new(name: &str, role: Role) -> Self {
+        Self {
+            name: name.to_string(),
+            role,
+            upstream: None,
+            link: None,
+            queue: QueueConfig::best_effort(),
+            subscribers: Vec::new(),
+            rate_hz: None,
+        }
+    }
+
+    fn subscribes(&self, tag: &str) -> bool {
+        self.subscribers.iter().any(|t| t == tag)
+    }
+}
+
+/// What a scheduled downtime window applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutageKind {
+    /// The named daemon itself is down.
+    Daemon,
+    /// The named daemon's upstream link is down.
+    Link,
+}
+
+/// One scheduled downtime window `[from, until)` in virtual time.
+#[derive(Debug, Clone)]
+pub struct OutageSpec {
+    /// Daemon or link-owner affected.
+    pub component: String,
+    /// Component kind.
+    pub kind: OutageKind,
+    /// Window start.
+    pub from: Epoch,
+    /// Window end.
+    pub until: Epoch,
+}
+
+/// Plain-data topology description the lints run against.
+#[derive(Debug, Clone)]
+pub struct TopologySpec {
+    /// All daemons (order preserved from the source).
+    pub daemons: Vec<DaemonSpec>,
+    /// The stream tag the pipeline carries.
+    pub stream_tag: String,
+    /// Store schema column names, when known (enables `TOP008`).
+    pub schema_columns: Option<Vec<String>>,
+    /// Scheduled downtime windows (enables `TOP005` / `TOP009`).
+    pub outages: Vec<OutageSpec>,
+}
+
+impl TopologySpec {
+    /// An empty spec for the given tag.
+    pub fn new(tag: &str) -> Self {
+        Self {
+            daemons: Vec::new(),
+            stream_tag: tag.to_string(),
+            schema_columns: None,
+            outages: Vec::new(),
+        }
+    }
+
+    /// Extracts the IR from a live network: daemon roles, upstream
+    /// wiring, per-hop queue configs, and which daemons have
+    /// subscribers for `tag`. `faults` contributes the downtime
+    /// windows (the same script later handed to `apply_faults`).
+    pub fn from_network(net: &LdmsNetwork, tag: &str, faults: &FaultScript) -> Self {
+        let daemons = net
+            .daemons()
+            .iter()
+            .map(|d| {
+                let n = d.subscriber_count(tag);
+                DaemonSpec {
+                    name: d.name().to_string(),
+                    role: match d.role() {
+                        DaemonRole::Sampler => Role::Sampler,
+                        DaemonRole::AggregatorL1 => Role::AggregatorL1,
+                        DaemonRole::AggregatorL2 => Role::AggregatorL2,
+                    },
+                    upstream: d.upstream_target().map(|t| t.name().to_string()),
+                    link: d.upstream_link_name(),
+                    queue: d.queue_config().unwrap_or_default(),
+                    subscribers: vec![tag.to_string(); n],
+                    rate_hz: None,
+                }
+            })
+            .collect();
+        let mut spec = Self {
+            daemons,
+            stream_tag: tag.to_string(),
+            schema_columns: None,
+            outages: Vec::new(),
+        };
+        spec.absorb_faults(faults);
+        spec
+    }
+
+    /// Extracts the IR from an assembled pipeline, additionally
+    /// capturing the store's schema columns so `TOP008` can check
+    /// Table I coverage.
+    pub fn from_pipeline(p: &Pipeline, tag: &str, faults: &FaultScript) -> Self {
+        let mut spec = Self::from_network(p.network(), tag, faults);
+        spec.schema_columns = Some(
+            p.store()
+                .schema()
+                .attrs()
+                .iter()
+                .map(|a| a.name.clone())
+                .collect(),
+        );
+        spec
+    }
+
+    /// Folds a chaos script's downtime windows into the spec. The
+    /// aliases `"l1"` / `"l2"` resolve to the first daemon with the
+    /// matching role; unknown components are skipped, mirroring
+    /// `LdmsNetwork::apply_faults` tolerance. Probabilistic loss specs
+    /// carry no window and are ignored here (the delivery ledger, not
+    /// the topology linter, accounts for them).
+    pub fn absorb_faults(&mut self, faults: &FaultScript) {
+        for f in faults.specs() {
+            let (name, kind, from, until) = match f {
+                FaultSpec::DaemonOutage {
+                    daemon,
+                    from,
+                    until,
+                } => (daemon, OutageKind::Daemon, *from, *until),
+                FaultSpec::LinkFlap {
+                    daemon,
+                    from,
+                    until,
+                } => (daemon, OutageKind::Link, *from, *until),
+                FaultSpec::LinkLossProb { .. } | FaultSpec::LinkDropEvery { .. } => continue,
+            };
+            if let Some(component) = self.resolve_alias(name) {
+                self.outages.push(OutageSpec {
+                    component,
+                    kind,
+                    from,
+                    until,
+                });
+            }
+        }
+    }
+
+    fn resolve_alias(&self, name: &str) -> Option<String> {
+        if self.daemons.iter().any(|d| d.name == name) {
+            return Some(name.to_string());
+        }
+        let role = match name {
+            "l1" => Role::AggregatorL1,
+            "l2" => Role::AggregatorL2,
+            _ => return None,
+        };
+        self.daemons
+            .iter()
+            .find(|d| d.role == role)
+            .map(|d| d.name.clone())
+    }
+}
+
+/// A conf-file parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfError {
+    /// Offending line (1-based).
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ConfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "conf parse error at line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ConfError {}
+
+fn epoch_from_secs_f64(s: f64) -> Epoch {
+    Epoch::from_secs(0) + SimDuration::from_secs_f64(s)
+}
+
+fn parse_f64(tok: &str, line: usize, what: &str) -> Result<f64, ConfError> {
+    tok.parse::<f64>().map_err(|_| ConfError {
+        line,
+        msg: format!("bad {what}: {tok}"),
+    })
+}
+
+/// Parses the declarative conf format described in the module docs.
+pub fn parse_conf(text: &str) -> Result<TopologySpec, ConfError> {
+    let mut spec = TopologySpec::new(darshan_ldms_connector::DEFAULT_STREAM_TAG);
+    let mut current: Option<usize> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let toks: Vec<&str> = line.split_whitespace().collect();
+        let err = |msg: String| ConfError { line: line_no, msg };
+        match toks[0] {
+            "tag" => {
+                let t = toks.get(1).ok_or_else(|| err("tag needs a name".into()))?;
+                spec.stream_tag = (*t).to_string();
+            }
+            "daemon" => {
+                let (name, role) = match toks.as_slice() {
+                    [_, name, role] => (*name, *role),
+                    _ => return Err(err("usage: daemon <name> <sampler|l1|l2>".into())),
+                };
+                let role = match role {
+                    "sampler" => Role::Sampler,
+                    "l1" | "aggregator-l1" => Role::AggregatorL1,
+                    "l2" | "aggregator-l2" => Role::AggregatorL2,
+                    r => return Err(err(format!("unknown role: {r}"))),
+                };
+                spec.daemons.push(DaemonSpec::new(name, role));
+                current = Some(spec.daemons.len() - 1);
+            }
+            "upstream" | "link" | "rate" | "subscribe" | "queue" => {
+                let d = current
+                    .map(|i| &mut spec.daemons[i])
+                    .ok_or_else(|| err(format!("`{}` before any `daemon`", toks[0])))?;
+                match toks[0] {
+                    "upstream" => {
+                        let t = toks
+                            .get(1)
+                            .ok_or_else(|| err("upstream needs a name".into()))?;
+                        d.upstream = Some((*t).to_string());
+                    }
+                    "link" => {
+                        let t = toks.get(1).ok_or_else(|| err("link needs a name".into()))?;
+                        d.link = Some((*t).to_string());
+                    }
+                    "rate" => {
+                        let t = toks
+                            .get(1)
+                            .ok_or_else(|| err("rate needs msgs/sec".into()))?;
+                        d.rate_hz = Some(parse_f64(t, line_no, "rate")?);
+                    }
+                    "subscribe" => {
+                        let t = toks
+                            .get(1)
+                            .ok_or_else(|| err("subscribe needs a tag".into()))?;
+                        d.subscribers.push((*t).to_string());
+                    }
+                    "queue" => {
+                        d.queue = parse_queue(&toks[1..], line_no)?;
+                    }
+                    _ => unreachable!("outer match arm"),
+                }
+            }
+            "outage" | "flap" => {
+                let (name, from, until) = match toks.as_slice() {
+                    [_, name, from, until] => (*name, *from, *until),
+                    _ => {
+                        return Err(err(format!(
+                            "usage: {} <daemon> <from_s> <until_s>",
+                            toks[0]
+                        )))
+                    }
+                };
+                spec.outages.push(OutageSpec {
+                    component: name.to_string(),
+                    kind: if toks[0] == "outage" {
+                        OutageKind::Daemon
+                    } else {
+                        OutageKind::Link
+                    },
+                    from: epoch_from_secs_f64(parse_f64(from, line_no, "from")?),
+                    until: epoch_from_secs_f64(parse_f64(until, line_no, "until")?),
+                });
+            }
+            "schema" => {
+                spec.schema_columns = Some(toks[1..].iter().map(|s| (*s).to_string()).collect());
+            }
+            other => return Err(err(format!("unknown directive: {other}"))),
+        }
+    }
+    // Outage components referencing aliases resolve after all daemons
+    // are known; unknown names are kept verbatim (they simply never
+    // match a hop, like apply_faults skipping unknown targets).
+    for o in &mut spec.outages {
+        if let Some(resolved) = resolve_after_parse(&spec.daemons, &o.component) {
+            o.component = resolved;
+        }
+    }
+    Ok(spec)
+}
+
+fn resolve_after_parse(daemons: &[DaemonSpec], name: &str) -> Option<String> {
+    if daemons.iter().any(|d| d.name == name) {
+        return Some(name.to_string());
+    }
+    let role = match name {
+        "l1" => Role::AggregatorL1,
+        "l2" => Role::AggregatorL2,
+        _ => return None,
+    };
+    daemons
+        .iter()
+        .find(|d| d.role == role)
+        .map(|d| d.name.clone())
+}
+
+fn parse_queue(kvs: &[&str], line: usize) -> Result<QueueConfig, ConfError> {
+    let mut q = QueueConfig::best_effort();
+    for kv in kvs {
+        let (k, v) = kv.split_once('=').ok_or(ConfError {
+            line,
+            msg: format!("queue setting must be key=value: {kv}"),
+        })?;
+        match k {
+            "capacity" => {
+                q.capacity = v.parse().map_err(|_| ConfError {
+                    line,
+                    msg: format!("bad capacity: {v}"),
+                })?;
+            }
+            "attempts" => {
+                q.max_attempts = v.parse().map_err(|_| ConfError {
+                    line,
+                    msg: format!("bad attempts: {v}"),
+                })?;
+            }
+            "backoff" => {
+                q.base_backoff = SimDuration::from_secs_f64(parse_f64(v, line, "backoff")?);
+            }
+            "max-backoff" => {
+                q.max_backoff = SimDuration::from_secs_f64(parse_f64(v, line, "max-backoff")?);
+            }
+            "jitter" => q.jitter = parse_f64(v, line, "jitter")?,
+            "policy" => {
+                q.policy = match v {
+                    "drop-oldest" => OverflowPolicy::DropOldest,
+                    "drop-newest" => OverflowPolicy::DropNewest,
+                    d if d.starts_with("deadline:") => {
+                        let secs = parse_f64(&d["deadline:".len()..], line, "deadline")?;
+                        OverflowPolicy::BlockWithDeadline(SimDuration::from_secs_f64(secs))
+                    }
+                    other => {
+                        return Err(ConfError {
+                            line,
+                            msg: format!("unknown policy: {other}"),
+                        })
+                    }
+                };
+            }
+            other => {
+                return Err(ConfError {
+                    line,
+                    msg: format!("unknown queue setting: {other}"),
+                })
+            }
+        }
+    }
+    Ok(q)
+}
+
+/// Where a forwarding walk ends.
+enum WalkEnd {
+    /// Reached a daemon with no upstream.
+    Terminal(usize),
+    /// Re-entered a daemon already on the walk.
+    Cycle,
+    /// Upstream name resolves to no daemon.
+    Dangling,
+}
+
+/// Follows the upstream chain from `start`; returns every daemon index
+/// on the path (including `start`) plus how the walk ended.
+fn walk(
+    daemons: &[DaemonSpec],
+    by_name: &HashMap<&str, usize>,
+    start: usize,
+) -> (Vec<usize>, WalkEnd) {
+    let mut path = vec![start];
+    let mut seen: HashSet<usize> = HashSet::from([start]);
+    let mut at = start;
+    loop {
+        match &daemons[at].upstream {
+            None => return (path, WalkEnd::Terminal(at)),
+            Some(up) => match by_name.get(up.as_str()) {
+                None => return (path, WalkEnd::Dangling),
+                Some(&next) => {
+                    if !seen.insert(next) {
+                        return (path, WalkEnd::Cycle);
+                    }
+                    path.push(next);
+                    at = next;
+                }
+            },
+        }
+    }
+}
+
+/// Runs every `TOP*` lint over the spec, returning raw findings at
+/// their default severities (apply a [`crate::LintConfig`] via
+/// [`crate::Report::new`]).
+pub fn lint_topology(spec: &TopologySpec) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let tag = &spec.stream_tag;
+    let daemons = &spec.daemons;
+
+    // TOP007 — duplicate names. Later duplicates are excluded from the
+    // name map so the remaining lints see one daemon per name.
+    let mut by_name: HashMap<&str, usize> = HashMap::with_capacity(daemons.len());
+    for (i, d) in daemons.iter().enumerate() {
+        if by_name.contains_key(d.name.as_str()) {
+            diags.push(
+                Diagnostic::new(
+                    &diag::TOP007,
+                    format!("daemon `{}`", d.name),
+                    format!("producer name `{}` is declared more than once", d.name),
+                )
+                .with_help("publishes and fault specs address daemons by name; rename one"),
+            );
+        } else {
+            by_name.insert(d.name.as_str(), i);
+        }
+    }
+
+    // TOP010 — dangling upstream references.
+    for d in daemons {
+        if let Some(up) = &d.upstream {
+            if !by_name.contains_key(up.as_str()) {
+                diags.push(
+                    Diagnostic::new(
+                        &diag::TOP010,
+                        format!("daemon `{}`", d.name),
+                        format!("forwards to `{up}`, which is not a declared daemon"),
+                    )
+                    .with_help("declare the upstream daemon or fix the name"),
+                );
+            }
+        }
+    }
+
+    // TOP002 — orphan samplers.
+    for d in daemons {
+        if d.role == Role::Sampler && d.upstream.is_none() {
+            diags.push(
+                Diagnostic::new(
+                    &diag::TOP002,
+                    format!("daemon `{}`", d.name),
+                    format!(
+                        "sampler `{}` has no upstream aggregator; its stream never leaves the node",
+                        d.name
+                    ),
+                )
+                .with_help("connect the sampler to the first-level aggregator"),
+            );
+        }
+    }
+
+    // Walk every sampler's forwarding path once; cycles, terminal
+    // subscribers and reachability all fall out of the walks.
+    let sampler_ids: Vec<usize> = daemons
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.role == Role::Sampler)
+        .map(|(i, _)| i)
+        .collect();
+    let mut reachable: HashSet<usize> = HashSet::new();
+    // terminal daemon -> samplers whose path ends there
+    let mut terminals: BTreeMap<usize, Vec<&str>> = BTreeMap::new();
+    let mut paths: HashMap<usize, Vec<usize>> = HashMap::new();
+    for &s in &sampler_ids {
+        let (path, end) = walk(daemons, &by_name, s);
+        reachable.extend(path.iter().copied());
+        if let WalkEnd::Terminal(t) = end {
+            terminals.entry(t).or_default().push(&daemons[s].name);
+        }
+        paths.insert(s, path);
+    }
+
+    // TOP001 — cycles, found over the whole graph (not only sampler
+    // paths) so a looping aggregator pair is flagged even with no
+    // sampler attached. Deduplicate by the cycle's member set.
+    let mut cycles_seen: HashSet<Vec<usize>> = HashSet::new();
+    for start in 0..daemons.len() {
+        let (path, end) = walk(daemons, &by_name, start);
+        if let WalkEnd::Cycle = end {
+            // The walk re-entered some daemon on `path`; the cycle is
+            // the suffix starting at the re-entered daemon.
+            let last = &daemons[*path.last().expect("non-empty path")];
+            let reentry = by_name[last
+                .upstream
+                .as_ref()
+                .expect("cycle walk ends on a forwarding daemon")
+                .as_str()];
+            let pos = path
+                .iter()
+                .position(|&i| i == reentry)
+                .expect("re-entered daemon is on the path");
+            let mut members: Vec<usize> = path[pos..].to_vec();
+            let rendered: Vec<&str> = members.iter().map(|&i| daemons[i].name.as_str()).collect();
+            let rendered = format!("{} -> {}", rendered.join(" -> "), daemons[reentry].name);
+            members.sort_unstable();
+            if cycles_seen.insert(members) {
+                diags.push(
+                    Diagnostic::new(
+                        &diag::TOP001,
+                        format!("daemon `{}`", daemons[reentry].name),
+                        format!("forwarding cycle: {rendered}"),
+                    )
+                    .with_help(
+                        "aggregation must be a DAG; every message entering the cycle is dropped \
+                         with cause `cycle-dropped`",
+                    ),
+                );
+            }
+        }
+    }
+
+    // TOP004 — terminal daemons with no subscriber for the tag.
+    for (t, samplers) in &terminals {
+        if !daemons[*t].subscribes(tag) {
+            diags.push(
+                Diagnostic::new(
+                    &diag::TOP004,
+                    format!("daemon `{}`", daemons[*t].name),
+                    format!(
+                        "terminal daemon `{}` has no subscriber for tag `{tag}`; traffic from {} \
+                         sampler(s) ({}) is dropped with cause `no-subscriber`",
+                        daemons[*t].name,
+                        samplers.len(),
+                        samplers.join(", "),
+                    ),
+                )
+                .with_help("attach the store plugin (or another sink) at the terminal daemon"),
+            );
+        }
+    }
+
+    // TOP003 — subscribers nothing can reach.
+    for (i, d) in daemons.iter().enumerate() {
+        if d.subscribes(tag) && !reachable.contains(&i) && by_name.get(d.name.as_str()) == Some(&i)
+        {
+            diags.push(
+                Diagnostic::new(
+                    &diag::TOP003,
+                    format!("daemon `{}`", d.name),
+                    format!(
+                        "`{}` subscribes to tag `{tag}` but lies on no sampler's forwarding path",
+                        d.name
+                    ),
+                )
+                .with_help("LDMS Streams does not cache: a subscriber off every path sees nothing"),
+            );
+        }
+    }
+
+    // TOP006 — deadline shorter than the first backoff.
+    for d in daemons {
+        if d.upstream.is_none() || !d.queue.retries_enabled() {
+            continue;
+        }
+        if let OverflowPolicy::BlockWithDeadline(deadline) = d.queue.policy {
+            if deadline <= d.queue.base_backoff {
+                diags.push(
+                    Diagnostic::new(
+                        &diag::TOP006,
+                        format!("daemon `{}`", d.name),
+                        format!(
+                            "retry deadline {:.6}s is not longer than the first backoff {:.6}s: \
+                             every parked message expires before its first retry",
+                            deadline.as_secs_f64(),
+                            d.queue.base_backoff.as_secs_f64(),
+                        ),
+                    )
+                    .with_help("raise the deadline above the base backoff or disable retries"),
+                );
+            }
+        }
+    }
+
+    // Downtime windows, grouped per affected hop (the daemon owning
+    // the queue that must ride the outage out).
+    // hop daemon index -> total scheduled downtime its upstream sees.
+    let mut hop_downtime: BTreeMap<usize, f64> = BTreeMap::new();
+    for o in &spec.outages {
+        let secs = o.until.since(o.from).as_secs_f64();
+        if secs <= 0.0 {
+            continue;
+        }
+        match o.kind {
+            // A daemon outage is ridden out by every hop targeting it.
+            OutageKind::Daemon => {
+                for (i, d) in daemons.iter().enumerate() {
+                    if d.upstream.as_deref() == Some(o.component.as_str()) {
+                        *hop_downtime.entry(i).or_default() += secs;
+                    }
+                }
+            }
+            // A link flap is ridden out by the link's owner.
+            OutageKind::Link => {
+                if let Some(&i) = by_name.get(o.component.as_str()) {
+                    if daemons[i].upstream.is_some() {
+                        *hop_downtime.entry(i).or_default() += secs;
+                    }
+                }
+            }
+        }
+    }
+
+    for (&i, &down_secs) in &hop_downtime {
+        let d = &daemons[i];
+        if !d.queue.retries_enabled() {
+            // TOP009 — outage behind a best-effort hop: guaranteed loss.
+            diags.push(
+                Diagnostic::new(
+                    &diag::TOP009,
+                    format!("daemon `{}`", d.name),
+                    format!(
+                        "{down_secs:.0}s of scheduled downtime sits behind the best-effort hop at \
+                         `{}`; every message in the window is lost",
+                        d.name
+                    ),
+                )
+                .with_help("give the hop a retry queue (attempts > 1) to ride the outage out"),
+            );
+            continue;
+        }
+        // TOP005 — retrying hop whose bounded queue cannot absorb the
+        // window. Needs publish rates, so conf-file specs only.
+        if matches!(d.queue.policy, OverflowPolicy::BlockWithDeadline(_)) {
+            continue; // deadline policy bounds time, not space
+        }
+        let through_rate: f64 = sampler_ids
+            .iter()
+            .filter(|s| paths.get(s).is_some_and(|p| p.contains(&i)))
+            .filter_map(|&s| daemons[s].rate_hz)
+            .sum();
+        if through_rate <= 0.0 {
+            continue;
+        }
+        let expected = through_rate * down_secs;
+        if expected > d.queue.capacity as f64 {
+            diags.push(
+                Diagnostic::new(
+                    &diag::TOP005,
+                    format!("daemon `{}`", d.name),
+                    format!(
+                        "queue at `{}` (capacity {}) must park ~{expected:.0} messages over \
+                         {down_secs:.0}s of scheduled downtime at ~{through_rate:.0} msg/s",
+                        d.name, d.queue.capacity
+                    ),
+                )
+                .with_help("raise the queue capacity or shorten the outage window"),
+            );
+        }
+    }
+
+    // TOP008 — Table I schema coverage.
+    if let Some(cols) = &spec.schema_columns {
+        let expected: Vec<&str> = COLUMNS.iter().map(|&(n, _)| n).collect();
+        let expected_set: BTreeSet<&str> = expected.iter().copied().collect();
+        let got_set: BTreeSet<&str> = cols.iter().map(String::as_str).collect();
+        let missing: Vec<&str> = expected_set.difference(&got_set).copied().collect();
+        let extra: Vec<&str> = got_set.difference(&expected_set).copied().collect();
+        if !missing.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    &diag::TOP008,
+                    "schema `darshan_data`".to_string(),
+                    format!(
+                        "store schema is missing {} of the 24 Table I column(s): {}",
+                        missing.len(),
+                        missing.join(", ")
+                    ),
+                )
+                .with_help("the store rejects rows whose arity or types mismatch the schema"),
+            );
+        }
+        if !extra.is_empty() {
+            diags.push(
+                Diagnostic::new(
+                    &diag::TOP008,
+                    "schema `darshan_data`".to_string(),
+                    format!(
+                        "store schema declares unknown column(s): {}",
+                        extra.join(", ")
+                    ),
+                )
+                .with_severity(Severity::Warning)
+                .with_help("extra columns are never populated by the connector"),
+            );
+        }
+        if missing.is_empty() && extra.is_empty() && cols.iter().map(String::as_str).ne(expected) {
+            diags.push(
+                Diagnostic::new(
+                    &diag::TOP008,
+                    "schema `darshan_data`".to_string(),
+                    "store schema columns are complete but not in Figure 3 order".to_string(),
+                )
+                .with_severity(Severity::Warning)
+                .with_help("CSV export relies on attribute order matching Figure 3"),
+            );
+        }
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER: &str = "
+tag darshanConnector
+daemon nid00040 sampler
+  upstream voltrino-head
+  link ugni
+daemon nid00041 sampler
+  upstream voltrino-head
+  link ugni
+daemon voltrino-head l1
+  upstream shirley-agg
+  link site-net
+daemon shirley-agg l2
+  subscribe darshanConnector
+";
+
+    #[test]
+    fn paper_conf_parses_and_is_clean() {
+        let spec = parse_conf(PAPER).unwrap();
+        assert_eq!(spec.daemons.len(), 4);
+        assert_eq!(spec.stream_tag, "darshanConnector");
+        assert!(lint_topology(&spec).is_empty());
+    }
+
+    #[test]
+    fn conf_parser_reports_line_numbers() {
+        let e = parse_conf("tag t\nbogus directive\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+        let e = parse_conf("upstream x\n").unwrap_err();
+        assert!(e.msg.contains("before any `daemon`"));
+        let e = parse_conf("daemon a sampler\n  queue capacity=lots\n").unwrap_err();
+        assert!(e.msg.contains("capacity"));
+    }
+
+    #[test]
+    fn queue_settings_parse() {
+        let spec = parse_conf(
+            "daemon a l1\n  queue capacity=7 policy=deadline:0.5 attempts=3 backoff=0.002 jitter=0.1\n",
+        )
+        .unwrap();
+        let q = &spec.daemons[0].queue;
+        assert_eq!(q.capacity, 7);
+        assert_eq!(q.max_attempts, 3);
+        assert!(
+            matches!(q.policy, OverflowPolicy::BlockWithDeadline(d) if (d.as_secs_f64() - 0.5).abs() < 1e-12)
+        );
+        assert!((q.base_backoff.as_secs_f64() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outage_aliases_resolve_to_role() {
+        let spec = parse_conf(&format!("{PAPER}\noutage l2 100 160\nflap l1 10 20\n")).unwrap();
+        assert_eq!(spec.outages.len(), 2);
+        assert_eq!(spec.outages[0].component, "shirley-agg");
+        assert_eq!(spec.outages[1].component, "voltrino-head");
+    }
+
+    #[test]
+    fn spec_from_live_network_is_clean() {
+        let net = LdmsNetwork::build(&["nid00040".into(), "nid00041".into()]);
+        net.l2()
+            .subscribe("darshanConnector", ldms_sim::stream::BufferSink::new());
+        let spec = TopologySpec::from_network(&net, "darshanConnector", &FaultScript::new());
+        assert_eq!(spec.daemons.len(), 4);
+        assert!(spec.daemons.iter().any(|d| d.role == Role::AggregatorL2));
+        assert!(lint_topology(&spec).is_empty());
+    }
+
+    #[test]
+    fn network_faults_become_outage_windows() {
+        let net = LdmsNetwork::build(&["nid0".into()]);
+        net.l2()
+            .subscribe("darshanConnector", ldms_sim::stream::BufferSink::new());
+        let faults = FaultScript::new()
+            .daemon_outage("l2", Epoch::from_secs(10), Epoch::from_secs(20))
+            .link_loss_prob("nid0", 0.5, 1);
+        let spec = TopologySpec::from_network(&net, "darshanConnector", &faults);
+        assert_eq!(spec.outages.len(), 1, "loss-prob specs carry no window");
+        assert_eq!(spec.outages[0].component, "shirley-agg");
+        // Best-effort hop behind the outage: TOP009 fires.
+        let codes: Vec<&str> = lint_topology(&spec).iter().map(|d| d.code.code).collect();
+        assert_eq!(codes, vec!["TOP009"]);
+    }
+
+    #[test]
+    fn role_labels_render() {
+        assert_eq!(Role::Sampler.as_str(), "sampler");
+        assert_eq!(Role::AggregatorL1.as_str(), "l1");
+        assert_eq!(Role::AggregatorL2.as_str(), "l2");
+    }
+}

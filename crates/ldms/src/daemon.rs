@@ -174,6 +174,30 @@ impl Ldmsd {
         self.hub.subscribe(tag, sink);
     }
 
+    /// Number of sinks subscribed to `tag` at this daemon (topology
+    /// introspection, used by the `iolint` diagnostics passes).
+    pub fn subscriber_count(&self, tag: &str) -> usize {
+        self.hub.subscriber_count(tag)
+    }
+
+    /// The daemon this one forwards to, if any.
+    pub fn upstream_target(&self) -> Option<Arc<Ldmsd>> {
+        self.upstream.read().as_ref().map(|u| u.target.clone())
+    }
+
+    /// Name of the upstream transport link, if any.
+    pub fn upstream_link_name(&self) -> Option<String> {
+        self.upstream.read().as_ref().map(|u| u.link.name.clone())
+    }
+
+    /// The retry-queue configuration guarding the upstream hop, if any.
+    pub fn queue_config(&self) -> Option<QueueConfig> {
+        self.upstream
+            .read()
+            .as_ref()
+            .map(|u| u.queue.config().clone())
+    }
+
     /// Local stream statistics.
     pub fn stream_stats(&self) -> &StreamStats {
         self.hub.stats()
@@ -476,6 +500,12 @@ impl LdmsNetwork {
     /// Number of compute-node daemons.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Every daemon in deterministic order: sorted samplers, then the
+    /// L1 and L2 aggregators (topology introspection for `iolint`).
+    pub fn daemons(&self) -> &[Arc<Ldmsd>] {
+        &self.ordered
     }
 
     /// The network-wide delivery ledger.

@@ -99,6 +99,7 @@ impl DeliveryLedger {
     /// Counts one message reaching a subscriber at the terminal daemon.
     pub(crate) fn record_delivered(&self) {
         self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.debug_check_attribution();
     }
 
     /// Attributes one lost message to `(hop, cause)`.
@@ -108,6 +109,24 @@ impl DeliveryLedger {
             .lock()
             .entry((hop.to_string(), cause))
             .or_insert(0) += 1;
+        self.debug_check_attribution();
+    }
+
+    /// Debug invariant, checked after every attribution: no ledger may
+    /// ever account for more outcomes than messages published. Only
+    /// binds once publishes are recorded — daemons wired up manually
+    /// (private ledgers, direct `receive` calls) never publish, so
+    /// their ledgers are exempt. Counters are read attribution-first so
+    /// a concurrent publish can only widen the inequality.
+    fn debug_check_attribution(&self) {
+        if cfg!(debug_assertions) {
+            let accounted = self.delivered() + self.total_lost();
+            let published = self.published();
+            debug_assert!(
+                published == 0 || accounted <= published,
+                "ledger over-attributed: delivered+lost = {accounted} > published = {published}"
+            );
+        }
     }
 
     /// Messages published into the network.

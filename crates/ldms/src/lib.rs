@@ -31,6 +31,8 @@
 //! All of it is opt-in: the default [`queue::QueueConfig::best_effort`]
 //! preserves the paper's semantics unchanged.
 
+#![forbid(unsafe_code)]
+
 pub mod daemon;
 pub mod fault;
 pub mod ledger;

@@ -241,6 +241,12 @@ impl RetryQueue {
                 if self.config.capacity > 0 {
                     self.parked_total.fetch_add(1, Ordering::Relaxed);
                     entries.push_back(entry);
+                    debug_assert!(
+                        entries.len() <= self.config.capacity,
+                        "drop-oldest queue grew past capacity: {} > {}",
+                        entries.len(),
+                        self.config.capacity
+                    );
                     evicted
                 } else {
                     entry.cause = LossCause::QueueOverflow;
@@ -252,6 +258,12 @@ impl RetryQueue {
             OverflowPolicy::DropNewest => {
                 entry.cause = LossCause::QueueOverflow;
                 self.overflowed.fetch_add(1, Ordering::Relaxed);
+                debug_assert!(
+                    entries.len() <= self.config.capacity,
+                    "drop-newest queue grew past capacity: {} > {}",
+                    entries.len(),
+                    self.config.capacity
+                );
                 vec![entry]
             }
             OverflowPolicy::BlockWithDeadline(_) => unreachable!("handled above"),

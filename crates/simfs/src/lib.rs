@@ -27,6 +27,8 @@
 //! client count rather than from thread interleaving, so two runs of the
 //! same experiment produce byte-identical tables.
 
+#![forbid(unsafe_code)]
+
 pub mod ctx;
 pub mod error;
 pub mod fs;

@@ -18,6 +18,8 @@
 //!   instrumented POSIX wrapper slot underneath, exactly as Darshan
 //!   wraps the POSIX calls issued by the MPI-IO library.
 
+#![forbid(unsafe_code)]
+
 pub mod comm;
 pub mod interconnect;
 pub mod job;

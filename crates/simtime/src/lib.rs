@@ -18,6 +18,8 @@
 //! All arithmetic is in integer nanoseconds so simulations are exactly
 //! reproducible across runs and platforms.
 
+#![forbid(unsafe_code)]
+
 pub mod clock;
 pub mod duration;
 pub mod epoch;

@@ -6,6 +6,8 @@
 //! paths in its manifest. It re-exports the public API surface those
 //! targets use, so examples read as a downstream user would write them.
 
+#![forbid(unsafe_code)]
+
 pub use darshan_ldms_connector as connector;
 pub use darshan_sim as darshan;
 pub use dsos_sim as dsos;

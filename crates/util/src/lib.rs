@@ -9,6 +9,8 @@
 //! the LDMS store plugin, a k-way merge used by DSOS parallel queries,
 //! and the FNV hash Darshan-style record ids are built from.
 
+#![forbid(unsafe_code)]
+
 pub mod chart;
 pub mod csv;
 pub mod hash;
