@@ -1,0 +1,140 @@
+//! Minimal offline stand-in for `bytes`: big-endian `Buf`/`BufMut` over
+//! plain vectors, covering the calls the Darshan log codec makes.
+
+/// Growable write buffer (subset of `bytes::BytesMut`).
+#[derive(Debug, Default, Clone)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            buf: self.buf,
+            pos: 0,
+        }
+    }
+}
+
+/// Read cursor over an owned byte buffer (subset of `bytes::Bytes`).
+#[derive(Debug, Default, Clone)]
+pub struct Bytes {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self {
+            buf: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf[self.pos..].to_vec()
+    }
+}
+
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_i64(&mut self, v: i64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+    fn get_u64(&mut self) -> u64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        u64::from_be_bytes(b)
+    }
+    fn get_i64(&mut self) -> i64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        i64::from_be_bytes(b)
+    }
+    fn get_f64(&mut self) -> f64 {
+        let mut b = [0u8; 8];
+        self.copy_to_slice(&mut b);
+        f64::from_be_bytes(b)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer underflow");
+        dst.copy_from_slice(&self.buf[self.pos..self.pos + dst.len()]);
+        self.pos += dst.len();
+    }
+}
+
+impl Bytes {
+    pub fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        assert!(self.remaining() >= len, "buffer underflow");
+        let out = Bytes {
+            buf: self.buf[self.pos..self.pos + len].to_vec(),
+            pos: 0,
+        };
+        self.pos += len;
+        out
+    }
+}

@@ -1,0 +1,3 @@
+//! Empty offline stand-in for `criterion`. Bench targets are not built
+//! by `cargo build`/`cargo test`; this exists only so dependency
+//! resolution succeeds offline.

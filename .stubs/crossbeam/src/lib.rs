@@ -1,0 +1,29 @@
+//! Minimal offline stand-in for `crossbeam`, covering the scoped-thread
+//! API the workspace uses, on top of `std::thread::scope`.
+
+pub mod thread {
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(()) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.0.spawn(move || f(()))
+        }
+    }
+
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        // std::thread::scope resumes a child panic on the caller after
+        // joining; crossbeam returns it as Err. Catch to match.
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope(s)))
+        }))
+    }
+}

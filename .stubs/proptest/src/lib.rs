@@ -1,0 +1,3 @@
+//! Empty offline stand-in for `proptest`. The `props` integration-test
+//! target does not compile against this stub (expected offline); every
+//! other target builds and runs.
