@@ -191,7 +191,9 @@ impl EventSink for DarshanConnector {
         // Publish happens at the current (post-formatting) instant; the
         // transport pipeline is asynchronous from here on, so the
         // application does not wait for delivery. Sequence numbers
-        // start at 1 per connector, letting the store detect gaps.
+        // start at 1 per connector, letting the store detect gaps; the
+        // (job, rank) origin completes the idempotency key that lets a
+        // crash-restart replay be deduplicated at the terminal.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         self.network.publish(
             StreamMessage::new(
@@ -201,7 +203,8 @@ impl EventSink for DarshanConnector {
                 &self.producer,
                 clock.now(),
             )
-            .with_seq(seq),
+            .with_seq(seq)
+            .with_origin(self.job.job_id, u64::from(event.rank)),
         );
     }
 }

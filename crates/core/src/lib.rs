@@ -41,7 +41,8 @@ pub mod schema;
 pub use connector::{ConnectorConfig, ConnectorStats, DarshanConnector, FormatMode};
 pub use cost::CostModel;
 pub use ldms_sim::{
-    DeliveryLedger, FaultScript, FaultSpec, LossCause, LossRecord, OverflowPolicy, QueueConfig,
+    DeliveryLedger, FaultScript, FaultSpec, HeartbeatConfig, LossCause, LossRecord, OverflowPolicy,
+    QueueConfig, RecoveryReport, WalConfig,
 };
 pub use pipeline::{Pipeline, PipelineOpts};
 pub use schema::{column_id, darshan_schema, DsosStreamStore, GapReport, COLUMNS, CONTAINER};

@@ -10,7 +10,10 @@ use crate::schema::{DsosStreamStore, CONTAINER};
 use darshan_sim::runtime::JobMeta;
 use dsos_sim::{DsosCluster, Value};
 use iosim_time::Epoch;
-use ldms_sim::{DeliveryLedger, FaultScript, LdmsNetwork, QueueConfig};
+use ldms_sim::{
+    DeliveryLedger, FaultScript, HeartbeatConfig, LdmsNetwork, NetworkOpts, QueueConfig,
+    RecoveryReport, WalConfig,
+};
 use std::sync::Arc;
 
 /// Full pipeline construction options. The defaults reproduce the
@@ -28,6 +31,12 @@ pub struct PipelineOpts {
     pub queue: QueueConfig,
     /// Chaos schedule applied to the network before the run.
     pub faults: FaultScript,
+    /// Deploy a standby L1 aggregator and ranked sampler routes.
+    pub standby_l1: bool,
+    /// Heartbeat/failover policy (meaningful with `standby_l1`).
+    pub heartbeat: HeartbeatConfig,
+    /// Attach a crash-durable write-ahead log to every hop.
+    pub wal: Option<WalConfig>,
 }
 
 impl Default for PipelineOpts {
@@ -38,6 +47,9 @@ impl Default for PipelineOpts {
             attach_store: true,
             queue: QueueConfig::default(),
             faults: FaultScript::new(),
+            standby_l1: false,
+            heartbeat: HeartbeatConfig::default(),
+            wal: None,
         }
     }
 }
@@ -80,9 +92,19 @@ impl Pipeline {
     }
 
     /// Builds the pipeline with full options: per-hop retry-queue
-    /// configuration and a chaos schedule applied before the run.
+    /// configuration, crash-recovery machinery (standby aggregator,
+    /// heartbeat policy, write-ahead logs), and a chaos schedule
+    /// applied before the run.
     pub fn build_with(node_names: &[String], opts: &PipelineOpts) -> Self {
-        let network = Arc::new(LdmsNetwork::build_with(node_names, opts.queue.clone()));
+        let network = Arc::new(LdmsNetwork::build_full(
+            node_names,
+            &NetworkOpts {
+                queue: opts.queue.clone(),
+                standby_l1: opts.standby_l1,
+                heartbeat: opts.heartbeat,
+                wal: opts.wal.clone(),
+            },
+        ));
         network.apply_faults(&opts.faults);
         let cluster = DsosCluster::new(opts.dsosd_count);
         let store = DsosStreamStore::new(cluster.clone());
@@ -145,6 +167,12 @@ impl Pipeline {
     /// Total events stored.
     pub fn stored_events(&self) -> usize {
         self.cluster.object_count(CONTAINER)
+    }
+
+    /// Aggregated crash-recovery counters for the run (all zero on the
+    /// default fault-free path).
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.network.recovery_report()
     }
 }
 

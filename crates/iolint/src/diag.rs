@@ -138,6 +138,20 @@ lint!(
     "a daemon forwards to an upstream name that does not exist"
 );
 lint!(
+    TOP011,
+    "TOP011",
+    "single-point-of-failure",
+    Warning,
+    "every sampler reaches the store through one aggregator with no standby route"
+);
+lint!(
+    TOP012,
+    "TOP012",
+    "wal-capacity-risk",
+    Warning,
+    "a scheduled crash window outlasts what the hop's write-ahead log can journal"
+);
+lint!(
     TRC001,
     "TRC001",
     "unmatched-open",
@@ -197,8 +211,8 @@ lint!(
 /// Every lint, in code order. `TOP*` codes come from the topology
 /// pass, `TRC*` codes from the trace pass.
 pub const REGISTRY: &[LintCode] = &[
-    TOP001, TOP002, TOP003, TOP004, TOP005, TOP006, TOP007, TOP008, TOP009, TOP010, TRC001, TRC002,
-    TRC003, TRC004, TRC005, TRC006, TRC007, TRC008,
+    TOP001, TOP002, TOP003, TOP004, TOP005, TOP006, TOP007, TOP008, TOP009, TOP010, TOP011, TOP012,
+    TRC001, TRC002, TRC003, TRC004, TRC005, TRC006, TRC007, TRC008,
 ];
 
 /// Looks a lint up by code (`"TOP001"`, case-insensitive) or by name

@@ -28,12 +28,17 @@
 //!
 //! outage shirley-agg 100 160      # daemon down [100, 160) virtual secs
 //! flap voltrino-head 10 20        # its upstream link down [10, 20)
+//! crash voltrino-head 100 130     # crash-stop: volatile state destroyed
 //! schema module uid ProducerName ...
 //! ```
 //!
 //! `daemon` starts a section; the indented attribute lines apply to
 //! the most recent daemon. Roles are `sampler`, `l1`, `l2`. Queue
 //! policies are `drop-oldest`, `drop-newest`, `deadline:<secs>`.
+//! Additional per-daemon attributes for the crash-recovery layer:
+//! `standby <name>` declares a ranked alternative upstream route, and
+//! `wal capacity=N` attaches a crash-durable write-ahead log to the
+//! hop.
 
 use crate::diag::{self, Diagnostic, Severity};
 use darshan_ldms_connector::{Pipeline, COLUMNS};
@@ -75,10 +80,16 @@ pub struct DaemonSpec {
     pub role: Role,
     /// Name of the daemon this one forwards to, if any.
     pub upstream: Option<String>,
+    /// Ranked standby upstream targets (failover routes after the
+    /// primary `upstream`).
+    pub standbys: Vec<String>,
     /// Name of the transport link used for the upstream hop.
     pub link: Option<String>,
     /// Retry-queue configuration guarding the upstream hop.
     pub queue: QueueConfig,
+    /// Capacity of the crash-durable write-ahead log attached to the
+    /// hop (`None` = volatile queue only).
+    pub wal_capacity: Option<usize>,
     /// Stream tags with subscribers attached at this daemon.
     pub subscribers: Vec<String>,
     /// Expected publish rate in messages per second (samplers;
@@ -93,8 +104,10 @@ impl DaemonSpec {
             name: name.to_string(),
             role,
             upstream: None,
+            standbys: Vec::new(),
             link: None,
             queue: QueueConfig::best_effort(),
+            wal_capacity: None,
             subscribers: Vec::new(),
             rate_hz: None,
         }
@@ -112,6 +125,9 @@ pub enum OutageKind {
     Daemon,
     /// The named daemon's upstream link is down.
     Link,
+    /// The named daemon crash-stops: down for the window *and* all of
+    /// its volatile state (parked queue entries) is destroyed.
+    Crash,
 }
 
 /// One scheduled downtime window `[from, until)` in virtual time.
@@ -161,6 +177,7 @@ impl TopologySpec {
             .iter()
             .map(|d| {
                 let n = d.subscriber_count(tag);
+                let targets = d.upstream_targets();
                 DaemonSpec {
                     name: d.name().to_string(),
                     role: match d.role() {
@@ -168,9 +185,15 @@ impl TopologySpec {
                         DaemonRole::AggregatorL1 => Role::AggregatorL1,
                         DaemonRole::AggregatorL2 => Role::AggregatorL2,
                     },
-                    upstream: d.upstream_target().map(|t| t.name().to_string()),
+                    upstream: targets.first().map(|t| t.name().to_string()),
+                    standbys: targets
+                        .iter()
+                        .skip(1)
+                        .map(|t| t.name().to_string())
+                        .collect(),
                     link: d.upstream_link_name(),
                     queue: d.queue_config().unwrap_or_default(),
+                    wal_capacity: d.wal_capacity(),
                     subscribers: vec![tag.to_string(); n],
                     rate_hz: None,
                 }
@@ -221,6 +244,11 @@ impl TopologySpec {
                     from,
                     until,
                 } => (daemon, OutageKind::Link, *from, *until),
+                FaultSpec::Crash {
+                    daemon,
+                    at,
+                    restart,
+                } => (daemon, OutageKind::Crash, *at, *restart),
                 FaultSpec::LinkLossProb { .. } | FaultSpec::LinkDropEvery { .. } => continue,
             };
             if let Some(component) = self.resolve_alias(name) {
@@ -309,7 +337,7 @@ pub fn parse_conf(text: &str) -> Result<TopologySpec, ConfError> {
                 spec.daemons.push(DaemonSpec::new(name, role));
                 current = Some(spec.daemons.len() - 1);
             }
-            "upstream" | "link" | "rate" | "subscribe" | "queue" => {
+            "upstream" | "standby" | "link" | "rate" | "subscribe" | "queue" | "wal" => {
                 let d = current
                     .map(|i| &mut spec.daemons[i])
                     .ok_or_else(|| err(format!("`{}` before any `daemon`", toks[0])))?;
@@ -319,6 +347,15 @@ pub fn parse_conf(text: &str) -> Result<TopologySpec, ConfError> {
                             .get(1)
                             .ok_or_else(|| err("upstream needs a name".into()))?;
                         d.upstream = Some((*t).to_string());
+                    }
+                    "standby" => {
+                        let t = toks
+                            .get(1)
+                            .ok_or_else(|| err("standby needs a name".into()))?;
+                        d.standbys.push((*t).to_string());
+                    }
+                    "wal" => {
+                        d.wal_capacity = Some(parse_wal(&toks[1..], line_no)?);
                     }
                     "link" => {
                         let t = toks.get(1).ok_or_else(|| err("link needs a name".into()))?;
@@ -342,7 +379,7 @@ pub fn parse_conf(text: &str) -> Result<TopologySpec, ConfError> {
                     _ => unreachable!("outer match arm"),
                 }
             }
-            "outage" | "flap" => {
+            "outage" | "flap" | "crash" => {
                 let (name, from, until) = match toks.as_slice() {
                     [_, name, from, until] => (*name, *from, *until),
                     _ => {
@@ -354,10 +391,10 @@ pub fn parse_conf(text: &str) -> Result<TopologySpec, ConfError> {
                 };
                 spec.outages.push(OutageSpec {
                     component: name.to_string(),
-                    kind: if toks[0] == "outage" {
-                        OutageKind::Daemon
-                    } else {
-                        OutageKind::Link
+                    kind: match toks[0] {
+                        "outage" => OutageKind::Daemon,
+                        "crash" => OutageKind::Crash,
+                        _ => OutageKind::Link,
                     },
                     from: epoch_from_secs_f64(parse_f64(from, line_no, "from")?),
                     until: epoch_from_secs_f64(parse_f64(until, line_no, "until")?),
@@ -393,6 +430,42 @@ fn resolve_after_parse(daemons: &[DaemonSpec], name: &str) -> Option<String> {
         .iter()
         .find(|d| d.role == role)
         .map(|d| d.name.clone())
+}
+
+fn parse_wal(kvs: &[&str], line: usize) -> Result<usize, ConfError> {
+    let mut capacity: Option<usize> = None;
+    for kv in kvs {
+        let (k, v) = kv.split_once('=').ok_or(ConfError {
+            line,
+            msg: format!("wal setting must be key=value: {kv}"),
+        })?;
+        match k {
+            "capacity" => {
+                capacity = Some(v.parse().map_err(|_| ConfError {
+                    line,
+                    msg: format!("bad wal capacity: {v}"),
+                })?);
+            }
+            // Cadence knobs are accepted for completeness but do not
+            // affect the static capacity lint.
+            "fsync-every" | "checkpoint-every" => {
+                v.parse::<u32>().map_err(|_| ConfError {
+                    line,
+                    msg: format!("bad wal {k}: {v}"),
+                })?;
+            }
+            other => {
+                return Err(ConfError {
+                    line,
+                    msg: format!("unknown wal setting: {other}"),
+                })
+            }
+        }
+    }
+    capacity.ok_or(ConfError {
+        line,
+        msg: "wal needs capacity=<n>".into(),
+    })
 }
 
 fn parse_queue(kvs: &[&str], line: usize) -> Result<QueueConfig, ConfError> {
@@ -566,6 +639,20 @@ pub fn lint_topology(spec: &TopologySpec) -> Vec<Diagnostic> {
         paths.insert(s, path);
     }
 
+    // Standby (failover) routes also carry traffic: close reachability
+    // over them so a subscriber behind a standby-only path is not
+    // flagged TOP003.
+    let mut frontier: Vec<usize> = reachable.iter().copied().collect();
+    while let Some(i) = frontier.pop() {
+        for n in daemons[i].upstream.iter().chain(daemons[i].standbys.iter()) {
+            if let Some(&j) = by_name.get(n.as_str()) {
+                if reachable.insert(j) {
+                    frontier.push(j);
+                }
+            }
+        }
+    }
+
     // TOP001 — cycles, found over the whole graph (not only sampler
     // paths) so a looping aggregator pair is flagged even with no
     // sampler attached. Deduplicate by the cycle's member set.
@@ -671,17 +758,25 @@ pub fn lint_topology(spec: &TopologySpec) -> Vec<Diagnostic> {
     // the queue that must ride the outage out).
     // hop daemon index -> total scheduled downtime its upstream sees.
     let mut hop_downtime: BTreeMap<usize, f64> = BTreeMap::new();
+    // hop daemon index -> longest single crash-stop window its
+    // upstream target is scripted for (feeds TOP012).
+    let mut hop_crash_window: BTreeMap<usize, f64> = BTreeMap::new();
     for o in &spec.outages {
         let secs = o.until.since(o.from).as_secs_f64();
         if secs <= 0.0 {
             continue;
         }
         match o.kind {
-            // A daemon outage is ridden out by every hop targeting it.
-            OutageKind::Daemon => {
+            // A daemon outage (or crash — same downtime, worse state
+            // loss) is ridden out by every hop targeting it.
+            OutageKind::Daemon | OutageKind::Crash => {
                 for (i, d) in daemons.iter().enumerate() {
                     if d.upstream.as_deref() == Some(o.component.as_str()) {
                         *hop_downtime.entry(i).or_default() += secs;
+                        if o.kind == OutageKind::Crash {
+                            let w = hop_crash_window.entry(i).or_default();
+                            *w = w.max(secs);
+                        }
                     }
                 }
             }
@@ -695,6 +790,16 @@ pub fn lint_topology(spec: &TopologySpec) -> Vec<Diagnostic> {
             }
         }
     }
+
+    // Aggregate publish rate flowing through daemon `i` (conf-file
+    // specs only; live networks carry no rates).
+    let through_rate = |i: usize| -> f64 {
+        sampler_ids
+            .iter()
+            .filter(|s| paths.get(s).is_some_and(|p| p.contains(&i)))
+            .filter_map(|&s| daemons[s].rate_hz)
+            .sum()
+    };
 
     for (&i, &down_secs) in &hop_downtime {
         let d = &daemons[i];
@@ -719,15 +824,11 @@ pub fn lint_topology(spec: &TopologySpec) -> Vec<Diagnostic> {
         if matches!(d.queue.policy, OverflowPolicy::BlockWithDeadline(_)) {
             continue; // deadline policy bounds time, not space
         }
-        let through_rate: f64 = sampler_ids
-            .iter()
-            .filter(|s| paths.get(s).is_some_and(|p| p.contains(&i)))
-            .filter_map(|&s| daemons[s].rate_hz)
-            .sum();
-        if through_rate <= 0.0 {
+        let rate = through_rate(i);
+        if rate <= 0.0 {
             continue;
         }
-        let expected = through_rate * down_secs;
+        let expected = rate * down_secs;
         if expected > d.queue.capacity as f64 {
             diags.push(
                 Diagnostic::new(
@@ -735,12 +836,100 @@ pub fn lint_topology(spec: &TopologySpec) -> Vec<Diagnostic> {
                     format!("daemon `{}`", d.name),
                     format!(
                         "queue at `{}` (capacity {}) must park ~{expected:.0} messages over \
-                         {down_secs:.0}s of scheduled downtime at ~{through_rate:.0} msg/s",
+                         {down_secs:.0}s of scheduled downtime at ~{rate:.0} msg/s",
                         d.name, d.queue.capacity
                     ),
                 )
                 .with_help("raise the queue capacity or shorten the outage window"),
             );
+        }
+    }
+
+    // TOP012 — write-ahead log too small for the longest scripted
+    // crash window it must buffer through: the excess records stay
+    // volatile-only, so a crash of the hop itself loses them.
+    for (&i, &win_secs) in &hop_crash_window {
+        let d = &daemons[i];
+        let Some(cap) = d.wal_capacity else { continue };
+        let rate = through_rate(i);
+        if rate <= 0.0 {
+            continue;
+        }
+        let expected = rate * win_secs;
+        if expected > cap as f64 {
+            diags.push(
+                Diagnostic::new(
+                    &diag::TOP012,
+                    format!("daemon `{}`", d.name),
+                    format!(
+                        "write-ahead log at `{}` (capacity {cap}) must journal ~{expected:.0} \
+                         messages over the longest scripted crash window ({win_secs:.0}s at \
+                         ~{rate:.0} msg/s); the excess is volatile-only and dies if `{}` crashes",
+                        d.name, d.name
+                    ),
+                )
+                .with_help("raise the WAL capacity or shorten the crash window"),
+            );
+        }
+    }
+
+    // TOP011 — single point of failure: a forwarding daemon whose
+    // removal disconnects every sampler from every subscriber. The
+    // paper's single head-node aggregator is exactly this; a standby
+    // route clears the finding.
+    let subscriber_ids: Vec<usize> = daemons
+        .iter()
+        .enumerate()
+        .filter(|(i, d)| d.subscribes(tag) && by_name.get(d.name.as_str()) == Some(i))
+        .map(|(i, _)| i)
+        .collect();
+    let reaches_subscriber = |start: usize, banned: Option<usize>| -> bool {
+        let mut seen = HashSet::from([start]);
+        let mut frontier = vec![start];
+        while let Some(i) = frontier.pop() {
+            if subscriber_ids.contains(&i) {
+                return true;
+            }
+            for n in daemons[i].upstream.iter().chain(daemons[i].standbys.iter()) {
+                if let Some(&j) = by_name.get(n.as_str()) {
+                    if Some(j) != banned && seen.insert(j) {
+                        frontier.push(j);
+                    }
+                }
+            }
+        }
+        false
+    };
+    let connected: Vec<usize> = sampler_ids
+        .iter()
+        .copied()
+        .filter(|&s| reaches_subscriber(s, None))
+        .collect();
+    if !connected.is_empty() {
+        for (x, d) in daemons.iter().enumerate() {
+            if d.role == Role::Sampler || d.upstream.is_none() || d.subscribes(tag) {
+                // Samplers originate traffic and subscriber hosts are
+                // store endpoints, not forwarders; losing either is a
+                // different failure class than a forwarding SPOF.
+                continue;
+            }
+            if connected.iter().all(|&s| !reaches_subscriber(s, Some(x))) {
+                diags.push(
+                    Diagnostic::new(
+                        &diag::TOP011,
+                        format!("daemon `{}`", d.name),
+                        format!(
+                            "every sampler reaches a subscriber only through `{}`; a crash \
+                             there stalls the entire pipeline until restart",
+                            d.name
+                        ),
+                    )
+                    .with_help(
+                        "deploy a standby aggregator (`standby <name>`) so heartbeat failover \
+                         has a route to elect",
+                    ),
+                );
+            }
         }
     }
 
@@ -815,11 +1004,77 @@ daemon shirley-agg l2
 ";
 
     #[test]
-    fn paper_conf_parses_and_is_clean() {
+    fn paper_conf_parses_with_only_the_spof_warning() {
         let spec = parse_conf(PAPER).unwrap();
         assert_eq!(spec.daemons.len(), 4);
         assert_eq!(spec.stream_tag, "darshanConnector");
-        assert!(lint_topology(&spec).is_empty());
+        // The paper's single head-node aggregator is a genuine single
+        // point of failure — that warning is the only finding.
+        let diags = lint_topology(&spec);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code.code, "TOP011");
+        assert!(diags[0].message.contains("voltrino-head"));
+    }
+
+    #[test]
+    fn standby_route_clears_the_spof_warning() {
+        let with_standby = format!(
+            "{PAPER}\
+daemon voltrino-standby l1
+  upstream shirley-agg
+  link site-net
+"
+        )
+        .replace(
+            "daemon nid00040 sampler\n  upstream voltrino-head",
+            "daemon nid00040 sampler\n  upstream voltrino-head\n  standby voltrino-standby",
+        )
+        .replace(
+            "daemon nid00041 sampler\n  upstream voltrino-head",
+            "daemon nid00041 sampler\n  upstream voltrino-head\n  standby voltrino-standby",
+        );
+        let spec = parse_conf(&with_standby).unwrap();
+        assert_eq!(spec.daemons[0].standbys, vec!["voltrino-standby"]);
+        let codes: Vec<&str> = lint_topology(&spec).iter().map(|d| d.code.code).collect();
+        assert!(
+            !codes.contains(&"TOP011"),
+            "standby must clear the SPOF: {codes:?}"
+        );
+        assert!(
+            !codes.contains(&"TOP003"),
+            "the standby aggregator is reachable via failover: {codes:?}"
+        );
+    }
+
+    #[test]
+    fn crash_directive_and_wal_capacity_drive_top012() {
+        let conf = "
+tag darshanConnector
+daemon nid0 sampler
+  upstream agg
+  rate 100
+daemon agg l1
+  upstream store
+  queue capacity=100000 attempts=8
+  wal capacity=50
+daemon store l2
+  subscribe darshanConnector
+crash store 100 130
+";
+        let spec = parse_conf(conf).unwrap();
+        assert_eq!(spec.outages.len(), 1);
+        assert_eq!(spec.outages[0].kind, OutageKind::Crash);
+        assert_eq!(spec.daemons[1].wal_capacity, Some(50));
+        let codes: Vec<&str> = lint_topology(&spec).iter().map(|d| d.code.code).collect();
+        // 100 msg/s × 30 s = 3000 records ≫ WAL capacity 50.
+        assert!(codes.contains(&"TOP012"), "{codes:?}");
+        // A big-enough WAL clears it.
+        let ok = conf.replace("wal capacity=50", "wal capacity=4096");
+        let codes: Vec<&str> = lint_topology(&parse_conf(&ok).unwrap())
+            .iter()
+            .map(|d| d.code.code)
+            .collect();
+        assert!(!codes.contains(&"TOP012"), "{codes:?}");
     }
 
     #[test]
@@ -857,13 +1112,32 @@ daemon shirley-agg l2
     }
 
     #[test]
-    fn spec_from_live_network_is_clean() {
+    fn spec_from_live_network_carries_only_the_spof_warning() {
         let net = LdmsNetwork::build(&["nid00040".into(), "nid00041".into()]);
         net.l2()
             .subscribe("darshanConnector", ldms_sim::stream::BufferSink::new());
         let spec = TopologySpec::from_network(&net, "darshanConnector", &FaultScript::new());
         assert_eq!(spec.daemons.len(), 4);
         assert!(spec.daemons.iter().any(|d| d.role == Role::AggregatorL2));
+        let codes: Vec<&str> = lint_topology(&spec).iter().map(|d| d.code.code).collect();
+        assert_eq!(codes, vec!["TOP011"]);
+    }
+
+    #[test]
+    fn spec_from_standby_network_is_clean() {
+        let net = ldms_sim::LdmsNetwork::build_full(
+            &["nid00040".into(), "nid00041".into()],
+            &ldms_sim::NetworkOpts {
+                queue: QueueConfig::reliable(),
+                standby_l1: true,
+                ..ldms_sim::NetworkOpts::default()
+            },
+        );
+        net.l2()
+            .subscribe("darshanConnector", ldms_sim::stream::BufferSink::new());
+        let spec = TopologySpec::from_network(&net, "darshanConnector", &FaultScript::new());
+        assert_eq!(spec.daemons.len(), 5);
+        assert_eq!(spec.daemons[0].standbys, vec!["voltrino-standby"]);
         assert!(lint_topology(&spec).is_empty());
     }
 
@@ -878,9 +1152,25 @@ daemon shirley-agg l2
         let spec = TopologySpec::from_network(&net, "darshanConnector", &faults);
         assert_eq!(spec.outages.len(), 1, "loss-prob specs carry no window");
         assert_eq!(spec.outages[0].component, "shirley-agg");
-        // Best-effort hop behind the outage: TOP009 fires.
+        // Best-effort hop behind the outage (TOP009) plus the default
+        // topology's single-aggregator SPOF (TOP011).
         let codes: Vec<&str> = lint_topology(&spec).iter().map(|d| d.code.code).collect();
-        assert_eq!(codes, vec!["TOP009"]);
+        assert_eq!(codes, vec!["TOP009", "TOP011"]);
+    }
+
+    #[test]
+    fn crash_faults_become_crash_outage_windows() {
+        let net = LdmsNetwork::build(&["nid0".into()]);
+        net.l2()
+            .subscribe("darshanConnector", ldms_sim::stream::BufferSink::new());
+        let faults = FaultScript::new().crash("l1", Epoch::from_secs(100), Epoch::from_secs(130));
+        let spec = TopologySpec::from_network(&net, "darshanConnector", &faults);
+        assert_eq!(spec.outages.len(), 1);
+        assert_eq!(spec.outages[0].kind, OutageKind::Crash);
+        assert_eq!(spec.outages[0].component, "voltrino-head");
+        // The sampler's best-effort hop rides out the crash: TOP009.
+        let codes: Vec<&str> = lint_topology(&spec).iter().map(|d| d.code.code).collect();
+        assert!(codes.contains(&"TOP009"), "{codes:?}");
     }
 
     #[test]

@@ -25,13 +25,17 @@ fn assert_only(conf: &str, code: &str) {
 
 #[test]
 fn clean_fixtures_are_clean() {
-    for conf in [
-        include_str!("fixtures/clean_paper.conf"),
-        include_str!("fixtures/clean_reliable.conf"),
-    ] {
-        let report = report_for(conf);
-        assert!(report.is_clean(), "report:\n{}", report.render_text());
-    }
+    // The reliable variant deploys a standby aggregator, so it is
+    // fully clean.
+    let report = report_for(include_str!("fixtures/clean_reliable.conf"));
+    assert!(report.is_clean(), "report:\n{}", report.render_text());
+    // The paper topology is deliberately kept as published: its single
+    // head-node aggregator draws the advisory SPOF warning (TOP011)
+    // and nothing else.
+    let report = report_for(include_str!("fixtures/clean_paper.conf"));
+    assert!(!report.has_errors(), "report:\n{}", report.render_text());
+    let codes: Vec<&str> = report.codes().into_iter().collect();
+    assert_eq!(codes, vec!["TOP011"], "report:\n{}", report.render_text());
 }
 
 #[test]
@@ -86,6 +90,16 @@ fn top009_unprotected_outage() {
 #[test]
 fn top010_dangling_upstream() {
     assert_only(include_str!("fixtures/top010_dangling.conf"), "TOP010");
+}
+
+#[test]
+fn top011_single_point_of_failure() {
+    assert_only(include_str!("fixtures/top011_spof.conf"), "TOP011");
+}
+
+#[test]
+fn top012_wal_capacity_risk() {
+    assert_only(include_str!("fixtures/top012_wal.conf"), "TOP012");
 }
 
 #[test]
@@ -221,12 +235,13 @@ fn trc006_gap_reconciliation_against_live_pipeline() {
             ..PipelineOpts::default()
         },
     );
-    // Pre-flight: the topology itself is sound.
+    // Pre-flight: the topology itself is sound (modulo the advisory
+    // SPOF warning the default single-aggregator layout always draws).
     assert!(check_pipeline_topology(
         &p,
         DEFAULT_STREAM_TAG,
         &FaultScript::new(),
-        &LintConfig::new()
+        &LintConfig::new().allow("TOP011"),
     )
     .is_clean());
 
@@ -267,11 +282,28 @@ fn trc006_gap_reconciliation_against_live_pipeline() {
 #[test]
 fn example_configs_lint_as_shipped() {
     let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/configs");
-    for clean in ["paper-pipeline.conf", "reliable-pipeline.conf"] {
-        let text = std::fs::read_to_string(format!("{dir}/{clean}")).expect("example exists");
+    // Single-aggregator examples ship as the paper deployed them: the
+    // advisory SPOF warning is their only finding.
+    for spof in [
+        "paper-pipeline.conf",
+        "reliable-pipeline.conf",
+        "spof-topology.conf",
+    ] {
+        let text = std::fs::read_to_string(format!("{dir}/{spof}")).expect("example exists");
         let report = report_for(&text);
-        assert!(report.is_clean(), "{clean}:\n{}", report.render_text());
+        assert!(!report.has_errors(), "{spof}:\n{}", report.render_text());
+        let codes: Vec<&str> = report.codes().into_iter().collect();
+        assert_eq!(codes, vec!["TOP011"], "{spof}:\n{}", report.render_text());
     }
+    // The crash-tolerant example is fully clean.
+    let text =
+        std::fs::read_to_string(format!("{dir}/standby-topology.conf")).expect("example exists");
+    let report = report_for(&text);
+    assert!(
+        report.is_clean(),
+        "standby-topology.conf:\n{}",
+        report.render_text()
+    );
     let text =
         std::fs::read_to_string(format!("{dir}/broken-pipeline.conf")).expect("example exists");
     let report = report_for(&text);

@@ -16,18 +16,36 @@
 //! daemon, or lost with a `(hop, cause)` attribution. The default
 //! [`QueueConfig::best_effort`] keeps the paper's semantics untouched.
 //!
+//! The crash-recovery layer adds three opt-in mechanisms on top:
+//!
+//! * **Durable WALs** ([`crate::wal`]) — a hop configured with a
+//!   [`WalConfig`] journals every parked message; a crash-stop fault
+//!   ([`crate::FaultSpec::Crash`]) destroys the volatile queue but the
+//!   daemon replays durable records at restart.
+//! * **Ranked upstream routes with heartbeat election** — a daemon may
+//!   hold several upstream routes; after [`HeartbeatConfig`] misses
+//!   the active route is declared dead and the best live standby is
+//!   elected, with a hold-time hysteresis before failing back.
+//! * **Idempotent terminal delivery** — sequenced messages are keyed
+//!   `(producer, job, rank, seq)`; a WAL replay re-delivering an
+//!   already-delivered key is suppressed and counted, never double
+//!   counted.
+//!
 //! Forwarding walks the upstream chain iteratively (not recursively),
 //! with cycle detection: a misconfigured topology drops the looping
 //! message and counts it instead of overflowing the stack.
 
 use crate::fault::{FaultScript, FaultSpec, Lifecycle};
+use crate::heartbeat::HeartbeatConfig;
 use crate::ledger::{DeliveryLedger, LossCause};
 use crate::queue::{QueueConfig, QueueEntry, RetryQueue};
 use crate::stream::{StreamHub, StreamMessage, StreamSink, StreamStats};
 use crate::transport::TransportLink;
-use iosim_time::Epoch;
-use parking_lot::RwLock;
+use crate::wal::{WalConfig, WalStats, WriteAheadLog};
+use iosim_time::{Epoch, SimDuration};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Role of a daemon in the topology.
@@ -41,16 +59,145 @@ pub enum DaemonRole {
     AggregatorL2,
 }
 
-/// One upstream connection: the link, its target, and the bounded
-/// store-and-forward queue guarding the hop.
-struct Upstream {
+/// One candidate upstream route: a link and its target daemon.
+struct Route {
     link: TransportLink,
     target: Arc<Ldmsd>,
-    queue: RetryQueue,
     /// Loss-attribution label for the link (`"<owner>/<link>"`).
     link_hop: String,
+}
+
+impl Route {
+    /// True when both the link and the target are up at `t`.
+    fn is_up(&self, t: Epoch) -> bool {
+        !self.link.is_down(t) && self.target.lifecycle.is_up(t)
+    }
+
+    /// Earliest instant `>= t` at which the route is usable again.
+    fn next_up(&self, t: Epoch) -> Epoch {
+        self.link.next_up(t).max(self.target.lifecycle.next_up(t))
+    }
+
+    /// Start of the contiguous window in which the route has been
+    /// unusable at `t` (`None` when up).
+    fn down_since(&self, t: Epoch) -> Option<Epoch> {
+        let link = self.link.down_since(t);
+        let target = self.target.lifecycle.down_since(t);
+        match (link, target) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Instant since which the route has been continuously usable at
+    /// `t` (`None` when down).
+    fn up_since(&self, t: Epoch) -> Option<Epoch> {
+        Some(
+            self.link
+                .up_since(t)?
+                .max(self.target.lifecycle.up_since(t)?),
+        )
+    }
+}
+
+/// A daemon's upstream connection: the ranked route set, the shared
+/// bounded store-and-forward queue guarding the hop, and the optional
+/// write-ahead log that makes the queue crash-durable.
+struct UpstreamSet {
+    /// Routes in preference order; index 0 is the primary.
+    routes: Vec<Route>,
+    queue: RetryQueue,
     /// Loss-attribution label for the queue (`"<owner>/queue"`).
     queue_hop: String,
+    wal: Option<WriteAheadLog>,
+    hb: HeartbeatConfig,
+    /// Index of the currently elected route.
+    active: AtomicUsize,
+    failovers: AtomicU64,
+    failbacks: AtomicU64,
+    max_failover_latency_ns: AtomicU64,
+}
+
+impl UpstreamSet {
+    fn active_idx(&self) -> usize {
+        self.active
+            .load(Ordering::Relaxed)
+            .min(self.routes.len().saturating_sub(1))
+    }
+
+    /// Heartbeat-driven route election at `now`. The single-route
+    /// (paper) topology short-circuits to the primary, so the default
+    /// path pays one atomic load.
+    fn elect(&self, now: Epoch) -> usize {
+        let cur = self.active_idx();
+        if self.routes.len() <= 1 {
+            return cur;
+        }
+        let route = &self.routes[cur];
+        if route.is_up(now) {
+            // Failback: prefer the best-ranked route, but only after
+            // it has been up continuously for the hold time, so a
+            // flapping primary does not bounce traffic (hysteresis).
+            for (i, r) in self.routes.iter().enumerate().take(cur) {
+                if let Some(since) = r.up_since(now) {
+                    if since + self.hb.hold <= now {
+                        self.active.store(i, Ordering::Relaxed);
+                        self.failbacks.fetch_add(1, Ordering::Relaxed);
+                        return i;
+                    }
+                }
+            }
+            return cur;
+        }
+        // The active route is down: declare it dead only after the
+        // configured number of missed heartbeats.
+        let down_since = route.down_since(now).unwrap_or(now);
+        if now < down_since + self.hb.detect_after() {
+            return cur;
+        }
+        // Elect the best-ranked live alternative.
+        for (i, r) in self.routes.iter().enumerate() {
+            if i != cur && r.is_up(now) {
+                self.active.store(i, Ordering::Relaxed);
+                self.failovers.fetch_add(1, Ordering::Relaxed);
+                self.max_failover_latency_ns
+                    .fetch_max(now.since(down_since).as_nanos(), Ordering::Relaxed);
+                return i;
+            }
+        }
+        cur
+    }
+
+    /// Earliest instant at which a parked entry could flow again:
+    /// the failed component's recovery, or — with standbys — the
+    /// heartbeat detection instant that would elect another route.
+    fn recovery_instant(&self, route: &Route, component_up: Epoch, now: Epoch) -> Epoch {
+        if self.routes.len() <= 1 {
+            return component_up;
+        }
+        let down_since = route.down_since(now).unwrap_or(now);
+        let detect_at = down_since + self.hb.detect_after();
+        if detect_at > now {
+            component_up.min(detect_at)
+        } else {
+            // Detection already fired yet election kept this route:
+            // every alternative is down too. Wait for the earliest
+            // recovery anywhere in the route set.
+            self.routes
+                .iter()
+                .map(|r| r.next_up(now))
+                .min()
+                .unwrap_or(component_up)
+        }
+    }
+}
+
+/// One scripted crash-stop window and its processing state.
+struct CrashWindow {
+    at: Epoch,
+    restart: Epoch,
+    crashed: bool,
+    replayed: bool,
 }
 
 /// One LDMS daemon.
@@ -60,7 +207,10 @@ pub struct Ldmsd {
     hub: StreamHub,
     lifecycle: Lifecycle,
     ledger: Arc<DeliveryLedger>,
-    upstream: RwLock<Option<Upstream>>,
+    upstream: RwLock<Option<UpstreamSet>>,
+    crashes: Mutex<Vec<CrashWindow>>,
+    has_crashes: AtomicBool,
+    crash_count: AtomicU64,
 }
 
 impl Ldmsd {
@@ -78,6 +228,9 @@ impl Ldmsd {
             lifecycle: Lifecycle::new(),
             ledger,
             upstream: RwLock::new(None),
+            crashes: Mutex::new(Vec::new()),
+            has_crashes: AtomicBool::new(false),
+            crash_count: AtomicU64::new(0),
         })
     }
 
@@ -110,22 +263,78 @@ impl Ldmsd {
         target: Arc<Ldmsd>,
         config: QueueConfig,
     ) {
-        let link_hop = format!("{}/{}", self.name, link.name);
-        let queue_hop = format!("{}/queue", self.name);
-        *self.upstream.write() = Some(Upstream {
+        self.connect_upstream_routes(
+            vec![(link, target)],
+            config,
+            HeartbeatConfig::default(),
+            None,
+        );
+    }
+
+    /// Connects a ranked set of upstream routes (index 0 = primary)
+    /// sharing one retry queue, a heartbeat/failover policy, and an
+    /// optional write-ahead log making the queue crash-durable.
+    pub fn connect_upstream_routes(
+        &self,
+        routes: Vec<(TransportLink, Arc<Ldmsd>)>,
+        config: QueueConfig,
+        hb: HeartbeatConfig,
+        wal: Option<WalConfig>,
+    ) {
+        let routes: Vec<Route> = routes
+            .into_iter()
+            .map(|(link, target)| {
+                let link_hop = format!("{}/{}", self.name, link.name);
+                Route {
+                    link,
+                    target,
+                    link_hop,
+                }
+            })
+            .collect();
+        if routes.is_empty() {
+            *self.upstream.write() = None;
+            return;
+        }
+        *self.upstream.write() = Some(UpstreamSet {
+            routes,
             queue: RetryQueue::new(config),
-            link,
-            target,
-            link_hop,
-            queue_hop,
+            queue_hop: format!("{}/queue", self.name),
+            wal: wal.map(WriteAheadLog::new),
+            hb,
+            active: AtomicUsize::new(0),
+            failovers: AtomicU64::new(0),
+            failbacks: AtomicU64::new(0),
+            max_failover_latency_ns: AtomicU64::new(0),
         });
     }
 
-    /// Schedules a crash/restart window `[from, until)` for this
-    /// daemon. While down it neither delivers locally nor forwards;
-    /// senders with retry queues park messages until the restart.
+    /// Schedules an outage window `[from, until)` for this daemon.
+    /// While down it neither delivers locally nor forwards; senders
+    /// with retry queues park messages until the restart. Unlike
+    /// [`Ldmsd::schedule_crash`], the retry queue survives.
     pub fn schedule_outage(&self, from: Epoch, until: Epoch) {
         self.lifecycle.schedule_down(from, until);
+    }
+
+    /// Schedules a crash-stop at `at` with restart at `restart`: the
+    /// daemon goes down like an outage, but *all volatile state is
+    /// destroyed* at the crash instant — parked queue entries die
+    /// (`lost-crash`) unless a durable WAL record covers them, in
+    /// which case the restart replays them. Inverted windows are
+    /// ignored.
+    pub fn schedule_crash(&self, at: Epoch, restart: Epoch) {
+        if restart <= at {
+            return;
+        }
+        self.lifecycle.schedule_down(at, restart);
+        self.crashes.lock().push(CrashWindow {
+            at,
+            restart,
+            crashed: false,
+            replayed: false,
+        });
+        self.has_crashes.store(true, Ordering::Relaxed);
     }
 
     /// True when the daemon is up at `t`.
@@ -133,36 +342,36 @@ impl Ldmsd {
         self.lifecycle.is_up(t)
     }
 
-    /// Schedules a flap window on the upstream link. Returns false if
-    /// this daemon has no upstream.
+    /// Schedules a flap window on the primary upstream link. Returns
+    /// false if this daemon has no upstream.
     pub fn schedule_link_flap(&self, from: Epoch, until: Epoch) -> bool {
         match self.upstream.read().as_ref() {
             Some(up) => {
-                up.link.schedule_flap(from, until);
+                up.routes[0].link.schedule_flap(from, until);
                 true
             }
             None => false,
         }
     }
 
-    /// Enables seeded probabilistic loss on the upstream link. Returns
-    /// false if this daemon has no upstream.
+    /// Enables seeded probabilistic loss on the primary upstream link.
+    /// Returns false if this daemon has no upstream.
     pub fn set_link_loss_prob(&self, prob: f64, seed: u64) -> bool {
         match self.upstream.read().as_ref() {
             Some(up) => {
-                up.link.set_loss_prob(prob, seed);
+                up.routes[0].link.set_loss_prob(prob, seed);
                 true
             }
             None => false,
         }
     }
 
-    /// Enables deterministic every-`n`-th loss on the upstream link.
-    /// Returns false if this daemon has no upstream.
+    /// Enables deterministic every-`n`-th loss on the primary upstream
+    /// link. Returns false if this daemon has no upstream.
     pub fn set_link_drop_every(&self, every: u64) -> bool {
         match self.upstream.read().as_ref() {
             Some(up) => {
-                up.link.set_drop_every(every);
+                up.routes[0].link.set_drop_every(every);
                 true
             }
             None => false,
@@ -180,14 +389,37 @@ impl Ldmsd {
         self.hub.subscriber_count(tag)
     }
 
-    /// The daemon this one forwards to, if any.
+    /// The daemon this one forwards to on its *primary* route, if any.
     pub fn upstream_target(&self) -> Option<Arc<Ldmsd>> {
-        self.upstream.read().as_ref().map(|u| u.target.clone())
+        self.upstream
+            .read()
+            .as_ref()
+            .map(|u| u.routes[0].target.clone())
     }
 
-    /// Name of the upstream transport link, if any.
+    /// Every upstream target in rank order (primary first, then
+    /// standbys).
+    pub fn upstream_targets(&self) -> Vec<Arc<Ldmsd>> {
+        self.upstream.read().as_ref().map_or(Vec::new(), |u| {
+            u.routes.iter().map(|r| r.target.clone()).collect()
+        })
+    }
+
+    /// The currently *elected* upstream target (primary unless a
+    /// failover switched routes), if any.
+    pub fn active_upstream(&self) -> Option<Arc<Ldmsd>> {
+        self.upstream
+            .read()
+            .as_ref()
+            .map(|u| u.routes[u.active_idx()].target.clone())
+    }
+
+    /// Name of the primary upstream transport link, if any.
     pub fn upstream_link_name(&self) -> Option<String> {
-        self.upstream.read().as_ref().map(|u| u.link.name.clone())
+        self.upstream
+            .read()
+            .as_ref()
+            .map(|u| u.routes[0].link.name.clone())
     }
 
     /// The retry-queue configuration guarding the upstream hop, if any.
@@ -196,6 +428,57 @@ impl Ldmsd {
             .read()
             .as_ref()
             .map(|u| u.queue.config().clone())
+    }
+
+    /// The capacity of the hop's write-ahead log, if one is attached.
+    pub fn wal_capacity(&self) -> Option<usize> {
+        self.upstream
+            .read()
+            .as_ref()
+            .and_then(|u| u.wal.as_ref().map(|w| w.config().capacity))
+    }
+
+    /// Counter snapshot of the hop's write-ahead log, if one is
+    /// attached.
+    pub fn wal_stats(&self) -> Option<WalStats> {
+        self.upstream
+            .read()
+            .as_ref()
+            .and_then(|u| u.wal.as_ref().map(WriteAheadLog::stats))
+    }
+
+    /// Route failovers performed (standby elected after missed
+    /// heartbeats).
+    pub fn failovers(&self) -> u64 {
+        self.upstream
+            .read()
+            .as_ref()
+            .map_or(0, |u| u.failovers.load(Ordering::Relaxed))
+    }
+
+    /// Route failbacks performed (primary re-elected after the
+    /// hysteresis hold).
+    pub fn failbacks(&self) -> u64 {
+        self.upstream
+            .read()
+            .as_ref()
+            .map_or(0, |u| u.failbacks.load(Ordering::Relaxed))
+    }
+
+    /// Longest observed failover delay (route-down to election) in
+    /// virtual time.
+    pub fn max_failover_latency(&self) -> SimDuration {
+        SimDuration::from_nanos(
+            self.upstream
+                .read()
+                .as_ref()
+                .map_or(0, |u| u.max_failover_latency_ns.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// Crash-stop events this daemon has processed.
+    pub fn crashes_seen(&self) -> u64 {
+        self.crash_count.load(Ordering::Relaxed)
     }
 
     /// Local stream statistics.
@@ -217,6 +500,30 @@ impl Ldmsd {
             .and_then(|u| u.queue.next_event())
     }
 
+    /// Earliest virtual instant at which *anything* scheduled happens
+    /// at this daemon: a queue retry/deadline, an unprocessed crash,
+    /// or a restart with WAL records awaiting replay.
+    pub fn next_event(&self) -> Option<Epoch> {
+        let queue = self.queue_next_event();
+        let crash = if self.has_crashes.load(Ordering::Relaxed) {
+            self.crashes
+                .lock()
+                .iter()
+                .flat_map(|cw| {
+                    let crash = (!cw.crashed).then_some(cw.at);
+                    let restart = (!cw.replayed).then_some(cw.restart);
+                    crash.into_iter().chain(restart)
+                })
+                .min()
+        } else {
+            None
+        };
+        match (queue, crash) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     /// Receives a message: delivers to local subscribers, then walks
     /// the upstream chain iteratively. Failed hops are parked for
     /// retry or attributed to the ledger, per each hop's queue
@@ -232,7 +539,8 @@ impl Ldmsd {
     /// One hop of the chain walk: local dispatch plus the attempt to
     /// forward. Returns the next daemon and the carried message when
     /// the hop succeeded; `None` when the walk ends here (terminal
-    /// daemon, parked for retry, or attributed loss).
+    /// daemon, parked for retry, attributed loss, or suppressed
+    /// duplicate).
     fn process_hop(
         &self,
         msg: StreamMessage,
@@ -251,6 +559,19 @@ impl Ldmsd {
             self.ledger.record_loss(&self.name, LossCause::DaemonDown);
             return None;
         }
+        // Idempotent terminal delivery: claim the key *before* the
+        // dispatch so a duplicate (a WAL replay of an
+        // already-delivered message) never reaches the store sinks.
+        // Only keys that will actually be delivered are claimed, so
+        // unstored runs keep no key set.
+        let terminal = self.upstream.read().is_none();
+        if terminal && self.hub.subscriber_count(&msg.tag) > 0 {
+            if let Some(key) = msg.delivery_key() {
+                if !self.ledger.try_claim_delivery(key) {
+                    return None;
+                }
+            }
+        }
         let fanout = self.hub.dispatch(&msg);
         let guard = self.upstream.read();
         match guard.as_ref() {
@@ -259,46 +580,54 @@ impl Ldmsd {
                 // is decided. Intermediate dispatches above are taps.
                 if fanout > 0 {
                     self.ledger.record_delivered();
+                    if msg.replayed {
+                        self.ledger.record_recovered();
+                    }
                 } else {
                     self.ledger.record_loss(&self.name, LossCause::NoSubscriber);
                 }
                 None
             }
-            Some(up) => self.try_send(up, msg, 0, None, now),
+            Some(up) => self.try_send(up, msg, 0, None, None, now),
         }
     }
 
-    /// Attempts one send over the upstream hop. `prior_attempts` is
-    /// how many attempts the message has already consumed (0 for a
-    /// fresh message); `expire` carries a block-with-deadline sojourn
-    /// deadline across re-parks.
+    /// Attempts one send over the elected upstream route.
+    /// `prior_attempts` is how many attempts the message has already
+    /// consumed (0 for a fresh message); `expire` carries a
+    /// block-with-deadline sojourn deadline across re-parks; `lsn` is
+    /// the WAL record already backing the message, if any.
     fn try_send(
         &self,
-        up: &Upstream,
+        up: &UpstreamSet,
         msg: StreamMessage,
         prior_attempts: u32,
         expire: Option<Epoch>,
+        lsn: Option<u64>,
         now: Epoch,
     ) -> Option<(Arc<Ldmsd>, StreamMessage)> {
         let attempts = prior_attempts + 1;
         let cfg = up.queue.config();
         let retryable = cfg.retries_enabled() && attempts < cfg.max_attempts;
+        let route = &up.routes[up.elect(now)];
 
         // Detectable failures: the sender can see a flapped link or a
         // crashed peer (the connection refuses), so the message is not
         // offered to the link at all.
-        let detected = if up.link.is_down(now) {
-            Some((LossCause::LinkLoss, up.link.next_up(now)))
-        } else if !up.target.lifecycle.is_up(now) {
-            Some((LossCause::DaemonDown, up.target.lifecycle.next_up(now)))
+        let detected = if route.link.is_down(now) {
+            Some((LossCause::LinkLoss, route.link.next_up(now)))
+        } else if !route.target.lifecycle.is_up(now) {
+            Some((LossCause::DaemonDown, route.target.lifecycle.next_up(now)))
         } else {
             None
         };
         if let Some((cause, component_up)) = detected {
             if retryable {
                 // Retry no earlier than the component's scheduled
-                // recovery — reconnect-on-restart, not blind polling.
-                let next_attempt = up.queue.backoff_after(attempts, now).max(component_up);
+                // recovery — or the heartbeat-detection instant that
+                // would elect a standby route, whichever comes first.
+                let recover_at = up.recovery_instant(route, component_up, now);
+                let next_attempt = up.queue.backoff_after(attempts, now).max(recover_at);
                 self.park(
                     up,
                     QueueEntry {
@@ -307,15 +636,17 @@ impl Ldmsd {
                         next_attempt,
                         expire,
                         cause,
+                        lsn,
                     },
                     now,
                 );
             } else {
+                self.complete_wal_durable(up, lsn);
                 match cause {
                     LossCause::DaemonDown => {
-                        self.ledger.record_loss(up.target.name(), cause);
+                        self.ledger.record_loss(route.target.name(), cause);
                     }
-                    _ => self.ledger.record_loss(&up.link_hop, cause),
+                    _ => self.ledger.record_loss(&route.link_hop, cause),
                 }
             }
             return None;
@@ -324,8 +655,17 @@ impl Ldmsd {
         // Silent loss: the link accepts the message and may drop it in
         // transit. Clone first only when a retry could use the copy.
         let backup = if retryable { Some(msg.clone()) } else { None };
-        match up.link.carry(msg) {
-            Some(carried) => Some((up.target.clone(), carried)),
+        match route.link.carry(msg) {
+            Some(carried) => {
+                // The hop succeeded: mark the WAL record completed (a
+                // volatile mark — only a checkpoint makes it durable,
+                // which is exactly what makes duplicate replay
+                // possible and the idempotent path necessary).
+                if let (Some(l), Some(w)) = (lsn, up.wal.as_ref()) {
+                    w.complete(l);
+                }
+                Some((route.target.clone(), carried))
+            }
             None => {
                 match backup {
                     Some(m) => {
@@ -338,40 +678,66 @@ impl Ldmsd {
                                 next_attempt,
                                 expire,
                                 cause: LossCause::LinkLoss,
+                                lsn,
                             },
                             now,
                         );
                     }
-                    None => self.ledger.record_loss(&up.link_hop, LossCause::LinkLoss),
+                    None => {
+                        self.complete_wal_durable(up, lsn);
+                        self.ledger
+                            .record_loss(&route.link_hop, LossCause::LinkLoss);
+                    }
                 }
                 None
             }
         }
     }
 
-    /// Parks an entry in the hop's queue, attributing any messages the
+    /// Parks an entry in the hop's queue, journaling it in the WAL
+    /// first (when configured) and attributing any messages the
     /// overflow policy evicted to admit it.
-    fn park(&self, up: &Upstream, entry: QueueEntry, now: Epoch) {
+    fn park(&self, up: &UpstreamSet, mut entry: QueueEntry, now: Epoch) {
+        if entry.lsn.is_none() {
+            if let Some(w) = &up.wal {
+                entry.lsn = w.append(&entry.msg, entry.attempts);
+            }
+        }
         for evicted in up.queue.push(entry, now) {
             self.attribute(up, evicted);
         }
     }
 
     /// Records an abandoned queue entry as lost, attributed to the hop
-    /// responsible for its final failure cause.
-    fn attribute(&self, up: &Upstream, entry: QueueEntry) {
+    /// responsible for its final failure cause. The entry's WAL record
+    /// (if any) is completed durably at the same instant, so an
+    /// attributed-lost message can never be replayed and recounted.
+    fn attribute(&self, up: &UpstreamSet, entry: QueueEntry) {
+        self.complete_wal_durable(up, entry.lsn);
+        let route = &up.routes[up.active_idx()];
         match entry.cause {
-            LossCause::LinkLoss => self.ledger.record_loss(&up.link_hop, entry.cause),
-            LossCause::DaemonDown => self.ledger.record_loss(up.target.name(), entry.cause),
+            LossCause::LinkLoss => self.ledger.record_loss(&route.link_hop, entry.cause),
+            LossCause::DaemonDown => self.ledger.record_loss(route.target.name(), entry.cause),
+            LossCause::Crash => self.ledger.record_loss(&self.name, entry.cause),
             _ => self.ledger.record_loss(&up.queue_hop, entry.cause),
         }
     }
 
+    fn complete_wal_durable(&self, up: &UpstreamSet, lsn: Option<u64>) {
+        if let (Some(l), Some(w)) = (lsn, up.wal.as_ref()) {
+            w.complete_durable(l);
+        }
+    }
+
     /// Drains this daemon's retry queue as of virtual instant `now`:
-    /// expires over-deadline entries, then re-attempts every entry
-    /// whose retry time has come. Successful re-sends continue walking
-    /// the chain from the target.
+    /// processes any scheduled crash/restart events first, then
+    /// expires over-deadline entries and re-attempts every entry whose
+    /// retry time has come. Successful re-sends continue walking the
+    /// chain from the target.
     pub fn pump(&self, now: Epoch) {
+        if self.has_crashes.load(Ordering::Relaxed) {
+            self.process_crashes(now);
+        }
         let continuations = {
             let guard = self.upstream.read();
             let Some(up) = guard.as_ref() else { return };
@@ -386,7 +752,9 @@ impl Ldmsd {
                 // A buffered message cannot arrive before the retry
                 // that re-sent it: bump its clock to the drain time.
                 entry.msg.recv_time = entry.msg.recv_time.max(now);
-                if let Some(c) = self.try_send(up, entry.msg, entry.attempts, entry.expire, now) {
+                if let Some(c) =
+                    self.try_send(up, entry.msg, entry.attempts, entry.expire, entry.lsn, now)
+                {
                     conts.push(c);
                 }
             }
@@ -394,6 +762,75 @@ impl Ldmsd {
         };
         for (target, carried) in continuations {
             target.receive(carried);
+        }
+    }
+
+    /// Processes scheduled crash windows that have come due: at the
+    /// crash instant all volatile state dies; at the restart instant
+    /// durable WAL records are replayed into the queue.
+    fn process_crashes(&self, now: Epoch) {
+        let mut crashes = self.crashes.lock();
+        for cw in crashes.iter_mut() {
+            if !cw.crashed && cw.at <= now {
+                cw.crashed = true;
+                self.crash_count.fetch_add(1, Ordering::Relaxed);
+                self.crash_drop_volatile();
+            }
+            if cw.crashed && !cw.replayed && cw.restart <= now {
+                cw.replayed = true;
+                self.replay_wal(cw.restart);
+            }
+        }
+        if crashes.iter().all(|cw| cw.replayed) {
+            self.has_crashes.store(false, Ordering::Relaxed);
+        }
+    }
+
+    /// Crash-stop: destroys the volatile retry queue. Entries without
+    /// a surviving (durable) WAL record are attributed `lost-crash`;
+    /// covered entries live on in the log until the restart replays
+    /// them.
+    fn crash_drop_volatile(&self) {
+        let guard = self.upstream.read();
+        let Some(up) = guard.as_ref() else { return };
+        let entries = up.queue.drain_all();
+        let surviving = up.wal.as_ref().map(|w| w.crash());
+        for e in entries {
+            let covered = matches!(
+                (&surviving, e.lsn),
+                (Some(set), Some(lsn)) if set.contains(&lsn)
+            );
+            if !covered {
+                self.ledger.record_loss(&self.name, LossCause::Crash);
+            }
+        }
+    }
+
+    /// Restart recovery: re-parks every durable, uncompleted WAL
+    /// record. Replayed messages are flagged so the terminal can count
+    /// genuine recoveries, and keep their LSN so a later loss (or a
+    /// second crash) stays exactly accounted.
+    fn replay_wal(&self, restart: Epoch) {
+        let guard = self.upstream.read();
+        let Some(up) = guard.as_ref() else { return };
+        let Some(w) = &up.wal else { return };
+        for rec in w.replay() {
+            let mut msg = rec.msg;
+            msg.replayed = true;
+            msg.recv_time = msg.recv_time.max(restart);
+            let attempts = rec.attempts;
+            let next_attempt = up.queue.backoff_after(attempts.max(1), restart);
+            let entry = QueueEntry {
+                msg,
+                attempts,
+                next_attempt,
+                expire: None,
+                cause: LossCause::Crash,
+                lsn: Some(rec.lsn),
+            };
+            for evicted in up.queue.push(entry, restart) {
+                self.attribute(up, evicted);
+            }
         }
     }
 
@@ -421,14 +858,83 @@ impl std::fmt::Debug for Ldmsd {
     }
 }
 
+/// Build options for an [`LdmsNetwork`] beyond the queue preset. The
+/// default reproduces the paper's topology and semantics exactly.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkOpts {
+    /// Retry-queue configuration applied to every hop.
+    pub queue: QueueConfig,
+    /// Deploy a standby L1 aggregator (`"voltrino-standby"`) and give
+    /// every sampler a ranked two-route upstream list.
+    pub standby_l1: bool,
+    /// Heartbeat/failover policy for every hop (only meaningful with
+    /// more than one route, i.e. `standby_l1`).
+    pub heartbeat: HeartbeatConfig,
+    /// Attach a write-ahead log with this configuration to every
+    /// forwarding hop, making retry queues crash-durable.
+    pub wal: Option<WalConfig>,
+}
+
+/// Aggregated crash-recovery counters for one network (and its
+/// ledger): what the chaos CLI prints and the acceptance tests assert.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RecoveryReport {
+    /// Crash-stop events processed across all daemons.
+    pub crashes: u64,
+    /// WAL records appended across all hops.
+    pub wal_appended: u64,
+    /// WAL records replayed at restarts.
+    pub wal_replayed: u64,
+    /// Unsynced WAL records destroyed by crashes.
+    pub wal_dropped_unsynced: u64,
+    /// WAL appends rejected at capacity (entries left volatile-only).
+    pub wal_rejected: u64,
+    /// Messages attributed `lost-crash` (volatile queue state killed
+    /// with no durable record).
+    pub lost_crash: u64,
+    /// Messages delivered via WAL replay after a crash.
+    pub recovered: u64,
+    /// Duplicate deliveries suppressed by the idempotent terminal.
+    pub duplicates_suppressed: u64,
+    /// Route failovers (standby elected after missed heartbeats).
+    pub failovers: u64,
+    /// Route failbacks (primary re-elected after the hysteresis hold).
+    pub failbacks: u64,
+    /// Longest observed failover delay in virtual seconds.
+    pub max_failover_latency_s: f64,
+}
+
+impl RecoveryReport {
+    /// One-line summary for experiment logs and the chaos CLI.
+    pub fn summary(&self) -> String {
+        format!(
+            "crashes={} wal-appended={} wal-replayed={} recovered={} \
+             duplicates-suppressed={} lost-crash={} failovers={} failbacks={} \
+             max-failover-latency={:.3}s",
+            self.crashes,
+            self.wal_appended,
+            self.wal_replayed,
+            self.recovered,
+            self.duplicates_suppressed,
+            self.lost_crash,
+            self.failovers,
+            self.failbacks,
+            self.max_failover_latency_s,
+        )
+    }
+}
+
 /// The assembled two-level aggregation network of the paper:
 /// compute-node daemons → head-node L1 aggregator → remote L2
-/// aggregator. All daemons share one [`DeliveryLedger`].
+/// aggregator, optionally with a standby L1. All daemons share one
+/// [`DeliveryLedger`].
 pub struct LdmsNetwork {
     nodes: HashMap<String, Arc<Ldmsd>>,
-    /// Deterministic pump/settle order: sorted samplers, then L1, L2.
+    /// Deterministic pump/settle order: sorted samplers, then L1, the
+    /// standby (if any), and L2.
     ordered: Vec<Arc<Ldmsd>>,
     l1: Arc<Ldmsd>,
+    standby: Option<Arc<Ldmsd>>,
     l2: Arc<Ldmsd>,
     ledger: Arc<DeliveryLedger>,
 }
@@ -441,41 +947,79 @@ impl LdmsNetwork {
     }
 
     /// Builds the network with an explicit retry-queue configuration
-    /// applied to every hop. Each hop's jitter RNG is decorrelated by
-    /// deriving its seed from the configured seed and the hop index.
+    /// applied to every hop.
     pub fn build_with(node_names: &[String], queue: QueueConfig) -> Self {
+        Self::build_full(
+            node_names,
+            &NetworkOpts {
+                queue,
+                ..NetworkOpts::default()
+            },
+        )
+    }
+
+    /// Builds the network with full recovery options: queue preset,
+    /// optional standby L1 aggregator, heartbeat policy, and optional
+    /// per-hop write-ahead logs. Each hop's jitter RNG is decorrelated
+    /// by deriving its seed from the configured seed and the hop
+    /// index.
+    pub fn build_full(node_names: &[String], opts: &NetworkOpts) -> Self {
+        let queue = &opts.queue;
         let ledger = Arc::new(DeliveryLedger::new());
         let l2 = Ldmsd::with_ledger("shirley-agg", DaemonRole::AggregatorL2, ledger.clone());
         let l1 = Ldmsd::with_ledger("voltrino-head", DaemonRole::AggregatorL1, ledger.clone());
-        l1.connect_upstream_with(
-            TransportLink::site_network(),
-            l2.clone(),
+        l1.connect_upstream_routes(
+            vec![(TransportLink::site_network(), l2.clone())],
             queue
                 .clone()
                 .with_seed(queue.seed ^ crate::fault::mix64(u64::MAX)),
+            opts.heartbeat,
+            opts.wal.clone(),
         );
+        let standby = opts.standby_l1.then(|| {
+            let d =
+                Ldmsd::with_ledger("voltrino-standby", DaemonRole::AggregatorL1, ledger.clone());
+            d.connect_upstream_routes(
+                vec![(TransportLink::site_network(), l2.clone())],
+                queue
+                    .clone()
+                    .with_seed(queue.seed ^ crate::fault::mix64(u64::MAX - 1)),
+                opts.heartbeat,
+                opts.wal.clone(),
+            );
+            d
+        });
         let mut sorted: Vec<String> = node_names.to_vec();
         sorted.sort();
         let mut nodes = HashMap::with_capacity(sorted.len());
-        let mut ordered = Vec::with_capacity(sorted.len() + 2);
+        let mut ordered = Vec::with_capacity(sorted.len() + 3);
         for (i, n) in sorted.iter().enumerate() {
             let d = Ldmsd::with_ledger(n, DaemonRole::Sampler, ledger.clone());
-            d.connect_upstream_with(
-                TransportLink::ugni(),
-                l1.clone(),
+            let mut routes = vec![(TransportLink::ugni(), l1.clone())];
+            if let Some(s) = &standby {
+                routes.push((TransportLink::ugni(), s.clone()));
+            }
+            d.connect_upstream_routes(
+                routes,
                 queue
                     .clone()
                     .with_seed(queue.seed ^ crate::fault::mix64(i as u64)),
+                opts.heartbeat,
+                opts.wal.clone(),
             );
             nodes.insert(n.clone(), d.clone());
             ordered.push(d);
         }
         ordered.push(l1.clone());
+        if let Some(s) = &standby {
+            ordered.push(s.clone());
+        }
         ordered.push(l2.clone());
         Self {
             nodes,
             ordered,
             l1,
+            standby,
             l2,
             ledger,
         }
@@ -484,6 +1028,11 @@ impl LdmsNetwork {
     /// The first-level (head node) aggregator.
     pub fn l1(&self) -> &Arc<Ldmsd> {
         &self.l1
+    }
+
+    /// The standby L1 aggregator, when one was deployed.
+    pub fn standby(&self) -> Option<&Arc<Ldmsd>> {
+        self.standby.as_ref()
     }
 
     /// The second-level (remote cluster) aggregator — where store
@@ -503,7 +1052,8 @@ impl LdmsNetwork {
     }
 
     /// Every daemon in deterministic order: sorted samplers, then the
-    /// L1 and L2 aggregators (topology introspection for `iolint`).
+    /// L1, standby (if any), and L2 aggregators (topology
+    /// introspection for `iolint`).
     pub fn daemons(&self) -> &[Arc<Ldmsd>] {
         &self.ordered
     }
@@ -514,13 +1064,16 @@ impl LdmsNetwork {
     }
 
     /// Resolves a fault-script component name: a compute-node name, an
-    /// aggregator host name, or the aliases `"l1"` / `"l2"`.
+    /// aggregator host name, or the aliases `"l1"` / `"l2"` /
+    /// `"standby"`.
     fn resolve(&self, name: &str) -> Option<&Arc<Ldmsd>> {
         match name {
             "l1" => Some(&self.l1),
             "l2" => Some(&self.l2),
+            "standby" => self.standby.as_ref(),
             n if n == self.l1.name() => Some(&self.l1),
             n if n == self.l2.name() => Some(&self.l2),
+            n if Some(n) == self.standby.as_ref().map(|s| s.name()) => self.standby.as_ref(),
             n => self.nodes.get(n),
         }
     }
@@ -553,6 +1106,14 @@ impl LdmsNetwork {
                 FaultSpec::LinkDropEvery { daemon, every } => self
                     .resolve(daemon)
                     .is_some_and(|d| d.set_link_drop_every(*every)),
+                FaultSpec::Crash {
+                    daemon,
+                    at,
+                    restart,
+                } => self
+                    .resolve(daemon)
+                    .map(|d| d.schedule_crash(*at, *restart))
+                    .is_some(),
             };
             if ok {
                 applied += 1;
@@ -583,23 +1144,45 @@ impl LdmsNetwork {
     }
 
     /// Runs the network to quiescence: repeatedly advances virtual
-    /// time to the next queued retry/deadline event up to `horizon`,
-    /// then abandons (and attributes) anything still parked. After
-    /// this returns, the ledger balances:
-    /// `published == delivered + total_lost`.
+    /// time to the next scheduled event (queued retry, deadline,
+    /// crash, or restart replay) up to `horizon`, then abandons (and
+    /// attributes) anything still parked. After this returns, the
+    /// ledger balances: `published == delivered + total_lost`.
     pub fn settle(&self, horizon: Epoch) -> usize {
         loop {
-            let next = self
-                .ordered
-                .iter()
-                .filter_map(|d| d.queue_next_event())
-                .min();
+            let next = self.ordered.iter().filter_map(|d| d.next_event()).min();
             match next {
                 Some(t) if t <= horizon => self.pump(t),
                 _ => break,
             }
         }
         self.ordered.iter().map(|d| d.abandon_queue()).sum()
+    }
+
+    /// Aggregated crash-recovery counters across every daemon and the
+    /// shared ledger.
+    pub fn recovery_report(&self) -> RecoveryReport {
+        let mut r = RecoveryReport {
+            lost_crash: self.ledger.lost_with_cause(LossCause::Crash),
+            recovered: self.ledger.recovered(),
+            duplicates_suppressed: self.ledger.duplicates(),
+            ..RecoveryReport::default()
+        };
+        let mut max_latency = SimDuration::ZERO;
+        for d in &self.ordered {
+            r.crashes += d.crashes_seen();
+            r.failovers += d.failovers();
+            r.failbacks += d.failbacks();
+            max_latency = max_latency.max(d.max_failover_latency());
+            if let Some(w) = d.wal_stats() {
+                r.wal_appended += w.appended;
+                r.wal_replayed += w.replayed;
+                r.wal_dropped_unsynced += w.dropped_unsynced;
+                r.wal_rejected += w.rejected_full;
+            }
+        }
+        r.max_failover_latency_s = max_latency.as_secs_f64();
+        r
     }
 }
 
@@ -801,5 +1384,156 @@ mod tests {
         assert_eq!(abandoned, 1);
         assert_eq!(net.ledger().lost_with_cause(LossCause::DaemonDown), 1);
         assert!(net.ledger().balances());
+    }
+
+    // ---- crash-recovery and failover ------------------------------
+
+    fn recovery_net(wal: Option<WalConfig>, standby: bool) -> LdmsNetwork {
+        LdmsNetwork::build_full(
+            &["nid0".into()],
+            &NetworkOpts {
+                queue: QueueConfig::reliable(),
+                standby_l1: standby,
+                heartbeat: HeartbeatConfig::default(),
+                wal,
+            },
+        )
+    }
+
+    #[test]
+    fn crash_destroys_volatile_queue_without_wal() {
+        let net = recovery_net(None, false);
+        // L2 down so the message parks at L1; then L1 itself crashes.
+        net.apply_faults(
+            &FaultScript::new()
+                .daemon_outage("l2", Epoch::from_secs(100), Epoch::from_secs(500))
+                .crash("l1", Epoch::from_secs(150), Epoch::from_secs(160)),
+        );
+        net.l2().subscribe("darshanConnector", BufferSink::new());
+        net.publish(msg_at("nid0", Epoch::from_secs(120)));
+        assert_eq!(net.l1().queued(), 1);
+        let abandoned = net.settle(Epoch::from_secs(1000));
+        assert_eq!(abandoned, 0, "the crash already consumed the entry");
+        assert_eq!(net.ledger().lost_with_cause(LossCause::Crash), 1);
+        assert_eq!(net.ledger().lost_at("voltrino-head"), 1);
+        assert!(net.ledger().balances());
+        assert_eq!(net.recovery_report().crashes, 1);
+    }
+
+    #[test]
+    fn wal_replay_recovers_parked_messages_across_crash() {
+        let net = recovery_net(Some(WalConfig::durable()), false);
+        net.apply_faults(
+            &FaultScript::new()
+                .daemon_outage("l2", Epoch::from_secs(100), Epoch::from_secs(500))
+                .crash("l1", Epoch::from_secs(150), Epoch::from_secs(600)),
+        );
+        let sink = BufferSink::new();
+        net.l2().subscribe("darshanConnector", sink.clone());
+        net.publish(msg_at("nid0", Epoch::from_secs(120)).with_seq(1));
+        let abandoned = net.settle(Epoch::from_secs(1000));
+        assert_eq!(abandoned, 0);
+        let got = sink.take();
+        assert_eq!(got.len(), 1, "the WAL record was replayed");
+        assert!(got[0].replayed);
+        assert!(got[0].recv_time >= Epoch::from_secs(600));
+        assert_eq!(net.ledger().delivered(), 1);
+        assert_eq!(net.ledger().recovered(), 1);
+        assert_eq!(net.ledger().lost_with_cause(LossCause::Crash), 0);
+        assert!(net.ledger().balances());
+        let r = net.recovery_report();
+        assert_eq!((r.wal_appended, r.wal_replayed, r.recovered), (1, 1, 1));
+    }
+
+    #[test]
+    fn duplicate_replay_after_uncheckpointed_completion_is_suppressed() {
+        // Completion marks are volatile: deliver, crash before the
+        // checkpoint, and the restart replays a duplicate.
+        let wal = WalConfig::durable().with_checkpoint_every(1000);
+        let net = recovery_net(Some(wal), false);
+        net.apply_faults(
+            &FaultScript::new()
+                .daemon_outage("l2", Epoch::from_secs(100), Epoch::from_secs(110))
+                .crash("l1", Epoch::from_secs(120), Epoch::from_secs(130)),
+        );
+        let sink = BufferSink::new();
+        net.l2().subscribe("darshanConnector", sink.clone());
+        net.publish(msg_at("nid0", Epoch::from_secs(105)).with_seq(1));
+        net.settle(Epoch::from_secs(1000));
+        assert_eq!(sink.len(), 1, "the duplicate never reached the store");
+        assert_eq!(net.ledger().delivered(), 1);
+        assert_eq!(net.ledger().duplicates(), 1);
+        assert_eq!(
+            net.ledger().recovered(),
+            0,
+            "a suppressed dup is no recovery"
+        );
+        assert!(net.ledger().balances());
+    }
+
+    #[test]
+    fn standby_failover_elects_after_missed_heartbeats() {
+        let net = recovery_net(Some(WalConfig::durable()), true);
+        net.apply_faults(&FaultScript::new().crash(
+            "l1",
+            Epoch::from_secs(100),
+            Epoch::from_secs(500),
+        ));
+        let sink = BufferSink::new();
+        net.l2().subscribe("darshanConnector", sink.clone());
+        // Published before detection: parks, then fails over at the
+        // heartbeat-detection instant (100 + 3×1 s).
+        net.publish(msg_at("nid0", Epoch::from_secs(101)).with_seq(1));
+        // Published after detection: fails over at send time.
+        net.publish(msg_at("nid0", Epoch::from_secs(200)).with_seq(2));
+        net.settle(Epoch::from_secs(400));
+        let got = sink.take();
+        assert_eq!(got.len(), 2, "both rode the standby route");
+        assert!(got.iter().all(|m| m.recv_time < Epoch::from_secs(400)));
+        assert_eq!(net.ledger().delivered(), 2);
+        assert!(net.ledger().balances());
+        let nid = net.node("nid0").unwrap();
+        assert_eq!(nid.failovers(), 1);
+        assert_eq!(
+            nid.active_upstream().unwrap().name(),
+            "voltrino-standby",
+            "still held by hysteresis"
+        );
+        let r = net.recovery_report();
+        assert!(r.max_failover_latency_s >= 3.0);
+    }
+
+    #[test]
+    fn failback_returns_to_primary_after_hold() {
+        let net = recovery_net(None, true);
+        net.apply_faults(&FaultScript::new().crash(
+            "l1",
+            Epoch::from_secs(100),
+            Epoch::from_secs(120),
+        ));
+        net.l2().subscribe("darshanConnector", BufferSink::new());
+        let nid = net.node("nid0").unwrap();
+        net.publish(msg_at("nid0", Epoch::from_secs(110)).with_seq(1));
+        net.settle(Epoch::from_secs(115));
+        assert_eq!(nid.active_upstream().unwrap().name(), "voltrino-standby");
+        // Primary back at 120; hold is 10 s — at 125 still standby.
+        net.publish(msg_at("nid0", Epoch::from_secs(125)).with_seq(2));
+        assert_eq!(nid.active_upstream().unwrap().name(), "voltrino-standby");
+        // At 131 the primary has been up ≥ hold: fail back.
+        net.publish(msg_at("nid0", Epoch::from_secs(131)).with_seq(3));
+        assert_eq!(nid.active_upstream().unwrap().name(), "voltrino-head");
+        assert_eq!(nid.failbacks(), 1);
+        net.settle(Epoch::from_secs(400));
+        assert!(net.ledger().balances());
+    }
+
+    #[test]
+    fn default_network_has_no_recovery_machinery() {
+        let net = network();
+        assert!(net.standby().is_none());
+        assert_eq!(net.l1().wal_capacity(), None);
+        net.l2().subscribe("darshanConnector", BufferSink::new());
+        net.publish(msg("nid00040", "{}"));
+        assert_eq!(net.recovery_report(), RecoveryReport::default());
     }
 }

@@ -126,6 +126,46 @@ impl Lifecycle {
     pub fn always_up(&self) -> bool {
         self.windows.read().is_empty()
     }
+
+    /// Start of the contiguous downtime containing `t`, resolving
+    /// overlapping and chained windows backwards. `None` when the
+    /// component is up at `t`. This is what heartbeat-based liveness
+    /// detection measures missed beats against.
+    pub fn down_since(&self, t: Epoch) -> Option<Epoch> {
+        let windows = self.windows.read();
+        let mut start = windows
+            .iter()
+            .find(|&&(from, until)| from <= t && t < until)?
+            .0;
+        loop {
+            match windows
+                .iter()
+                .find(|&&(from, until)| from < start && until >= start)
+            {
+                Some(&(from, _)) => start = from,
+                None => return Some(start),
+            }
+        }
+    }
+
+    /// Instant since which the component has been continuously up at
+    /// `t` (the epoch origin when it never went down). `None` when the
+    /// component is down at `t`. Failback hysteresis compares this
+    /// against a hold time before trusting a recovered route again.
+    pub fn up_since(&self, t: Epoch) -> Option<Epoch> {
+        if !self.is_up(t) {
+            return None;
+        }
+        Some(
+            self.windows
+                .read()
+                .iter()
+                .filter(|&&(_, until)| until <= t)
+                .map(|&(_, until)| until)
+                .max()
+                .unwrap_or(Epoch::from_nanos(0)),
+        )
+    }
 }
 
 /// One fault to inject. Components are addressed by daemon name; the
@@ -171,6 +211,20 @@ pub enum FaultSpec {
         daemon: String,
         /// Drop period (0 = never).
         every: u64,
+    },
+    /// Crash-stop the daemon at `at` and restart it at `restart`.
+    /// Unlike [`FaultSpec::DaemonOutage`] — which only makes the
+    /// daemon unreachable — a crash *drops all volatile state*: every
+    /// message parked in the daemon's retry queue is lost unless a
+    /// durable write-ahead log record covers it, in which case it is
+    /// replayed on restart.
+    Crash {
+        /// Daemon name (or `"l1"` / `"l2"` / `"standby"`).
+        daemon: String,
+        /// Crash instant.
+        at: Epoch,
+        /// Restart instant (must be after `at`).
+        restart: Epoch,
     },
 }
 
@@ -227,6 +281,17 @@ impl FaultScript {
         self
     }
 
+    /// Adds a crash-stop/restart pair: the daemon loses all volatile
+    /// state at `at` and replays its write-ahead log at `restart`.
+    pub fn crash(mut self, daemon: &str, at: Epoch, restart: Epoch) -> Self {
+        self.specs.push(FaultSpec::Crash {
+            daemon: daemon.to_string(),
+            at,
+            restart,
+        });
+        self
+    }
+
     /// The scripted faults, in order.
     pub fn specs(&self) -> &[FaultSpec] {
         &self.specs
@@ -267,6 +332,25 @@ mod tests {
         // Chained windows resolve transitively.
         assert_eq!(lc.next_up(Epoch::from_secs(15)), Epoch::from_secs(25));
         assert_eq!(lc.next_up(Epoch::from_secs(5)), Epoch::from_secs(5));
+    }
+
+    #[test]
+    fn down_since_and_up_since_resolve_chained_windows() {
+        let lc = Lifecycle::new();
+        assert_eq!(lc.up_since(Epoch::from_secs(5)), Some(Epoch::from_nanos(0)));
+        assert_eq!(lc.down_since(Epoch::from_secs(5)), None);
+        lc.schedule_down(Epoch::from_secs(10), Epoch::from_secs(20));
+        lc.schedule_down(Epoch::from_secs(15), Epoch::from_secs(30));
+        assert_eq!(
+            lc.down_since(Epoch::from_secs(25)),
+            Some(Epoch::from_secs(10))
+        );
+        assert_eq!(lc.up_since(Epoch::from_secs(25)), None);
+        assert_eq!(
+            lc.up_since(Epoch::from_secs(31)),
+            Some(Epoch::from_secs(30))
+        );
+        assert_eq!(lc.down_since(Epoch::from_secs(9)), None);
     }
 
     #[test]

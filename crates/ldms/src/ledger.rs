@@ -20,8 +20,14 @@
 //! between.
 
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Idempotency key of one keyed message:
+/// `(producer, job_id, rank, seq)`. Messages without a sequence number
+/// have no key and are never deduplicated.
+pub type DeliveryKey = (Arc<str>, u64, u64, u64);
 
 /// Why a message failed to reach the end of the pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -43,6 +49,9 @@ pub enum LossCause {
     /// Forwarding detected a topology cycle (or an absurdly deep
     /// chain) and dropped the message instead of looping.
     CycleDropped,
+    /// A crash-stop fault destroyed the message while it sat in a
+    /// volatile retry queue with no durable WAL record covering it.
+    Crash,
 }
 
 impl LossCause {
@@ -55,6 +64,7 @@ impl LossCause {
             LossCause::QueueOverflow => "queue-overflow",
             LossCause::DeadlineExceeded => "deadline-exceeded",
             LossCause::CycleDropped => "cycle-dropped",
+            LossCause::Crash => "lost-crash",
         }
     }
 }
@@ -83,6 +93,11 @@ pub struct DeliveryLedger {
     published: AtomicU64,
     delivered: AtomicU64,
     losses: Mutex<HashMap<(String, LossCause), u64>>,
+    /// Keys of messages already delivered at a terminal daemon; a WAL
+    /// replay re-delivering one is a duplicate and is suppressed.
+    delivered_keys: Mutex<HashSet<DeliveryKey>>,
+    duplicates: AtomicU64,
+    recovered: AtomicU64,
 }
 
 impl DeliveryLedger {
@@ -100,6 +115,26 @@ impl DeliveryLedger {
     pub(crate) fn record_delivered(&self) {
         self.delivered.fetch_add(1, Ordering::Relaxed);
         self.debug_check_attribution();
+    }
+
+    /// Atomically claims the delivery of a keyed message. Returns
+    /// `false` when the key was already delivered — the caller must
+    /// then suppress the duplicate (neither `delivered` nor any loss
+    /// bucket moves, keeping the conservation invariant exact: each
+    /// published message is still counted exactly once).
+    pub(crate) fn try_claim_delivery(&self, key: DeliveryKey) -> bool {
+        if self.delivered_keys.lock().insert(key) {
+            true
+        } else {
+            self.duplicates.fetch_add(1, Ordering::Relaxed);
+            false
+        }
+    }
+
+    /// Counts one delivered message that reached the terminal via WAL
+    /// replay after a crash — the "demonstrably recovered" counter.
+    pub(crate) fn record_recovered(&self) {
+        self.recovered.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Attributes one lost message to `(hop, cause)`.
@@ -165,6 +200,19 @@ impl DeliveryLedger {
             .sum()
     }
 
+    /// Duplicate deliveries suppressed (a WAL replay re-sent a message
+    /// whose completion mark a crash had reverted).
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates.load(Ordering::Relaxed)
+    }
+
+    /// Messages delivered via WAL replay after a crash (each counted
+    /// inside `delivered` as well — recovery *prevents* a loss, it
+    /// never reclassifies one).
+    pub fn recovered(&self) -> u64 {
+        self.recovered.load(Ordering::Relaxed)
+    }
+
     /// True when every published message is accounted for — holds at
     /// any quiescent instant (no messages parked in retry queues).
     pub fn balances(&self) -> bool {
@@ -198,6 +246,13 @@ impl DeliveryLedger {
         for r in self.report() {
             s.push_str(&format!(" [{}@{}={}]", r.cause, r.hop, r.count));
         }
+        let (dup, rec) = (self.duplicates(), self.recovered());
+        if rec > 0 {
+            s.push_str(&format!(" recovered={rec}"));
+        }
+        if dup > 0 {
+            s.push_str(&format!(" duplicates={dup}"));
+        }
         s
     }
 }
@@ -226,6 +281,18 @@ mod tests {
         assert_eq!(report.len(), 1);
         assert_eq!(report[0].count, 2);
         assert!(l.summary().contains("link-loss@ugni=2"));
+    }
+
+    #[test]
+    fn duplicate_claims_are_counted_not_delivered() {
+        let l = DeliveryLedger::new();
+        let key: DeliveryKey = (Arc::from("nid0"), 7, 0, 1);
+        assert!(l.try_claim_delivery(key.clone()));
+        assert!(!l.try_claim_delivery(key));
+        assert_eq!(l.duplicates(), 1);
+        assert!(l.try_claim_delivery((Arc::from("nid0"), 7, 0, 2)));
+        l.record_recovered();
+        assert_eq!(l.recovered(), 1);
     }
 
     #[test]

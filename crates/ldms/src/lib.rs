@@ -30,21 +30,33 @@
 //! once as delivered or as lost with a `(hop, cause)` attribution).
 //! All of it is opt-in: the default [`queue::QueueConfig::best_effort`]
 //! preserves the paper's semantics unchanged.
+//!
+//! The crash-recovery layer extends that further: [`wal`] (durable
+//! write-ahead logs making retry queues survive crash-stop faults),
+//! [`heartbeat`] (liveness detection policy driving standby-aggregator
+//! failover), and idempotent sequence-keyed terminal delivery in
+//! [`ledger`] so a WAL replay never double-counts a row. Again all
+//! opt-in — with no crash scripted and no WAL configured, the pipeline
+//! behaves byte-identically to the best-effort default.
 
 #![forbid(unsafe_code)]
 
 pub mod daemon;
 pub mod fault;
+pub mod heartbeat;
 pub mod ledger;
 pub mod queue;
 pub mod sampler;
 pub mod store;
 pub mod stream;
 pub mod transport;
+pub mod wal;
 
-pub use daemon::{DaemonRole, LdmsNetwork, Ldmsd};
+pub use daemon::{DaemonRole, LdmsNetwork, Ldmsd, NetworkOpts, RecoveryReport};
 pub use fault::{FaultScript, FaultSpec, Lifecycle, SimRng};
-pub use ledger::{DeliveryLedger, LossCause, LossRecord};
+pub use heartbeat::HeartbeatConfig;
+pub use ledger::{DeliveryKey, DeliveryLedger, LossCause, LossRecord};
 pub use queue::{OverflowPolicy, QueueConfig, RetryQueue};
 pub use stream::{MsgFormat, StreamMessage, StreamSink, StreamStats};
 pub use transport::TransportLink;
+pub use wal::{WalConfig, WalRecord, WalStats, WriteAheadLog};

@@ -141,6 +141,9 @@ pub(crate) struct QueueEntry {
     pub expire: Option<Epoch>,
     /// Why the last attempt failed (loss attribution if abandoned).
     pub cause: LossCause,
+    /// LSN of the durable WAL record backing this entry, when the
+    /// hop's write-ahead log accepted it (`None` = volatile-only).
+    pub lsn: Option<u64>,
 }
 
 /// A bounded retry queue for one upstream hop.
@@ -332,6 +335,7 @@ mod tests {
             next_attempt: Epoch::from_secs(at),
             expire: None,
             cause: LossCause::LinkLoss,
+            lsn: None,
         }
     }
 

@@ -37,6 +37,13 @@ pub struct StreamMessage {
     /// Per-publisher sequence number, stamped by the connector so the
     /// store can detect gaps (`None` for unsequenced sources).
     pub seq: Option<u64>,
+    /// Idempotency-key context `(job_id, rank)`, stamped by the
+    /// connector alongside `seq` so replayed deliveries can be
+    /// deduplicated on `(producer, job, rank, seq)`.
+    pub origin: Option<(u64, u64)>,
+    /// True when the message was re-sent from a write-ahead-log replay
+    /// after a crash restart.
+    pub replayed: bool,
 }
 
 impl StreamMessage {
@@ -57,6 +64,8 @@ impl StreamMessage {
             recv_time: publish_time,
             hops: 0,
             seq: None,
+            origin: None,
+            replayed: false,
         }
     }
 
@@ -64,6 +73,22 @@ impl StreamMessage {
     pub fn with_seq(mut self, seq: u64) -> Self {
         self.seq = Some(seq);
         self
+    }
+
+    /// Stamps the `(job_id, rank)` origin used in the idempotency key.
+    pub fn with_origin(mut self, job_id: u64, rank: u64) -> Self {
+        self.origin = Some((job_id, rank));
+        self
+    }
+
+    /// The message's idempotency key `(producer, job, rank, seq)`, or
+    /// `None` for unsequenced messages (which are never deduplicated).
+    /// Sequenced messages without an origin key on `(producer, 0, 0,
+    /// seq)` — still unique per producer.
+    pub fn delivery_key(&self) -> Option<crate::ledger::DeliveryKey> {
+        let seq = self.seq?;
+        let (job, rank) = self.origin.unwrap_or((0, 0));
+        Some((self.producer.clone(), job, rank, seq))
     }
 
     /// Payload size in bytes.
@@ -322,6 +347,18 @@ mod tests {
         let m = msg("t", "{}").with_seq(41);
         assert_eq!(m.seq, Some(41));
         assert_eq!(msg("t", "{}").seq, None);
+    }
+
+    #[test]
+    fn delivery_key_requires_seq_and_defaults_origin() {
+        assert_eq!(msg("t", "{}").delivery_key(), None);
+        let m = msg("t", "{}").with_seq(3);
+        let (_, job, rank, seq) = m.delivery_key().unwrap();
+        assert_eq!((job, rank, seq), (0, 0, 3));
+        let m = msg("t", "{}").with_seq(3).with_origin(99, 4);
+        let (p, job, rank, seq) = m.delivery_key().unwrap();
+        assert_eq!((p.as_ref(), job, rank, seq), ("nid00001", 99, 4, 3));
+        assert!(!m.replayed);
     }
 
     #[test]

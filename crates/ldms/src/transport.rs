@@ -118,6 +118,19 @@ impl TransportLink {
         self.lifecycle.next_up(t)
     }
 
+    /// Start of the contiguous flap window containing `t` (`None`
+    /// when the link is up). Heartbeat-based route election measures
+    /// missed beats against this.
+    pub fn down_since(&self, t: Epoch) -> Option<Epoch> {
+        self.lifecycle.down_since(t)
+    }
+
+    /// Instant since which the link has been continuously up at `t`
+    /// (`None` when down). Used by failback hysteresis.
+    pub fn up_since(&self, t: Epoch) -> Option<Epoch> {
+        self.lifecycle.up_since(t)
+    }
+
     /// Transit time for a message of `bytes`.
     pub fn delay(&self, bytes: usize) -> SimDuration {
         SimDuration::from_secs_f64(self.latency_s + bytes as f64 / self.bandwidth)

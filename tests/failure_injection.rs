@@ -9,7 +9,8 @@
 mod fault_common;
 
 use fault_common::{
-    base_epoch, check_invariants, node_names, payload, random_scenario, run_scenario, Scenario, TAG,
+    base_epoch, check_invariants, check_no_duplicate_rows, node_names, payload, random_scenario,
+    run_scenario, Scenario, TAG,
 };
 use repro_suite::apps::stack::DarshanStack;
 use repro_suite::connector::{
@@ -277,9 +278,12 @@ fn ledger_balances_across_randomized_fault_scenarios() {
     // network settles, and sequence gaps never exceed real losses.
     for seed in 0..48u64 {
         let sc = random_scenario(seed);
-        let (_p, outcome) = run_scenario(&sc);
+        let (p, outcome) = run_scenario(&sc);
         if let Err(e) = check_invariants(&outcome) {
             panic!("seed {seed}: {e}\nscenario: {sc:?}\noutcome: {outcome:?}");
+        }
+        if let Err(e) = check_no_duplicate_rows(&p, 7) {
+            panic!("seed {seed}: {e}\nscenario: {sc:?}");
         }
     }
 }
@@ -292,6 +296,8 @@ fn fault_free_scenario_is_lossless_and_gapless() {
         queue: QueueConfig::best_effort(),
         script: FaultScript::new(),
         slack_s: 60,
+        standby: false,
+        wal: None,
     };
     let (p, outcome) = run_scenario(&sc);
     check_invariants(&outcome).unwrap();

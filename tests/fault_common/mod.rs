@@ -4,10 +4,13 @@
 #![allow(dead_code)]
 
 use repro_suite::connector::{
-    FaultScript, OverflowPolicy, Pipeline, PipelineOpts, QueueConfig, DEFAULT_STREAM_TAG,
+    column_id, FaultScript, OverflowPolicy, Pipeline, PipelineOpts, QueueConfig, WalConfig,
+    DEFAULT_STREAM_TAG,
 };
+use repro_suite::dsos::Value;
 use repro_suite::ldms::{MsgFormat, SimRng, StreamMessage};
 use repro_suite::simtime::{Epoch, SimDuration};
+use std::collections::HashSet;
 
 /// The stream tag scenarios publish under.
 pub const TAG: &str = DEFAULT_STREAM_TAG;
@@ -51,6 +54,10 @@ pub struct Scenario {
     pub script: FaultScript,
     /// Settle horizon, seconds past the base epoch.
     pub slack_s: u64,
+    /// Deploy the standby L1 aggregator (heartbeat failover routes).
+    pub standby: bool,
+    /// Crash-durable write-ahead log attached to every hop.
+    pub wal: Option<WalConfig>,
 }
 
 /// What a scenario run produced, reduced to the accounting numbers the
@@ -83,6 +90,9 @@ pub fn run_scenario(sc: &Scenario) -> (Pipeline, Outcome) {
             attach_store: true,
             queue: sc.queue.clone(),
             faults: sc.script.clone(),
+            standby_l1: sc.standby,
+            wal: sc.wal.clone(),
+            ..PipelineOpts::default()
         },
     );
     let base = base_epoch();
@@ -91,8 +101,11 @@ pub fn run_scenario(sc: &Scenario) -> (Pipeline, Outcome) {
         for (n_idx, name) in nodes.iter().enumerate() {
             let t = base + SimDuration::from_millis(i * 10 + n_idx as u64);
             let data = payload(name, 7, n_idx as u64, t.as_secs_f64());
-            p.network()
-                .publish(StreamMessage::new(TAG, MsgFormat::Json, data, name, t).with_seq(i + 1));
+            p.network().publish(
+                StreamMessage::new(TAG, MsgFormat::Json, data, name, t)
+                    .with_seq(i + 1)
+                    .with_origin(7, n_idx as u64),
+            );
             published += 1;
         }
     }
@@ -138,6 +151,34 @@ pub fn check_invariants(o: &Outcome) -> Result<(), String> {
     Ok(())
 }
 
+/// Asserts idempotent ingest: no two DSOS rows of the job share the
+/// `(ProducerName, rank, seg_timestamp)` identity, i.e. WAL replay
+/// after a crash never double-stores a message. Scenario runs publish
+/// under job id 7.
+pub fn check_no_duplicate_rows(p: &Pipeline, job_id: u64) -> Result<(), String> {
+    let mut seen: HashSet<(String, u64, u64)> = HashSet::new();
+    for row in p.events_of_job(job_id) {
+        let producer = match &row[column_id("ProducerName")] {
+            Value::Str(s) => s.clone(),
+            v => return Err(format!("non-string ProducerName: {v:?}")),
+        };
+        let rank = match row[column_id("rank")] {
+            Value::U64(r) => r,
+            ref v => return Err(format!("non-u64 rank: {v:?}")),
+        };
+        let ts = match row[column_id("seg_timestamp")] {
+            Value::F64(t) => t.to_bits(),
+            ref v => return Err(format!("non-f64 seg_timestamp: {v:?}")),
+        };
+        if !seen.insert((producer.clone(), rank, ts)) {
+            return Err(format!(
+                "duplicate DSOS row for producer={producer} rank={rank}"
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Derives a full scenario deterministically from one seed: topology
 /// size, workload length, queue configuration (all four policies), and
 /// up to two faults drawn from every [`FaultScript`] constructor.
@@ -157,6 +198,16 @@ pub fn random_scenario(seed: u64) -> Scenario {
             )))
             .with_seed(rng.next_u64()),
     };
+    // Crash-recovery machinery is drawn independently of the faults so
+    // crashes run both with and without a WAL / standby route.
+    let standby = rng.next_u64() % 3 == 0;
+    let wal = match rng.next_u64() % 3 {
+        0 => None,
+        1 => Some(WalConfig::durable()),
+        // A lazily-fsynced WAL: crashes legitimately lose the unsynced
+        // tail, which must then be attributed, not replayed.
+        _ => Some(WalConfig::durable().with_fsync_every(8)),
+    };
     // Fault windows overlap the publish span (10 ms per message step).
     let span_ms = msgs_per_node * 10 + 10;
     let mut script = FaultScript::new();
@@ -168,11 +219,14 @@ pub fn random_scenario(seed: u64) -> Scenario {
         };
         let from = base_epoch() + SimDuration::from_millis(rng.next_u64() % span_ms);
         let until = from + SimDuration::from_millis(1 + rng.next_u64() % 200);
-        script = match rng.next_u64() % 4 {
+        script = match rng.next_u64() % 5 {
             0 => script.daemon_outage(&target, from, until),
             1 => script.link_flap(&target, from, until),
             2 => script.link_loss_prob(&target, 0.1 + 0.4 * rng.next_f64(), rng.next_u64()),
-            _ => script.link_drop_every(&target, 2 + rng.next_u64() % 4),
+            3 => script.link_drop_every(&target, 2 + rng.next_u64() % 4),
+            // Crash-stop: volatile state dies at `from`, the daemon
+            // restarts (and replays its WAL, if any) at `until`.
+            _ => script.crash(&target, from, until),
         };
     }
     Scenario {
@@ -181,5 +235,7 @@ pub fn random_scenario(seed: u64) -> Scenario {
         queue,
         script,
         slack_s: 60,
+        standby,
+        wal,
     }
 }

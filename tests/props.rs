@@ -4,6 +4,7 @@
 mod fault_common;
 
 use proptest::prelude::*;
+use repro_suite::connector::FaultScript;
 use repro_suite::dsos::{DsosCluster, Schema, Type, Value};
 use repro_suite::ldms::store::json_to_rows;
 use repro_suite::simtime::{Clock, Epoch, SimDuration};
@@ -254,9 +255,44 @@ proptest! {
         // and sequence-gap detection never claims more missing
         // messages than were actually lost.
         let sc = fault_common::random_scenario(seed);
-        let (_p, outcome) = fault_common::run_scenario(&sc);
+        let (p, outcome) = fault_common::run_scenario(&sc);
         if let Err(e) = fault_common::check_invariants(&outcome) {
             prop_assert!(false, "{} (scenario: {:?}, outcome: {:?})", e, sc, outcome);
+        }
+        if let Err(e) = fault_common::check_no_duplicate_rows(&p, 7) {
+            prop_assert!(false, "{} (scenario: {:?})", e, sc);
+        }
+    }
+
+    #[test]
+    fn crash_recovery_preserves_ledger_and_idempotency(
+        seed in any::<u64>(),
+        victim in 0u64..4,
+        at_ms in 0u64..300,
+        dur_ms in 1u64..200,
+    ) {
+        // One crash-stop of a random daemon at a random virtual
+        // instant, layered over a seed-derived workload, queue policy,
+        // and WAL/standby draw. Whatever the crash destroys, the
+        // ledger must still balance exactly (every gap attributed to a
+        // (hop, cause) bucket) and WAL replay must never double-store
+        // a DSOS row.
+        let mut sc = fault_common::random_scenario(seed);
+        let target = match victim {
+            0 => "l1".to_string(),
+            1 => "l2".to_string(),
+            2 if sc.standby => "standby".to_string(),
+            _ => format!("nid{:05}", seed % sc.nodes),
+        };
+        let from = fault_common::base_epoch() + SimDuration::from_millis(at_ms);
+        let until = from + SimDuration::from_millis(dur_ms);
+        sc.script = FaultScript::new().crash(&target, from, until);
+        let (p, outcome) = fault_common::run_scenario(&sc);
+        if let Err(e) = fault_common::check_invariants(&outcome) {
+            prop_assert!(false, "{} (scenario: {:?}, outcome: {:?})", e, sc, outcome);
+        }
+        if let Err(e) = fault_common::check_no_duplicate_rows(&p, 7) {
+            prop_assert!(false, "{} (scenario: {:?})", e, sc);
         }
     }
 }
