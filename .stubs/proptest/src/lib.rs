@@ -1,3 +1,718 @@
-//! Empty offline stand-in for `proptest`. The `props` integration-test
-//! target does not compile against this stub (expected offline); every
-//! other target builds and runs.
+//! Offline stand-in for `proptest`, implementing the subset of the API
+//! this repository's property tests use: the `proptest!` macro, value
+//! strategies (`any`, ranges, tuples, regex-ish string patterns,
+//! `prop_oneof!`, `Just`, `prop_map`, `prop_recursive`,
+//! `prop::collection::{vec, btree_map}`, `prop::num::f64::NORMAL`) and
+//! the `prop_assert*` macros. Generation is a seeded splitmix64 stream
+//! keyed by the case index, so every run of a test explores the same
+//! deterministic sequence of inputs and failures reproduce exactly.
+//! There is no shrinking: the failing case index is reported instead.
+
+/// Deterministic generator handed to strategies.
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A fresh stream for one test case. The constant offset keeps the
+    /// zero case away from the all-zero state.
+    pub fn for_case(case: u64) -> Self {
+        Self {
+            state: case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD1B5_4A32_D192_ED03,
+        }
+    }
+
+    /// splitmix64 step.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// Uniform usize in `[lo, hi)` (empty range yields `lo`).
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        if hi <= lo {
+            return lo;
+        }
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+pub mod strategy {
+    use super::TestRng;
+    use std::ops::Range;
+    use std::sync::Arc;
+
+    /// A value generator. Unlike real proptest there is no shrinking,
+    /// so a strategy is just a cloneable recipe for sampling values.
+    pub trait Strategy: Clone {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + Clone,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy by applying `recurse` `depth`
+        /// times, starting from `self` as the leaf. Real proptest's
+        /// size hints (`_desired_size`, `_expected_branch_size`) are
+        /// accepted and ignored; collection strategies bound growth.
+        fn prop_recursive<F, S>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S,
+            S: Strategy<Value = Self::Value> + 'static,
+        {
+            let mut current = self.boxed();
+            for _ in 0..depth {
+                current = recurse(current).boxed();
+            }
+            current
+        }
+
+        /// Type-erases the strategy. Cloneable, so it doubles as real
+        /// proptest's `BoxedStrategy` in `prop_recursive` closures.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let s = self;
+            BoxedStrategy {
+                sample: Arc::new(move |rng| s.generate(rng)),
+            }
+        }
+    }
+
+    /// Cloneable type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        sample: Arc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            Self {
+                sample: Arc::clone(&self.sample),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.sample)(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `prop_map` adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between alternatives (the `prop_oneof!` macro).
+    pub struct Union<T> {
+        arms: Vec<Arc<dyn Fn(&mut TestRng) -> T>>,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Self {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<Arc<dyn Fn(&mut TestRng) -> T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Self { arms }
+        }
+    }
+
+    /// Erases one `prop_oneof!` arm into a sampling closure.
+    pub fn union_arm<S>(s: S) -> Arc<dyn Fn(&mut TestRng) -> S::Value>
+    where
+        S: Strategy + 'static,
+    {
+        Arc::new(move |rng| s.generate(rng))
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = rng.usize_in(0, self.arms.len());
+            (self.arms[i])(rng)
+        }
+    }
+
+    // --- integer / float ranges -------------------------------------
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    ((self.start as i128) + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    // --- tuples ------------------------------------------------------
+
+    macro_rules! tuple_strategy {
+        ($($name:ident: $idx:tt),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A: 0);
+    tuple_strategy!(A: 0, B: 1);
+    tuple_strategy!(A: 0, B: 1, C: 2);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+    tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+    // --- regex-subset string patterns --------------------------------
+
+    /// One generatable pattern element.
+    #[derive(Clone)]
+    enum Tok {
+        /// Fixed character.
+        Lit(char),
+        /// Choice from an explicit pool.
+        Pool(Vec<char>),
+    }
+
+    /// The pool backing `.`/`\PC` and negated classes: ASCII
+    /// printables plus a few multi-byte characters so string-escaping
+    /// paths get exercised.
+    fn printable_pool() -> Vec<char> {
+        let mut pool: Vec<char> = (0x20u8..0x7F).map(char::from).collect();
+        pool.extend(['\t', '\n', 'é', 'ß', '→', '世', '🦀']);
+        pool
+    }
+
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Tok {
+        let mut negate = false;
+        let mut members: Vec<char> = Vec::new();
+        if chars.peek() == Some(&'^') {
+            negate = true;
+            chars.next();
+        }
+        let mut prev: Option<char> = None;
+        while let Some(c) = chars.next() {
+            match c {
+                ']' => break,
+                '\\' => {
+                    let e = chars.next().expect("dangling escape in class");
+                    let lit = match e {
+                        'r' => '\r',
+                        'n' => '\n',
+                        't' => '\t',
+                        other => other,
+                    };
+                    members.push(lit);
+                    prev = Some(lit);
+                }
+                '-' if prev.is_some() && chars.peek().is_some() && chars.peek() != Some(&']') => {
+                    let hi = chars.next().unwrap();
+                    let lo = prev.take().unwrap();
+                    for u in (lo as u32 + 1)..=(hi as u32) {
+                        if let Some(ch) = char::from_u32(u) {
+                            members.push(ch);
+                        }
+                    }
+                }
+                other => {
+                    members.push(other);
+                    prev = Some(other);
+                }
+            }
+        }
+        if negate {
+            let pool: Vec<char> = printable_pool()
+                .into_iter()
+                .filter(|c| !members.contains(c))
+                .collect();
+            Tok::Pool(pool)
+        } else {
+            Tok::Pool(members)
+        }
+    }
+
+    /// Parses the regex subset the test-suite uses: literals, classes
+    /// (`[a-z_]`, `[^\r]`), `.`/`\PC`, escapes, and the quantifiers
+    /// `{n}`, `{n,m}`, `*`, `+`, `?`.
+    fn parse_pattern(pat: &str) -> Vec<(Tok, usize, usize)> {
+        let mut toks = Vec::new();
+        let mut chars = pat.chars().peekable();
+        while let Some(c) = chars.next() {
+            let tok = match c {
+                '[' => parse_class(&mut chars),
+                '.' => Tok::Pool(printable_pool()),
+                '\\' => match chars.next().expect("dangling escape") {
+                    'P' | 'p' => {
+                        // `\PC`: any non-control character.
+                        let cat = chars.next().expect("escape category");
+                        assert_eq!(cat, 'C', "only the C (control) category is supported");
+                        Tok::Pool(printable_pool())
+                    }
+                    'r' => Tok::Lit('\r'),
+                    'n' => Tok::Lit('\n'),
+                    't' => Tok::Lit('\t'),
+                    other => Tok::Lit(other),
+                },
+                other => Tok::Lit(other),
+            };
+            // Quantifier, if any.
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    let mut spec = String::new();
+                    for q in chars.by_ref() {
+                        if q == '}' {
+                            break;
+                        }
+                        spec.push(q);
+                    }
+                    match spec.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("bad quantifier"),
+                            hi.trim().parse().expect("bad quantifier"),
+                        ),
+                        None => {
+                            let n: usize = spec.trim().parse().expect("bad quantifier");
+                            (n, n)
+                        }
+                    }
+                }
+                Some('*') => {
+                    chars.next();
+                    (0, 24)
+                }
+                Some('+') => {
+                    chars.next();
+                    (1, 24)
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            toks.push((tok, min, max));
+        }
+        toks
+    }
+
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for (tok, min, max) in parse_pattern(self) {
+                let n = rng.usize_in(min, max + 1);
+                for _ in 0..n {
+                    match &tok {
+                        Tok::Lit(c) => out.push(*c),
+                        Tok::Pool(pool) => {
+                            assert!(!pool.is_empty(), "empty character class");
+                            out.push(pool[rng.usize_in(0, pool.len())]);
+                        }
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            // Finite floats over a wide dynamic range.
+            let mantissa = rng.unit_f64() * 2.0 - 1.0;
+            let exp = (rng.below(601) as i32 - 300) as f64;
+            mantissa * exp.exp2()
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            char::from_u32(rng.below(0xD800) as u32).unwrap_or('a')
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Vec<T> {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            let n = rng.usize_in(0, 65);
+            (0..n).map(|_| T::arbitrary_value(rng)).collect()
+        }
+    }
+
+    impl<T: Arbitrary> Arbitrary for Option<T> {
+        fn arbitrary_value(rng: &mut TestRng) -> Self {
+            if rng.next_u64() & 1 == 0 {
+                None
+            } else {
+                Some(T::arbitrary_value(rng))
+            }
+        }
+    }
+
+    /// Strategy form of [`Arbitrary`].
+    pub struct Any<T> {
+        _marker: std::marker::PhantomData<fn() -> T>,
+    }
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Self {
+                _marker: std::marker::PhantomData,
+            }
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// `any::<T>()`: the canonical strategy for `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Accepted size specifications for collection strategies.
+    #[derive(Clone, Copy)]
+    pub struct SizeRange {
+        pub min: usize,
+        /// Exclusive upper bound.
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self {
+                min: r.start,
+                max: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n + 1 }
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.usize_in(self.size.min, self.size.max);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(elem, len)`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: SizeRange,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Key collisions shrink the map below the target size,
+            // matching real proptest's behaviour for small key spaces.
+            let n = rng.usize_in(self.size.min, self.size.max);
+            let mut out = BTreeMap::new();
+            for _ in 0..n {
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// `prop::collection::btree_map(key, value, len)`.
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        key: K,
+        value: V,
+        size: impl Into<SizeRange>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy {
+            key,
+            value,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod num {
+    pub mod f64 {
+        use crate::strategy::Strategy;
+        use crate::TestRng;
+
+        /// Strategy for normal (finite, non-zero, non-subnormal) f64s.
+        #[derive(Clone, Copy)]
+        pub struct NormalStrategy;
+
+        pub const NORMAL: NormalStrategy = NormalStrategy;
+
+        impl Strategy for NormalStrategy {
+            type Value = f64;
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                // Mantissa in ±[1, 2), exponent well inside the normal
+                // range: always a normal float.
+                let sign = if rng.next_u64() & 1 == 0 { 1.0 } else { -1.0 };
+                let mantissa = 1.0 + rng.unit_f64();
+                let exp = (rng.below(561) as i32 - 280) as f64;
+                sign * mantissa * exp.exp2()
+            }
+        }
+    }
+}
+
+pub mod test_runner {
+    /// Per-block configuration (`#![proptest_config(...)]`).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// Mirror of real proptest's `prelude::prop` module alias.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+    }
+}
+
+/// Runs each embedded test function over `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                for case in 0..u64::from(cfg.cases) {
+                    let mut rng = $crate::TestRng::for_case(case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let run = move || { $body };
+                    if let Err(panic) =
+                        ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run))
+                    {
+                        eprintln!(
+                            "proptest case {case} of {} failed (deterministic; rerun reproduces)",
+                            cfg.cases
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Asserting macros: panic-based (there is no shrinker to feed).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::union_arm($s)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3u64..17, y in -5i64..5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..5).contains(&y));
+        }
+
+        #[test]
+        fn patterns_match_their_class(s in "[a-z_]{1,8}") {
+            prop_assert!(!s.is_empty() && s.chars().count() <= 8);
+            prop_assert!(s.chars().all(|c| c == '_' || c.is_ascii_lowercase()));
+        }
+
+        #[test]
+        fn normal_floats_are_normal(f in prop::num::f64::NORMAL) {
+            prop_assert!(f.is_normal());
+        }
+    }
+}

@@ -4,8 +4,8 @@ use crate::platform::{FsChoice, Platform};
 use crate::stack::DarshanStack;
 use crate::workloads::Workload;
 use darshan_ldms_connector::{
-    ConnectorConfig, FaultScript, HeartbeatConfig, Pipeline, PipelineOpts, QueueConfig,
-    RecoveryReport, WalConfig, DEFAULT_STREAM_TAG,
+    BatchConfig, ConnectorConfig, DarshanConnector, DeliveryMode, FaultScript, HeartbeatConfig,
+    Pipeline, PipelineOpts, QueueConfig, RecoveryReport, WalConfig, DEFAULT_STREAM_TAG,
 };
 use darshan_sim::log::write_log;
 use darshan_sim::runtime::JobMeta;
@@ -171,6 +171,32 @@ impl RunSpec {
         self.wal = Some(wal);
         self
     }
+
+    /// Sets the connector's frame-batching policy. No-op for
+    /// Darshan-only baselines (they publish nothing).
+    pub fn with_batch(mut self, batch: BatchConfig) -> Self {
+        if let Instrumentation::Connector(cfg) = &mut self.instrumentation {
+            cfg.batch = batch;
+        }
+        self
+    }
+
+    /// Sets the connector's delivery mode. No-op for Darshan-only
+    /// baselines.
+    pub fn with_delivery(mut self, delivery: DeliveryMode) -> Self {
+        if let Instrumentation::Connector(cfg) = &mut self.instrumentation {
+            cfg.delivery = delivery;
+        }
+        self
+    }
+
+    /// The delivery mode in force (Immediate for baselines).
+    pub fn delivery(&self) -> DeliveryMode {
+        match &self.instrumentation {
+            Instrumentation::Connector(cfg) => cfg.delivery,
+            Instrumentation::DarshanOnly => DeliveryMode::Immediate,
+        }
+    }
 }
 
 /// Everything one run produces.
@@ -180,6 +206,9 @@ pub struct RunResult {
     pub runtime_s: f64,
     /// Stream messages published by the connector (0 for baselines).
     pub messages: u64,
+    /// Messages actually put on the wire — equals `messages` unbatched;
+    /// the frame count when batching coalesces events.
+    pub wire_messages: u64,
     /// Messages per rank, rank-indexed.
     pub rank_messages: Vec<u64>,
     /// Messages per second of job runtime.
@@ -251,8 +280,9 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
         first_node: Platform::FIRST_NODE,
     };
 
-    let per_rank: Mutex<Vec<(u32, u64, u64)>> = Mutex::new(Vec::new());
+    let per_rank: Mutex<Vec<(u32, u64, u64, u64)>> = Mutex::new(Vec::new());
     let snapshots = Mutex::new(Vec::new());
+    let connectors: Mutex<Vec<(u32, Arc<DarshanConnector>)>> = Mutex::new(Vec::new());
     let report = Job::run(params, |ctx| {
         let rank = ctx.rank();
         let connector = pipeline.as_ref().map(|p| {
@@ -263,17 +293,48 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
             p.connector_for_rank(cfg, job.clone(), ctx.io.producer_name())
         });
         let stats = connector.as_ref().map(|c| c.stats());
-        let sink = connector.map(|c| c as Arc<dyn darshan_sim::EventSink>);
+        let sink = connector
+            .clone()
+            .map(|c| c as Arc<dyn darshan_sim::EventSink>);
         let stack = DarshanStack::new(fs.clone(), job.clone(), rank, sink);
         app.run_rank(ctx, &stack)
             .unwrap_or_else(|e| panic!("rank {rank} I/O failed: {e}"));
+        if let Some(c) = connector {
+            // Rank end: flush any partially-filled batch frame so no
+            // frame outlives its publisher, and keep the connector for
+            // deferred-outbox collection.
+            c.flush();
+            connectors.lock().push((rank, c));
+        }
         let fired = stack.rt.events_fired();
-        let published = stats.map_or(0, |s| s.published());
-        per_rank.lock().push((rank, published, fired));
+        let published = stats.as_ref().map_or(0, |s| s.published());
+        let wire = stats.map_or(0, |s| s.wire());
+        per_rank.lock().push((rank, published, fired, wire));
         snapshots.lock().push(stack.finalize());
     });
 
     let runtime_s = report.elapsed.as_secs_f64();
+
+    // Deferred delivery: every rank buffered its publishes into a
+    // rank-local outbox instead of contending on the pipeline. Merge
+    // the outboxes deterministically — stable-sorted by (publish
+    // instant, rank), which is independent of thread interleaving
+    // because each outbox is already in that rank's program order —
+    // and inject them sequentially.
+    if spec.delivery() == DeliveryMode::Deferred {
+        if let Some(p) = pipeline.as_ref() {
+            let mut connectors = connectors.into_inner();
+            connectors.sort_by_key(|&(r, _)| r);
+            let mut staged = Vec::new();
+            for (rank, c) in &connectors {
+                staged.extend(c.take_outbox().into_iter().map(|m| (*rank, m)));
+            }
+            staged.sort_by_key(|(rank, m)| (m.recv_time, *rank));
+            for (_, msg) in staged {
+                p.network().publish(msg);
+            }
+        }
+    }
 
     // Run the pipeline to quiescence: drain retry queues up to one
     // minute of virtual time past job end, abandoning (and attributing)
@@ -296,10 +357,11 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
     };
 
     let mut per_rank = per_rank.into_inner();
-    per_rank.sort_by_key(|&(r, _, _)| r);
-    let rank_messages: Vec<u64> = per_rank.iter().map(|&(_, m, _)| m).collect();
+    per_rank.sort_by_key(|&(r, _, _, _)| r);
+    let rank_messages: Vec<u64> = per_rank.iter().map(|&(_, m, _, _)| m).collect();
     let messages: u64 = rank_messages.iter().sum();
-    let events_seen: u64 = per_rank.iter().map(|&(_, _, e)| e).sum();
+    let events_seen: u64 = per_rank.iter().map(|&(_, _, e, _)| e).sum();
+    let wire_messages: u64 = per_rank.iter().map(|&(_, _, _, w)| w).sum();
 
     let snapshots = snapshots.into_inner();
     let log_bytes = write_log(
@@ -316,6 +378,7 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
     RunResult {
         runtime_s,
         messages,
+        wire_messages,
         rank_messages,
         msg_rate: if runtime_s > 0.0 {
             messages as f64 / runtime_s
@@ -476,6 +539,58 @@ mod tests {
             "{}",
             r.trace_report.render_text()
         );
+    }
+
+    #[test]
+    fn batched_run_stores_the_same_events_with_fewer_wire_messages() {
+        let app = MpiIoTest::tiny(false);
+        let plain = run_job(
+            &app,
+            &RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default()).with_store(true),
+        );
+        let batched = run_job(
+            &app,
+            &RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+                .with_store(true)
+                .with_batch(BatchConfig::frames_of(8)),
+        );
+        assert_eq!(batched.messages, plain.messages);
+        assert_eq!(batched.events_seen, plain.events_seen);
+        assert_eq!(
+            batched.pipeline.as_ref().unwrap().stored_events(),
+            plain.pipeline.as_ref().unwrap().stored_events()
+        );
+        assert!(
+            batched.wire_messages < plain.wire_messages,
+            "batching must shrink the wire count: {} vs {}",
+            batched.wire_messages,
+            plain.wire_messages
+        );
+        assert_eq!(plain.wire_messages, plain.messages);
+        assert!(batched.pipeline.as_ref().unwrap().ledger().balances());
+        assert_eq!(batched.messages_lost, 0);
+    }
+
+    #[test]
+    fn deferred_run_matches_immediate_and_stays_balanced() {
+        let app = MpiIoTest::tiny(false);
+        let immediate = run_job(
+            &app,
+            &RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default()).with_store(true),
+        );
+        let deferred = run_job(
+            &app,
+            &RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+                .with_store(true)
+                .with_delivery(DeliveryMode::Deferred),
+        );
+        assert_eq!(deferred.messages, immediate.messages);
+        assert_eq!(
+            deferred.pipeline.as_ref().unwrap().stored_events(),
+            immediate.pipeline.as_ref().unwrap().stored_events()
+        );
+        assert_eq!(deferred.messages_lost, 0);
+        assert!(deferred.pipeline.as_ref().unwrap().ledger().balances());
     }
 
     #[test]

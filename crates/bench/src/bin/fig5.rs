@@ -15,10 +15,7 @@ fn main() {
         &occ,
     );
     println!("{panel}");
-    let mut csv = String::from("op,mean,ci95\n");
-    for o in &occ {
-        csv.push_str(&format!("{},{:.3},{:.3}\n", o.op, o.mean, o.ci95));
-    }
+    let csv = repro_bench::figcsv::fig5(&occ);
     println!("paper observation: the same application performs different amounts of");
     println!("I/O across identically-configured jobs — nonzero CI bars reproduce that.");
     opts.write_artifact("fig5.csv", &csv);

@@ -15,9 +15,5 @@ fn main() {
         &ops,
     );
     println!("{panel}");
-    let mut csv = String::from("node,job,op,count\n");
-    for o in &ops {
-        csv.push_str(&format!("{},{},{},{}\n", o.node, o.job, o.op, o.count));
-    }
-    opts.write_artifact("fig6.csv", &csv);
+    opts.write_artifact("fig6.csv", &repro_bench::figcsv::fig6(&ops));
 }

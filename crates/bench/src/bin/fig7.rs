@@ -25,12 +25,5 @@ fn main() {
         }
     }
 
-    let mut csv = String::from("job,rank,op,mean_dur_s,count\n");
-    for r in &rd {
-        csv.push_str(&format!(
-            "{},{},{},{:.6},{}\n",
-            r.job, r.rank, r.op, r.mean_dur, r.count
-        ));
-    }
-    opts.write_artifact("fig7.csv", &csv);
+    opts.write_artifact("fig7.csv", &repro_bench::figcsv::fig7(&rd));
 }

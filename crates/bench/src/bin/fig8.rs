@@ -21,9 +21,5 @@ fn main() {
         "paper observation: ten write phases then reads at the end, with the slowest\n\
          writes after ~250 s — look for 'w' glyphs rising to the right and a late 'r' cluster."
     );
-    let mut csv = String::from("t_s,dur_s,op,rank\n");
-    for p in &pts {
-        csv.push_str(&format!("{:.3},{:.6},{},{}\n", p.t, p.dur, p.op, p.rank));
-    }
-    opts.write_artifact("fig8.csv", &csv);
+    opts.write_artifact("fig8.csv", &repro_bench::figcsv::fig8(&pts));
 }

@@ -20,5 +20,5 @@ fn main() {
         "paper observation: write phases dominate the run with multi-GB bursts;\n\
          reads cluster at the end with a smaller byte volume."
     );
-    opts.write_artifact("fig9.csv", &dashboard::timeline_to_csv(&tl));
+    opts.write_artifact("fig9.csv", &repro_bench::figcsv::fig9(&tl));
 }

@@ -1,0 +1,344 @@
+//! `perf` — hot-path throughput benchmark for the streaming pipeline.
+//!
+//! Runs the paper's four workloads through the full pipeline in the
+//! 2×2 delivery matrix — {unbatched, batched} × {serial, parallel} —
+//! and reports wall-clock message throughput plus per-hop retry-queue
+//! depths. "Serial" is the seed path ([`DeliveryMode::Immediate`]:
+//! every rank thread publishes into the shared pipeline at event time,
+//! contending on its locks); "parallel" is rank-local outbox buffering
+//! with a deterministic post-job merge ([`DeliveryMode::Deferred`]).
+//!
+//! Throughput is *pipeline-attributable*: each workload first runs a
+//! Darshan-only baseline (identical I/O, no connector), and the
+//! baseline's wall time — the cost of simulating the application
+//! itself, identical in all four modes — is subtracted before dividing
+//! messages by time. Raw wall times are reported alongside.
+//!
+//! Emits `BENCH_pipeline.json` into the current directory (and into
+//! `--out DIR` when given). Exits non-zero if the batched+parallel
+//! configuration fails to beat the unbatched+serial seed path on the
+//! headline HACC-IO workload or in geometric mean across the matrix,
+//! or if any mode loses or mis-stores messages — making this binary
+//! usable as a CI regression gate (`perf --quick`). The small
+//! workloads run for milliseconds, where scheduler noise can outweigh
+//! the pipeline cost, so an individual shortfall there is reported but
+//! does not fail the gate on its own.
+
+use darshan_ldms_connector::{BatchConfig, DeliveryMode};
+use iosim_apps::experiment::{run_job, Instrumentation, RunSpec};
+use iosim_apps::platform::FsChoice;
+use iosim_apps::workloads::{HaccIo, Hmmer, MpiIoTest, Sw4, Workload};
+use iosim_time::SimDuration;
+use repro_bench::HarnessOpts;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Records coalesced per frame in the batched modes.
+const FRAME_SIZE: usize = 16;
+
+struct ModeResult {
+    label: &'static str,
+    batched: bool,
+    parallel: bool,
+    /// Best (minimum) wall time over the iterations, seconds.
+    wall_s: f64,
+    /// Wall time attributable to the pipeline: `wall_s` minus the
+    /// Darshan-only baseline, floored at 2% of `wall_s`.
+    pipeline_s: f64,
+    /// Logical messages published per run.
+    messages: u64,
+    /// Wire messages (frames) per run.
+    wire_messages: u64,
+    /// Logical messages per pipeline-attributable second.
+    throughput: f64,
+    stored: u64,
+    lost: u64,
+    balanced: bool,
+    /// `(hop, queued_now, high_water)` for hops that ever queued.
+    depths: Vec<(String, usize, u64)>,
+}
+
+fn workloads(quick: bool) -> Vec<(&'static str, Box<dyn Workload>)> {
+    // The node counts are deliberately high relative to the per-rank
+    // event counts: the seed path pays a pump over every daemon per
+    // publish, so wide jobs are where batching earns its keep.
+    let scale = if quick { 1 } else { 2 };
+    vec![
+        (
+            "HACC-IO",
+            Box::new(HaccIo {
+                nodes: 32 * scale,
+                ranks_per_node: 4,
+                particles_per_rank: 50_000,
+                path: "/scratch/hacc-io.perf".to_string(),
+            }) as Box<dyn Workload>,
+        ),
+        (
+            "MPI-IO-TEST",
+            Box::new(MpiIoTest {
+                iterations: 4,
+                block: 1 << 20,
+                ..MpiIoTest {
+                    nodes: 8 * scale,
+                    ranks_per_node: 4,
+                    ..MpiIoTest::tiny(false)
+                }
+            }),
+        ),
+        (
+            "HMMER",
+            Box::new(Hmmer {
+                ranks: 8,
+                families: 400 * u64::from(scale),
+                sequences: 8_000 * u64::from(scale),
+                ..Hmmer::tiny()
+            }),
+        ),
+        (
+            "sw4",
+            Box::new(Sw4 {
+                nodes: 4 * scale,
+                ranks_per_node: 4,
+                grid: [64, 64, 32],
+                steps: 8,
+                checkpoint_every: 2,
+                compute_s_per_step: 0.01,
+                path: "/scratch/sw4.perf".to_string(),
+            }),
+        ),
+    ]
+}
+
+/// Best-of-`iters` wall time of the Darshan-only baseline: the cost of
+/// simulating the application itself, with no connector attached.
+fn baseline_wall(app: &dyn Workload, iters: u32) -> f64 {
+    let spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::DarshanOnly);
+    let mut wall_s = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        run_job(app, &spec);
+        wall_s = wall_s.min(t0.elapsed().as_secs_f64());
+    }
+    wall_s
+}
+
+fn run_mode(
+    app: &dyn Workload,
+    label: &'static str,
+    batched: bool,
+    parallel: bool,
+    iters: u32,
+    baseline_s: f64,
+) -> ModeResult {
+    let batch = if batched {
+        // Count-bound only: the default 1 s virtual age flush would
+        // split a rank's stream into several short frames (rank events
+        // span whole virtual seconds), hiding the wire-reduction the
+        // benchmark exists to measure. Latency is irrelevant here.
+        BatchConfig::frames_of(FRAME_SIZE).with_max_delay(SimDuration::from_secs(1 << 20))
+    } else {
+        BatchConfig::disabled()
+    };
+    let delivery = if parallel {
+        DeliveryMode::Deferred
+    } else {
+        DeliveryMode::Immediate
+    };
+    let spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+        .with_store(true)
+        .with_batch(batch)
+        .with_delivery(delivery);
+
+    let mut wall_s = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let r = run_job(app, &spec);
+        wall_s = wall_s.min(t0.elapsed().as_secs_f64());
+        last = Some(r);
+    }
+    let r = last.expect("at least one iteration");
+    let p = r.pipeline.as_ref().expect("connector run has a pipeline");
+    let depths: Vec<(String, usize, u64)> = p
+        .network()
+        .queue_depths()
+        .into_iter()
+        .filter(|&(_, queued, hw)| queued > 0 || hw > 0)
+        .collect();
+    let pipeline_s = (wall_s - baseline_s).max(wall_s * 0.02);
+    ModeResult {
+        label,
+        batched,
+        parallel,
+        wall_s,
+        pipeline_s,
+        messages: r.messages,
+        wire_messages: r.wire_messages,
+        throughput: r.messages as f64 / pipeline_s,
+        stored: p.stored_events() as u64,
+        lost: r.messages_lost,
+        balanced: p.ledger().balances(),
+        depths,
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let iters = if opts.quick { 2 } else { 3 };
+    let mut failures: Vec<String> = Vec::new();
+    let mut speedups: Vec<(&str, f64)> = Vec::new();
+    let mut json = String::from("{\n  \"benchmark\": \"pipeline-hot-path\",\n");
+    let _ = writeln!(json, "  \"quick\": {},", opts.quick);
+    let _ = writeln!(json, "  \"iters\": {iters},");
+    let _ = writeln!(json, "  \"frame_size\": {FRAME_SIZE},");
+    json.push_str("  \"workloads\": [\n");
+
+    println!(
+        "pipeline hot-path benchmark ({} iters/mode, best-of)",
+        iters
+    );
+    let apps = workloads(opts.quick);
+    for (wi, (name, app)) in apps.iter().enumerate() {
+        println!("\n== {name} ==");
+        let baseline_s = baseline_wall(app.as_ref(), iters);
+        println!("  darshan-only baseline: {:.1} ms", baseline_s * 1e3);
+        let modes = [
+            run_mode(
+                app.as_ref(),
+                "unbatched-serial",
+                false,
+                false,
+                iters,
+                baseline_s,
+            ),
+            run_mode(
+                app.as_ref(),
+                "batched-serial",
+                true,
+                false,
+                iters,
+                baseline_s,
+            ),
+            run_mode(
+                app.as_ref(),
+                "unbatched-parallel",
+                false,
+                true,
+                iters,
+                baseline_s,
+            ),
+            run_mode(
+                app.as_ref(),
+                "batched-parallel",
+                true,
+                true,
+                iters,
+                baseline_s,
+            ),
+        ];
+
+        // Correctness guards: every mode must deliver the identical
+        // logical stream — same publish count, same stored rows, no
+        // loss, balanced ledger.
+        let seed_mode = &modes[0];
+        for m in &modes {
+            if m.messages != seed_mode.messages || m.stored != seed_mode.stored {
+                failures.push(format!(
+                    "{name}/{}: stored {} of {} msgs (seed path: {} of {})",
+                    m.label, m.stored, m.messages, seed_mode.stored, seed_mode.messages
+                ));
+            }
+            if m.lost != 0 || !m.balanced {
+                failures.push(format!(
+                    "{name}/{}: lost {} messages (balanced: {})",
+                    m.label, m.lost, m.balanced
+                ));
+            }
+            println!(
+                "  {:<20} {:>9.1} msgs/s  wall {:>8.1} ms  pipe {:>7.1} ms  {:>7} msgs  {:>6} on wire",
+                m.label,
+                m.throughput,
+                m.wall_s * 1e3,
+                m.pipeline_s * 1e3,
+                m.messages,
+                m.wire_messages
+            );
+        }
+        let speedup = modes[3].throughput / modes[0].throughput;
+        println!("  batched+parallel speedup over seed path: {speedup:.2}x");
+        speedups.push((*name, speedup));
+
+        let _ = writeln!(json, "    {{\n      \"workload\": \"{name}\",");
+        let _ = writeln!(json, "      \"baseline_wall_ms\": {:.3},", baseline_s * 1e3);
+        let _ = writeln!(json, "      \"speedup_batched_parallel\": {speedup:.4},");
+        json.push_str("      \"modes\": [\n");
+        for (mi, m) in modes.iter().enumerate() {
+            let _ = write!(
+                json,
+                "        {{\"mode\": \"{}\", \"batched\": {}, \"parallel\": {}, \
+                 \"wall_ms\": {:.3}, \"pipeline_ms\": {:.3}, \"messages\": {}, \
+                 \"wire_messages\": {}, \
+                 \"throughput_msgs_per_s\": {:.1}, \"stored\": {}, \"lost\": {}, \
+                 \"queue_depths\": [",
+                m.label,
+                m.batched,
+                m.parallel,
+                m.wall_s * 1e3,
+                m.pipeline_s * 1e3,
+                m.messages,
+                m.wire_messages,
+                m.throughput,
+                m.stored,
+                m.lost
+            );
+            for (di, (hop, queued, hw)) in m.depths.iter().enumerate() {
+                let _ = write!(
+                    json,
+                    "{}{{\"hop\": \"{}\", \"queued\": {queued}, \"high_water\": {hw}}}",
+                    if di > 0 { ", " } else { "" },
+                    json_escape(hop)
+                );
+            }
+            let _ = writeln!(json, "]}}{}", if mi + 1 < modes.len() { "," } else { "" });
+        }
+        json.push_str("      ]\n");
+        let _ = writeln!(json, "    }}{}", if wi + 1 < apps.len() { "," } else { "" });
+    }
+    json.push_str("  ],\n");
+
+    // The speedup gate: the headline workload must win outright, and
+    // the matrix as a whole (geometric mean) must not regress. The
+    // other workloads are individually too short-lived to hard-fail on.
+    let geomean = (speedups.iter().map(|(_, s)| s.ln()).sum::<f64>() / speedups.len() as f64).exp();
+    println!("\nmatrix geomean speedup: {geomean:.2}x");
+    if let Some(&(name, s)) = speedups.iter().find(|(n, _)| *n == "HACC-IO") {
+        if s < 1.0 {
+            failures.push(format!(
+                "{name}: batched+parallel is SLOWER than the seed path ({s:.2}x)"
+            ));
+        }
+    }
+    if geomean < 1.0 {
+        failures.push(format!(
+            "batched+parallel regresses the matrix in geometric mean ({geomean:.2}x)"
+        ));
+    }
+    let _ = writeln!(json, "  \"speedup_geomean\": {geomean:.4}");
+    json.push_str("}\n");
+
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    eprintln!("\nwrote BENCH_pipeline.json");
+    opts.write_artifact("BENCH_pipeline.json", &json);
+
+    if !failures.is_empty() {
+        eprintln!("\nFAILURES:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -66,6 +66,60 @@ impl HarnessOpts {
 }
 
 /// Paper reference values for side-by-side comparison in reports.
+/// CSV renderings of the Figure 5–9 artifacts. One formatter per
+/// figure, shared by the `fig5`..`fig9` binaries and the golden-file
+/// tests — a figure CSV's byte layout is part of the published
+/// interface, so the tests pin it against checked-in goldens.
+pub mod figcsv {
+    use hpcws_sim::dashboard;
+    use hpcws_sim::figures::{NodeOps, OpOccurrence, RankDurations, TimePoint, Timeline};
+
+    /// Figure 5: mean occurrences of each I/O operation, with 95% CI.
+    pub fn fig5(occ: &[OpOccurrence]) -> String {
+        let mut csv = String::from("op,mean,ci95\n");
+        for o in occ {
+            csv.push_str(&format!("{},{:.3},{:.3}\n", o.op, o.mean, o.ci95));
+        }
+        csv
+    }
+
+    /// Figure 6: open/close operations per compute node per job.
+    pub fn fig6(ops: &[NodeOps]) -> String {
+        let mut csv = String::from("node,job,op,count\n");
+        for o in ops {
+            csv.push_str(&format!("{},{},{},{}\n", o.node, o.job, o.op, o.count));
+        }
+        csv
+    }
+
+    /// Figure 7: mean read/write durations per rank per job.
+    pub fn fig7(rd: &[RankDurations]) -> String {
+        let mut csv = String::from("job,rank,op,mean_dur_s,count\n");
+        for r in rd {
+            csv.push_str(&format!(
+                "{},{},{},{:.6},{}\n",
+                r.job, r.rank, r.op, r.mean_dur, r.count
+            ));
+        }
+        csv
+    }
+
+    /// Figure 8: operation durations over execution time.
+    pub fn fig8(pts: &[TimePoint]) -> String {
+        let mut csv = String::from("t_s,dur_s,op,rank\n");
+        for p in pts {
+            csv.push_str(&format!("{:.3},{:.6},{},{}\n", p.t, p.dur, p.op, p.rank));
+        }
+        csv
+    }
+
+    /// Figure 9: the Grafana-style timeline (delegates to the
+    /// dashboard's canonical CSV form).
+    pub fn fig9(tl: &Timeline) -> String {
+        dashboard::timeline_to_csv(tl)
+    }
+}
+
 pub mod paper {
     /// (config label, fs, avg messages, rate, darshan s, dC s, overhead %)
     pub type Row = (&'static str, &'static str, f64, f64, f64, f64, f64);

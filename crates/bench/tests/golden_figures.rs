@@ -1,0 +1,76 @@
+//! Golden-file tests for the Figure 5–9 CSV artifacts.
+//!
+//! The whole stack is virtual-time deterministic: a fixed-seed figure
+//! run must reproduce its CSV byte-for-byte, on any machine, every
+//! time. These tests pin the quick-mode CSVs against checked-in
+//! goldens, so any change to the simulation, the connector hot path
+//! (batching, deferred delivery), the store, or the CSV formatting
+//! that shifts a single byte of published figure data is caught in
+//! `cargo test`.
+//!
+//! To regenerate after an intentional change:
+//! `UPDATE_GOLDENS=1 cargo test -p repro-bench --test golden_figures`
+
+use hpcws_sim::figures;
+use repro_bench::figcsv;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn check(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e}", path.display()));
+    assert_eq!(
+        actual, expected,
+        "{name} drifted from its golden; run with UPDATE_GOLDENS=1 if intentional"
+    );
+}
+
+#[test]
+fn hacc_figure_csvs_are_byte_stable() {
+    // Figure 5 aggregates five HACC-IO jobs; Figure 6 plots two.
+    let runs5 = iosim_apps::figdata::hacc_figure_runs(5, true);
+    let df5 = runs5.frame();
+    check(
+        "fig5_quick.csv",
+        &figcsv::fig5(&figures::op_occurrence(&df5)),
+    );
+
+    let runs2 = iosim_apps::figdata::hacc_figure_runs(2, true);
+    let df2 = runs2.frame();
+    check(
+        "fig6_quick.csv",
+        &figcsv::fig6(&figures::per_node_ops(&df2, &["open", "close"])),
+    );
+}
+
+#[test]
+fn mpi_io_figure_csvs_are_byte_stable() {
+    // Figures 7, 8 and 9 all read the same five-job MPI-IO campaign
+    // (job 2 carries the injected congestion anomaly).
+    let runs = iosim_apps::figdata::mpi_io_figure_runs(5, true);
+    let df = runs.frame();
+    check(
+        "fig7_quick.csv",
+        &figcsv::fig7(&figures::per_rank_durations(&df)),
+    );
+    let df2 = runs.job_frame(2);
+    check(
+        "fig8_quick.csv",
+        &figcsv::fig8(&figures::time_distribution(&df2)),
+    );
+    check(
+        "fig9_quick.csv",
+        &figcsv::fig9(&figures::timeline(&df2, 60)),
+    );
+}

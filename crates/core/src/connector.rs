@@ -5,8 +5,9 @@ use crate::message::build_message;
 use crate::DEFAULT_STREAM_TAG;
 use darshan_sim::hooks::{EventSink, IoEvent};
 use darshan_sim::runtime::JobMeta;
-use iosim_time::Clock;
+use iosim_time::{Clock, Epoch};
 use iosim_util::JsonWriter;
+use ldms_sim::batch::{encode_frame, BatchConfig, FrameRecord};
 use ldms_sim::{LdmsNetwork, MsgFormat, StreamMessage};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -22,6 +23,22 @@ pub enum FormatMode {
     /// and the Darshan-LDMS Connector send function is called"),
     /// measured at 0.37 % overhead.
     NoFormat,
+}
+
+/// When published messages enter the transport pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// Publish into the shared pipeline from the publishing rank's
+    /// thread, at event time — the deployed configuration. Rank
+    /// threads contend on the pipeline's locks, so the hot path is
+    /// effectively serialized.
+    #[default]
+    Immediate,
+    /// Buffer into a rank-local outbox with zero shared state; the
+    /// driver merges all outboxes in deterministic virtual-time order
+    /// after the job and injects them sequentially. Rank fan-out runs
+    /// contention-free.
+    Deferred,
 }
 
 /// Connector configuration.
@@ -40,6 +57,11 @@ pub struct ConnectorConfig {
     pub format_mode: FormatMode,
     /// Virtual-time cost model.
     pub cost: CostModel,
+    /// Frame-level batching policy (disabled by default — every event
+    /// publishes its own message, byte-for-byte the seed path).
+    pub batch: BatchConfig,
+    /// When published messages enter the transport pipeline.
+    pub delivery: DeliveryMode,
 }
 
 impl Default for ConnectorConfig {
@@ -50,6 +72,8 @@ impl Default for ConnectorConfig {
             always_publish_meta: true,
             format_mode: FormatMode::Json,
             cost: CostModel::default(),
+            batch: BatchConfig::disabled(),
+            delivery: DeliveryMode::Immediate,
         }
     }
 }
@@ -68,6 +92,9 @@ pub struct ConnectorStats {
     pub bytes_published: AtomicU64,
     /// Total bytes produced by numeric formatting.
     pub formatted_bytes: AtomicU64,
+    /// Messages actually put on the wire (equal to
+    /// `messages_published` unbatched; the frame count when batching).
+    pub wire_messages: AtomicU64,
 }
 
 impl ConnectorStats {
@@ -90,6 +117,22 @@ impl ConnectorStats {
     pub fn bytes(&self) -> u64 {
         self.bytes_published.load(Ordering::Relaxed)
     }
+
+    /// Wire messages (frames count once however many records they
+    /// carry).
+    pub fn wire(&self) -> u64 {
+        self.wire_messages.load(Ordering::Relaxed)
+    }
+}
+
+/// Records accumulating toward the next frame of a batching connector.
+#[derive(Default)]
+struct PendingFrame {
+    records: Vec<FrameRecord>,
+    bytes: usize,
+    /// `(first_record_time, last_record_time, rank)` — set when the
+    /// first record lands.
+    context: Option<(Epoch, Epoch, u64)>,
 }
 
 /// The Darshan-LDMS Connector for one rank.
@@ -108,6 +151,10 @@ pub struct DarshanConnector {
     /// Per-connector (i.e. per job+rank) sequence counter, stamped on
     /// every published message so the store can detect gaps.
     seq: AtomicU64,
+    /// Records awaiting the next frame flush (empty unless batching).
+    pending: Mutex<PendingFrame>,
+    /// Rank-local staging buffer for [`DeliveryMode::Deferred`].
+    outbox: Mutex<Vec<StreamMessage>>,
 }
 
 impl DarshanConnector {
@@ -129,6 +176,8 @@ impl DarshanConnector {
             stats: Arc::new(ConnectorStats::default()),
             writer: Mutex::new(JsonWriter::with_capacity(1024)),
             seq: AtomicU64::new(0),
+            pending: Mutex::new(PendingFrame::default()),
+            outbox: Mutex::new(Vec::new()),
         })
     }
 
@@ -155,6 +204,54 @@ impl DarshanConnector {
             return true;
         }
         seen % self.config.sample_every == 0
+    }
+
+    /// Routes a wire message per the configured delivery mode.
+    fn emit(&self, msg: StreamMessage) {
+        self.stats.wire_messages.fetch_add(1, Ordering::Relaxed);
+        match self.config.delivery {
+            DeliveryMode::Immediate => self.network.publish(msg),
+            DeliveryMode::Deferred => self.outbox.lock().push(msg),
+        }
+    }
+
+    /// Encodes and emits the pending frame (no-op when empty). The
+    /// frame is published at `at` — the instant of the flush trigger.
+    fn flush_pending(&self, pending: &mut PendingFrame, at: Epoch) {
+        let Some((_, _, rank)) = pending.context.take() else {
+            return;
+        };
+        let records = std::mem::take(&mut pending.records);
+        pending.bytes = 0;
+        let count = records.len() as u32;
+        self.emit(
+            StreamMessage::new(
+                &self.config.tag,
+                MsgFormat::Json,
+                encode_frame(&records),
+                &self.producer,
+                at,
+            )
+            .with_origin(self.job.job_id, rank)
+            .with_batch(count),
+        );
+    }
+
+    /// Flushes any buffered records immediately, stamped with the last
+    /// buffered record's time. Call at rank end so no frame outlives
+    /// its publisher.
+    pub fn flush(&self) {
+        let mut pending = self.pending.lock();
+        if let Some((_, last, _)) = pending.context {
+            self.flush_pending(&mut pending, last);
+        }
+    }
+
+    /// Drains the deferred outbox (empty in [`DeliveryMode::Immediate`]
+    /// runs). The driver merges outboxes across ranks in virtual-time
+    /// order and injects them into the network.
+    pub fn take_outbox(&self) -> Vec<StreamMessage> {
+        std::mem::take(&mut *self.outbox.lock())
     }
 }
 
@@ -195,17 +292,43 @@ impl EventSink for DarshanConnector {
         // (job, rank) origin completes the idempotency key that lets a
         // crash-restart replay be deduplicated at the terminal.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
-        self.network.publish(
-            StreamMessage::new(
-                &self.config.tag,
-                MsgFormat::Json,
+        let now = clock.now();
+        if self.config.batch.enabled() {
+            let mut pending = self.pending.lock();
+            // Time bound: a frame whose oldest record has aged past
+            // max_delay flushes before this record starts a new one.
+            if let Some((first, _, _)) = pending.context {
+                if now.since(first) >= self.config.batch.max_delay {
+                    self.flush_pending(&mut pending, now);
+                }
+            }
+            pending.context = match pending.context {
+                Some((first, _, rank)) => Some((first, now, rank)),
+                None => Some((now, now, u64::from(event.rank))),
+            };
+            pending.bytes += payload.len();
+            pending.records.push(FrameRecord {
+                seq: Some(seq),
                 payload,
-                &self.producer,
-                clock.now(),
-            )
-            .with_seq(seq)
-            .with_origin(self.job.job_id, u64::from(event.rank)),
-        );
+            });
+            if pending.records.len() >= self.config.batch.max_messages
+                || pending.bytes >= self.config.batch.max_bytes
+            {
+                self.flush_pending(&mut pending, now);
+            }
+        } else {
+            self.emit(
+                StreamMessage::new(
+                    &self.config.tag,
+                    MsgFormat::Json,
+                    payload,
+                    &self.producer,
+                    now,
+                )
+                .with_seq(seq)
+                .with_origin(self.job.job_id, u64::from(event.rank)),
+            );
+        }
     }
 }
 
@@ -324,6 +447,65 @@ mod tests {
         assert_eq!(closes, 1);
         assert!(writes == 10, "expected ~1/10th of writes, got {writes}");
         assert_eq!(conn.stats().skipped(), 102 - msgs.len() as u64);
+    }
+
+    #[test]
+    fn batched_events_coalesce_into_frames_and_unbatch_at_terminal() {
+        let (conn, sink, mut clock) = setup(ConnectorConfig {
+            batch: BatchConfig::frames_of(2),
+            ..Default::default()
+        });
+        for op in [OpKind::Open, OpKind::Write, OpKind::Close] {
+            let ev = event(op, &mut clock);
+            conn.on_event(&ev, &mut clock);
+        }
+        conn.flush();
+        let msgs = sink.take();
+        assert_eq!(msgs.len(), 3, "terminal must unbatch frames");
+        assert!(msgs.iter().all(|m| !m.is_frame()));
+        let seqs: Vec<u64> = msgs.iter().map(|m| m.seq.unwrap()).collect();
+        assert_eq!(seqs, vec![1, 2, 3]);
+        assert!(msgs[0].data.contains("\"op\":\"open\""));
+        assert_eq!(conn.stats().published(), 3, "stats count logical messages");
+        assert_eq!(conn.stats().wire(), 2, "one full frame + one tail frame");
+    }
+
+    #[test]
+    fn flush_on_empty_pending_is_a_no_op() {
+        let (conn, sink, _clock) = setup(ConnectorConfig {
+            batch: BatchConfig::frames_of(8),
+            ..Default::default()
+        });
+        conn.flush();
+        conn.flush();
+        assert!(sink.take().is_empty());
+        assert_eq!(conn.stats().wire(), 0);
+    }
+
+    #[test]
+    fn deferred_mode_stages_messages_until_injected() {
+        let net = Arc::new(LdmsNetwork::build(&["nid00040".to_string()]));
+        let sink = BufferSink::new();
+        let cfg = ConnectorConfig {
+            delivery: DeliveryMode::Deferred,
+            ..Default::default()
+        };
+        net.l2().subscribe(&cfg.tag, sink.clone());
+        let job = JobMeta::new(1, 10, "/apps/x", 1);
+        let conn = DarshanConnector::new(cfg, job, "nid00040".to_string(), net.clone());
+        let mut clock = Clock::new(iosim_time::Epoch::from_secs(1_650_000_000));
+        let ev = event(OpKind::Write, &mut clock);
+        conn.on_event(&ev, &mut clock);
+        assert!(sink.take().is_empty(), "deferred publishes stay staged");
+        let staged = conn.take_outbox();
+        assert_eq!(staged.len(), 1);
+        for m in staged {
+            net.publish(m);
+        }
+        let msgs = sink.take();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].seq, Some(1));
+        assert!(conn.take_outbox().is_empty(), "outbox drains once");
     }
 
     #[test]

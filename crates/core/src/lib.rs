@@ -38,11 +38,11 @@ pub mod message;
 pub mod pipeline;
 pub mod schema;
 
-pub use connector::{ConnectorConfig, ConnectorStats, DarshanConnector, FormatMode};
+pub use connector::{ConnectorConfig, ConnectorStats, DarshanConnector, DeliveryMode, FormatMode};
 pub use cost::CostModel;
 pub use ldms_sim::{
-    DeliveryLedger, FaultScript, FaultSpec, HeartbeatConfig, LossCause, LossRecord, OverflowPolicy,
-    QueueConfig, RecoveryReport, WalConfig,
+    BatchConfig, DeliveryLedger, FaultScript, FaultSpec, HeartbeatConfig, LossCause, LossRecord,
+    OverflowPolicy, QueueConfig, RecoveryReport, WalConfig,
 };
 pub use pipeline::{Pipeline, PipelineOpts};
 pub use schema::{column_id, darshan_schema, DsosStreamStore, GapReport, COLUMNS, CONTAINER};

@@ -7,7 +7,8 @@
 //! attributes are exactly the CSV columns of Figure 3.
 
 use dsos_sim::{DsosCluster, Schema, Type, Value};
-use ldms_sim::store::json_to_rows;
+use iosim_util::json::{self, JsonValue};
+use ldms_sim::store::field_to_string;
 use ldms_sim::{DeliveryKey, StreamMessage, StreamSink};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
@@ -45,6 +46,81 @@ pub const COLUMNS: [(&str, Type); 24] = [
 
 /// The container name used throughout the pipeline.
 pub const CONTAINER: &str = "darshan";
+
+/// JSON field names of the 14 top-level columns, in [`COLUMNS`] order.
+const TOP_FIELDS: [&str; 14] = [
+    "module",
+    "uid",
+    "ProducerName",
+    "switches",
+    "file",
+    "rank",
+    "flushes",
+    "record_id",
+    "exe",
+    "max_byte",
+    "type",
+    "job_id",
+    "op",
+    "cnt",
+];
+
+/// JSON field names inside each `seg` entry, in `COLUMNS[14..]` order.
+const SEG_FIELDS: [&str; 10] = [
+    "off",
+    "pt_sel",
+    "dur",
+    "len",
+    "ndims",
+    "reg_hslab",
+    "irreg_hslab",
+    "data_set",
+    "npoints",
+    "timestamp",
+];
+
+/// Converts one JSON field straight to a typed [`Value`], skipping the
+/// CSV-string intermediate on the store hot path. The accept/reject set
+/// is byte-identical to rendering the field with
+/// [`field_to_string`] and re-parsing with [`Value::parse`] — the
+/// equivalence test below checks every (column type × JSON shape)
+/// combination against that oracle. Shapes the fast arms don't cover
+/// (floats in integer columns, booleans, nested values) fall back to
+/// the string rendering so exotic payloads keep the exact semantics.
+fn json_field_to_value(ty: Type, v: Option<&JsonValue>) -> Option<Value> {
+    match ty {
+        Type::Str => Some(Value::Str(field_to_string(v))),
+        Type::U64 => match v? {
+            JsonValue::Int(i) => (*i >= 0).then_some(Value::U64(*i as u64)),
+            JsonValue::UInt(u) => Some(Value::U64(*u)),
+            JsonValue::Str(s) => s.parse().ok().map(Value::U64),
+            other => field_to_string(Some(other)).parse().ok().map(Value::U64),
+        },
+        Type::I64 => match v? {
+            JsonValue::Int(i) => Some(Value::I64(*i)),
+            JsonValue::UInt(u) => (*u <= i64::MAX as u64).then_some(Value::I64(*u as i64)),
+            JsonValue::Str(s) => s.parse().ok().map(Value::I64),
+            other => field_to_string(Some(other)).parse().ok().map(Value::I64),
+        },
+        Type::F64 => match v? {
+            // `i as f64` and `i.to_string().parse::<f64>()` both round
+            // to nearest, so the direct cast matches the string path.
+            JsonValue::Int(i) => Some(Value::F64(*i as f64)),
+            JsonValue::UInt(u) => Some(Value::F64(*u as f64)),
+            JsonValue::Float(f) => Some(Value::F64(*f)),
+            JsonValue::Str(s) => s.parse().ok().map(Value::F64),
+            other => field_to_string(Some(other)).parse().ok().map(Value::F64),
+        },
+    }
+}
+
+/// Extracts an unsigned field with the CSV accept semantics.
+fn json_u64(v: Option<&JsonValue>) -> Option<u64> {
+    match json_field_to_value(Type::U64, v)? {
+        Value::U64(u) => Some(u),
+        _ => None,
+    }
+}
 
 /// Builds the `darshan_data` schema with the paper's joint indices.
 pub fn darshan_schema() -> Arc<Schema> {
@@ -95,6 +171,11 @@ struct SeqTrack {
     max_seq: u64,
 }
 
+/// One publisher's gap-tracking identity: `(producer, job_id, rank)`.
+/// The producer is shared via `Arc` — it arrives as `Arc<str>` on the
+/// message, so keying avoids a per-message allocation.
+type StreamKey = (Arc<str>, u64, u64);
+
 /// A store plugin that ingests connector stream messages straight into
 /// a DSOS cluster (JSON → CSV row → typed object, as in Figure 3).
 ///
@@ -114,7 +195,7 @@ pub struct DsosStreamStore {
     ingested: AtomicU64,
     rejected: AtomicU64,
     duplicates: AtomicU64,
-    seqs: Mutex<HashMap<(String, u64, u64), SeqTrack>>,
+    seqs: Mutex<HashMap<StreamKey, SeqTrack>>,
     seen: Mutex<HashSet<DeliveryKey>>,
 }
 
@@ -165,7 +246,7 @@ impl DsosStreamStore {
             .lock()
             .iter()
             .map(|((producer, job_id, rank), t)| GapReport {
-                producer: producer.clone(),
+                producer: producer.to_string(),
                 job_id: *job_id,
                 rank: *rank,
                 received: t.received,
@@ -186,36 +267,59 @@ impl DsosStreamStore {
             .sum()
     }
 
-    /// Updates gap tracking for one sequence-stamped message. `row` is
-    /// the parsed Figure 3 row, used to recover the job/rank key.
-    fn track_seq(&self, msg: &StreamMessage, row: &[String]) {
+    /// Updates gap tracking for one sequence-stamped message, reading
+    /// the job/rank key straight off the parsed JSON document.
+    fn track_seq(&self, msg: &StreamMessage, dom: &JsonValue) {
         let Some(seq) = msg.seq else { return };
-        if row.len() != COLUMNS.len() {
-            return;
-        }
-        let (Ok(job_id), Ok(rank)) = (
-            row[column_id("job_id")].parse::<u64>(),
-            row[column_id("rank")].parse::<u64>(),
-        ) else {
+        let (Some(job_id), Some(rank)) = (json_u64(dom.get("job_id")), json_u64(dom.get("rank")))
+        else {
             return;
         };
         let mut seqs = self.seqs.lock();
         let t = seqs
-            .entry((msg.producer.to_string(), job_id, rank))
+            .entry((msg.producer.clone(), job_id, rank))
             .or_default();
         t.received += 1;
         t.max_seq = t.max_seq.max(seq);
     }
 
-    fn row_to_object(&self, row: &[String]) -> Option<Vec<Value>> {
-        if row.len() != COLUMNS.len() {
-            return None;
+    /// Converts one parsed message into typed objects, one per `seg`
+    /// entry (or one row of `N/A` fields when `seg` is missing or
+    /// empty, exactly like the CSV flattening). Returns the accepted
+    /// objects and the count of rejected (mistyped) rows.
+    fn message_to_objects(&self, dom: &JsonValue) -> (Vec<Vec<Value>>, u64) {
+        let segs: Vec<Option<&JsonValue>> = match dom.get("seg").and_then(JsonValue::as_array) {
+            Some(arr) if !arr.is_empty() => arr.iter().map(Some).collect(),
+            _ => vec![None],
+        };
+        // The 14 top-level columns are shared by every row of the
+        // message: convert them once, clone per row.
+        let base: Option<Vec<Value>> = TOP_FIELDS
+            .iter()
+            .zip(COLUMNS.iter())
+            .map(|(name, &(_, ty))| json_field_to_value(ty, dom.get(name)))
+            .collect();
+        let Some(base) = base else {
+            return (Vec::new(), segs.len() as u64);
+        };
+        let mut objs = Vec::with_capacity(segs.len());
+        let mut rejected = 0;
+        for seg in segs {
+            let tail: Option<Vec<Value>> = SEG_FIELDS
+                .iter()
+                .zip(COLUMNS[TOP_FIELDS.len()..].iter())
+                .map(|(name, &(_, ty))| json_field_to_value(ty, seg.and_then(|s| s.get(name))))
+                .collect();
+            match tail {
+                Some(tail) => {
+                    let mut obj = base.clone();
+                    obj.extend(tail);
+                    objs.push(obj);
+                }
+                None => rejected += 1,
+            }
         }
-        let mut obj = Vec::with_capacity(COLUMNS.len());
-        for (field, &(_, ty)) in row.iter().zip(COLUMNS.iter()) {
-            obj.push(Value::parse(ty, field)?);
-        }
-        Some(obj)
+        (objs, rejected)
     }
 }
 
@@ -227,30 +331,25 @@ impl StreamSink for DsosStreamStore {
                 return;
             }
         }
-        let rows = match json_to_rows(&msg.data) {
-            Ok(rows) => rows,
+        let dom = match json::parse(&msg.data) {
+            Ok(dom) => dom,
             Err(_) => {
                 self.rejected.fetch_add(1, Ordering::Relaxed);
                 return;
             }
         };
-        if let Some(first) = rows.first() {
-            // One message = one event = one (or more) rows of the same
-            // publisher; the first row carries the job/rank key.
-            self.track_seq(msg, first);
+        self.track_seq(msg, &dom);
+        // All rows of one message convert DOM→typed directly (no CSV
+        // string intermediate) and ingest as one batch: a single shard
+        // pick, one lock acquisition per message instead of per row.
+        let (objs, bad_rows) = self.message_to_objects(&dom);
+        if bad_rows > 0 {
+            self.rejected.fetch_add(bad_rows, Ordering::Relaxed);
         }
-        for row in rows {
-            // Not collapsible into a match guard: ingest consumes `obj`.
-            if let Some(obj) = self.row_to_object(&row) {
-                if self.cluster.ingest(CONTAINER, obj).is_ok() {
-                    self.ingested.fetch_add(1, Ordering::Relaxed);
-                } else {
-                    self.rejected.fetch_add(1, Ordering::Relaxed);
-                }
-            } else {
-                self.rejected.fetch_add(1, Ordering::Relaxed);
-            }
-        }
+        let total = objs.len() as u64;
+        let accepted = self.cluster.ingest_batch(CONTAINER, objs) as u64;
+        self.ingested.fetch_add(accepted, Ordering::Relaxed);
+        self.rejected.fetch_add(total - accepted, Ordering::Relaxed);
     }
 }
 
@@ -374,6 +473,120 @@ mod tests {
         assert_eq!(store.ingested(), 1);
         assert!(store.gap_reports().is_empty());
         assert_eq!(store.total_missing(), 0);
+    }
+
+    /// Oracle for the direct DOM→[`Value`] conversion: the original
+    /// string path — flatten to CSV rows, then [`Value::parse`] each
+    /// field. The fast path must accept and reject exactly the same
+    /// payloads with exactly the same resulting values.
+    fn objects_via_strings(data: &str) -> Option<(Vec<Vec<Value>>, u64)> {
+        let rows = ldms_sim::store::json_to_rows(data).ok()?;
+        let mut objs = Vec::new();
+        let mut rejected = 0;
+        for row in &rows {
+            let obj: Option<Vec<Value>> = row
+                .iter()
+                .zip(COLUMNS.iter())
+                .map(|(field, &(_, ty))| Value::parse(ty, field))
+                .collect();
+            match obj {
+                Some(obj) => objs.push(obj),
+                None => rejected += 1,
+            }
+        }
+        Some((objs, rejected))
+    }
+
+    #[test]
+    fn direct_conversion_matches_string_path_for_every_shape() {
+        let store = DsosStreamStore::new(DsosCluster::new(1));
+        // Every JSON shape a field can take, including ones the fast
+        // arms don't special-case (floats in integer columns, huge
+        // floats, booleans, nested values, numeric strings).
+        let shapes = [
+            "null",
+            "true",
+            "false",
+            "3",
+            "-3",
+            "18446744073709551615",
+            "9223372036854775807",
+            "3.0",
+            "3.5",
+            "-2.25",
+            "1e20",
+            "1e-3",
+            "\"42\"",
+            "\"-7\"",
+            "\"3.5\"",
+            "\"N/A\"",
+            "\"text\"",
+            "\"\"",
+            "[1,2]",
+            "{\"k\":1}",
+        ];
+        // A payload where every column holds a valid value, except the
+        // target column which takes the shape under test — so a
+        // divergence in any single column's conversion is visible, not
+        // masked by the rest of the row rejecting.
+        let payload_with = |target: usize, shape: &str| {
+            let field = |i: usize, name: &str, ty: Type| {
+                let v = if i == target {
+                    shape.to_string()
+                } else {
+                    match ty {
+                        Type::Str => "\"x\"".to_string(),
+                        Type::U64 => "1".to_string(),
+                        Type::I64 => "-1".to_string(),
+                        Type::F64 => "0.5".to_string(),
+                    }
+                };
+                format!("\"{name}\": {v}")
+            };
+            let top: Vec<String> = TOP_FIELDS
+                .iter()
+                .zip(COLUMNS.iter())
+                .enumerate()
+                .map(|(i, (name, &(_, ty)))| field(i, name, ty))
+                .collect();
+            let seg: Vec<String> = SEG_FIELDS
+                .iter()
+                .zip(COLUMNS[TOP_FIELDS.len()..].iter())
+                .enumerate()
+                .map(|(i, (name, &(_, ty)))| field(i + TOP_FIELDS.len(), name, ty))
+                .collect();
+            format!("{{{}, \"seg\": [{{{}}}]}}", top.join(", "), seg.join(", "))
+        };
+        let mut accepted = 0;
+        for (ci, &(col, _)) in COLUMNS.iter().enumerate() {
+            for shape in shapes {
+                let data = payload_with(ci, shape);
+                let dom = json::parse(&data).unwrap();
+                let fast = store.message_to_objects(&dom);
+                let slow = objects_via_strings(&data).unwrap();
+                assert_eq!(fast, slow, "column {col}, shape {shape}");
+                accepted += fast.0.len();
+            }
+        }
+        // Sanity: the battery exercises both accepted and rejected rows.
+        assert!(accepted > 0 && accepted < 24 * shapes.len());
+        // Structural shapes: missing seg, empty seg, multiple segs with
+        // one bad row, missing fields everywhere.
+        for data in [
+            r#"{"module": "POSIX"}"#,
+            r#"{"module": "POSIX", "seg": []}"#,
+            r#"{"uid": 1, "seg": [{"dur": 0.5, "timestamp": 1.0},
+                {"dur": "oops", "timestamp": 2.0}]}"#,
+            r#"{}"#,
+            MSG,
+        ] {
+            let dom = json::parse(data).unwrap();
+            assert_eq!(
+                store.message_to_objects(&dom),
+                objects_via_strings(data).unwrap(),
+                "payload {data}"
+            );
+        }
     }
 
     #[test]

@@ -58,6 +58,28 @@ impl DsosCluster {
         shard.insert(obj)
     }
 
+    /// Ingests a batch of objects with a single round-robin shard
+    /// pick: the whole batch lands on one daemon, amortizing routing
+    /// over the batch the way the stream store amortizes transport
+    /// over a frame. Returns the number of objects accepted; the
+    /// remainder were rejected by the schema.
+    pub fn ingest_batch(&self, container: &str, objs: Vec<Vec<Value>>) -> usize {
+        if objs.is_empty() {
+            return 0;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed) % self.daemons.len();
+        let shard = self.daemons[i]
+            .get_container(container)
+            .unwrap_or_else(|| panic!("container {container} not created"));
+        let mut ok = 0;
+        for obj in objs {
+            if shard.insert(obj).is_ok() {
+                ok += 1;
+            }
+        }
+        ok
+    }
+
     /// Total objects stored across the cluster.
     pub fn object_count(&self, container: &str) -> usize {
         self.daemons
@@ -192,6 +214,23 @@ mod tests {
         let rows = cl.query_prefix("darshan", "job_rank_time", &[Value::U64(1)]);
         let times: Vec<f64> = rows.iter().map(|o| o[2].as_f64().unwrap()).collect();
         assert_eq!(times, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn batch_ingest_lands_whole_and_stays_queryable() {
+        let cl = DsosCluster::new(3);
+        cl.create_container("darshan", &schema());
+        let batch: Vec<_> = (0..10).map(|t| obj(1, 0, t as f64)).collect();
+        assert_eq!(cl.ingest_batch("darshan", batch), 10);
+        assert_eq!(cl.object_count("darshan"), 10);
+        // One shard pick per batch: all ten land together.
+        assert!((0..3).any(|i| cl.daemon(i).object_count() == 10));
+        // A mixed batch accepts the good rows and counts the bad.
+        let mixed = vec![obj(1, 0, 10.0), vec![Value::U64(1)], obj(1, 0, 11.0)];
+        assert_eq!(cl.ingest_batch("darshan", mixed), 2);
+        assert_eq!(cl.ingest_batch("darshan", Vec::new()), 0);
+        let rows = cl.query_prefix("darshan", "job_rank_time", &[Value::U64(1)]);
+        assert_eq!(rows.len(), 12);
     }
 
     #[test]

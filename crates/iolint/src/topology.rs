@@ -17,6 +17,7 @@
 //!   upstream voltrino-head
 //!   link ugni
 //!   rate 120
+//!   batch 16
 //!   queue capacity=1024 policy=drop-oldest attempts=8 backoff=0.001 max-backoff=1.0
 //!
 //! daemon voltrino-head l1
@@ -38,7 +39,10 @@
 //! Additional per-daemon attributes for the crash-recovery layer:
 //! `standby <name>` declares a ranked alternative upstream route, and
 //! `wal capacity=N` attaches a crash-durable write-ahead log to the
-//! hop.
+//! hop. `batch <records>` on a sampler declares frame-level batching:
+//! the sampler coalesces that many records per wire frame, so every
+//! queue and WAL capacity check downstream counts frames, not
+//! messages (hops park and journal whole frames).
 
 use crate::diag::{self, Diagnostic, Severity};
 use darshan_ldms_connector::{Pipeline, COLUMNS};
@@ -95,6 +99,11 @@ pub struct DaemonSpec {
     /// Expected publish rate in messages per second (samplers;
     /// conf-file only — live networks do not know their future rate).
     pub rate_hz: Option<f64>,
+    /// Records coalesced per wire frame when the sampler batches
+    /// (`None` / `Some(1)` = unbatched). Downstream hops park and
+    /// journal whole frames, so capacity math divides `rate_hz` by
+    /// this. Conf-file only, like `rate_hz`.
+    pub batch: Option<u64>,
 }
 
 impl DaemonSpec {
@@ -110,6 +119,7 @@ impl DaemonSpec {
             wal_capacity: None,
             subscribers: Vec::new(),
             rate_hz: None,
+            batch: None,
         }
     }
 
@@ -196,6 +206,7 @@ impl TopologySpec {
                     wal_capacity: d.wal_capacity(),
                     subscribers: vec![tag.to_string(); n],
                     rate_hz: None,
+                    batch: None,
                 }
             })
             .collect();
@@ -337,7 +348,7 @@ pub fn parse_conf(text: &str) -> Result<TopologySpec, ConfError> {
                 spec.daemons.push(DaemonSpec::new(name, role));
                 current = Some(spec.daemons.len() - 1);
             }
-            "upstream" | "standby" | "link" | "rate" | "subscribe" | "queue" | "wal" => {
+            "upstream" | "standby" | "link" | "rate" | "batch" | "subscribe" | "queue" | "wal" => {
                 let d = current
                     .map(|i| &mut spec.daemons[i])
                     .ok_or_else(|| err(format!("`{}` before any `daemon`", toks[0])))?;
@@ -366,6 +377,17 @@ pub fn parse_conf(text: &str) -> Result<TopologySpec, ConfError> {
                             .get(1)
                             .ok_or_else(|| err("rate needs msgs/sec".into()))?;
                         d.rate_hz = Some(parse_f64(t, line_no, "rate")?);
+                    }
+                    "batch" => {
+                        let t = toks
+                            .get(1)
+                            .ok_or_else(|| err("batch needs records/frame".into()))?;
+                        let n = t
+                            .parse::<u64>()
+                            .ok()
+                            .filter(|&n| n >= 1)
+                            .ok_or_else(|| err(format!("bad batch (want >= 1): {t}")))?;
+                        d.batch = Some(n);
                     }
                     "subscribe" => {
                         let t = toks
@@ -791,14 +813,32 @@ pub fn lint_topology(spec: &TopologySpec) -> Vec<Diagnostic> {
         }
     }
 
-    // Aggregate publish rate flowing through daemon `i` (conf-file
-    // specs only; live networks carry no rates).
-    let through_rate = |i: usize| -> f64 {
-        sampler_ids
-            .iter()
-            .filter(|s| paths.get(s).is_some_and(|p| p.contains(&i)))
-            .filter_map(|&s| daemons[s].rate_hz)
-            .sum()
+    // Aggregate publish rate flowing through daemon `i`, in *wire
+    // units*: a sampler that batches `b` records per frame contributes
+    // rate/b frames per second, because downstream queues and WALs
+    // park whole frames, not the records inside them. Returns the rate
+    // plus the unit word for diagnostics ("frames" once any
+    // contributing sampler batches). Conf-file specs only; live
+    // networks carry no rates.
+    let through_rate = |i: usize| -> (f64, &'static str) {
+        let mut rate = 0.0;
+        let mut unit = "messages";
+        for &s in &sampler_ids {
+            if !paths.get(&s).is_some_and(|p| p.contains(&i)) {
+                continue;
+            }
+            let Some(r) = daemons[s].rate_hz else {
+                continue;
+            };
+            match daemons[s].batch {
+                Some(b) if b > 1 => {
+                    rate += r / b as f64;
+                    unit = "frames";
+                }
+                _ => rate += r,
+            }
+        }
+        (rate, unit)
     };
 
     for (&i, &down_secs) in &hop_downtime {
@@ -824,7 +864,7 @@ pub fn lint_topology(spec: &TopologySpec) -> Vec<Diagnostic> {
         if matches!(d.queue.policy, OverflowPolicy::BlockWithDeadline(_)) {
             continue; // deadline policy bounds time, not space
         }
-        let rate = through_rate(i);
+        let (rate, unit) = through_rate(i);
         if rate <= 0.0 {
             continue;
         }
@@ -835,8 +875,8 @@ pub fn lint_topology(spec: &TopologySpec) -> Vec<Diagnostic> {
                     &diag::TOP005,
                     format!("daemon `{}`", d.name),
                     format!(
-                        "queue at `{}` (capacity {}) must park ~{expected:.0} messages over \
-                         {down_secs:.0}s of scheduled downtime at ~{rate:.0} msg/s",
+                        "queue at `{}` (capacity {}) must park ~{expected:.0} {unit} over \
+                         {down_secs:.0}s of scheduled downtime at ~{rate:.0} {unit}/s",
                         d.name, d.queue.capacity
                     ),
                 )
@@ -851,7 +891,7 @@ pub fn lint_topology(spec: &TopologySpec) -> Vec<Diagnostic> {
     for (&i, &win_secs) in &hop_crash_window {
         let d = &daemons[i];
         let Some(cap) = d.wal_capacity else { continue };
-        let rate = through_rate(i);
+        let (rate, unit) = through_rate(i);
         if rate <= 0.0 {
             continue;
         }
@@ -863,8 +903,8 @@ pub fn lint_topology(spec: &TopologySpec) -> Vec<Diagnostic> {
                     format!("daemon `{}`", d.name),
                     format!(
                         "write-ahead log at `{}` (capacity {cap}) must journal ~{expected:.0} \
-                         messages over the longest scripted crash window ({win_secs:.0}s at \
-                         ~{rate:.0} msg/s); the excess is volatile-only and dies if `{}` crashes",
+                         {unit} over the longest scripted crash window ({win_secs:.0}s at \
+                         ~{rate:.0} {unit}/s); the excess is volatile-only and dies if `{}` crashes",
                         d.name, d.name
                     ),
                 )

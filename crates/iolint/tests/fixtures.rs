@@ -64,6 +64,30 @@ fn top005_queue_overflow_risk() {
 }
 
 #[test]
+fn top005_counts_frames_not_messages_when_batching() {
+    // Batched sampler: 1000 records/s over a 60s outage is 60000
+    // records, but only ~3750 wire frames at 16 records/frame — the
+    // head node's 4096-slot queue absorbs it, so the fixture is clean.
+    let report = report_for(include_str!("fixtures/top005_batched_absorbed.conf"));
+    assert!(report.is_clean(), "report:\n{}", report.render_text());
+
+    // Removing the batch directive restores message units: the very
+    // same topology overflows again, and says so in messages/s.
+    let unbatched = include_str!("fixtures/top005_batched_absorbed.conf").replace("batch 16", "");
+    let report = report_for(&unbatched);
+    let codes: Vec<&str> = report.codes().into_iter().collect();
+    assert_eq!(codes, vec!["TOP005"], "report:\n{}", report.render_text());
+    assert!(report.render_text().contains("messages/s"));
+
+    // A thinner frame still overflows — and the diagnostic reports its
+    // math in frames.
+    let report = report_for(include_str!("fixtures/top005_batched_overflow.conf"));
+    let codes: Vec<&str> = report.codes().into_iter().collect();
+    assert_eq!(codes, vec!["TOP005"], "report:\n{}", report.render_text());
+    assert!(report.render_text().contains("frames/s"));
+}
+
+#[test]
 fn top006_deadline_infeasible() {
     assert_only(include_str!("fixtures/top006_deadline.conf"), "TOP006");
 }

@@ -491,6 +491,15 @@ impl Ldmsd {
         self.upstream.read().as_ref().map_or(0, |u| u.queue.len())
     }
 
+    /// Deepest this daemon's retry queue has ever been (entries; a
+    /// batch frame counts as one entry).
+    pub fn queue_high_water(&self) -> u64 {
+        self.upstream
+            .read()
+            .as_ref()
+            .map_or(0, |u| u.queue.high_water())
+    }
+
     /// Earliest virtual instant at which this daemon's retry queue has
     /// something actionable (a retry due or a deadline expiring).
     pub fn queue_next_event(&self) -> Option<Epoch> {
@@ -548,7 +557,8 @@ impl Ldmsd {
     ) -> Option<(Arc<Ldmsd>, StreamMessage)> {
         let me = self as *const Ldmsd;
         if visited.contains(&me) {
-            self.ledger.record_loss(&self.name, LossCause::CycleDropped);
+            self.ledger
+                .record_loss_n(&self.name, LossCause::CycleDropped, msg.weight());
             return None;
         }
         visited.push(me);
@@ -556,7 +566,15 @@ impl Ldmsd {
         if !self.lifecycle.is_up(now) {
             // The message arrived at a crashed daemon (it was in
             // flight when the crash hit, or was injected directly).
-            self.ledger.record_loss(&self.name, LossCause::DaemonDown);
+            self.ledger
+                .record_loss_n(&self.name, LossCause::DaemonDown, msg.weight());
+            return None;
+        }
+        let terminal = self.upstream.read().is_none();
+        // Batch frames travel the pipeline whole and are only opened
+        // here, at the end of their path.
+        if terminal && msg.is_frame() {
+            self.deliver_frame(&msg);
             return None;
         }
         // Idempotent terminal delivery: claim the key *before* the
@@ -564,7 +582,6 @@ impl Ldmsd {
         // already-delivered message) never reaches the store sinks.
         // Only keys that will actually be delivered are claimed, so
         // unstored runs keep no key set.
-        let terminal = self.upstream.read().is_none();
         if terminal && self.hub.subscriber_count(&msg.tag) > 0 {
             if let Some(key) = msg.delivery_key() {
                 if !self.ledger.try_claim_delivery(key) {
@@ -592,6 +609,48 @@ impl Ldmsd {
         }
     }
 
+    /// Terminal delivery of a batch frame: decode it and deliver every
+    /// member as if it had arrived unbatched — each member claims its
+    /// own `(producer, job, rank, seq)` idempotency key before the
+    /// store sees it, so dedup, gap detection, and ingest observe
+    /// exactly the logical messages the sampler coalesced.
+    fn deliver_frame(&self, frame: &StreamMessage) {
+        let members = match crate::batch::decode_frame(&frame.data) {
+            Ok(records) => crate::batch::unbatch(frame, records),
+            Err(_) => {
+                // An undecodable frame cannot be split; deliver it
+                // whole so its full weight stays accounted (the store
+                // will reject the payload).
+                if self.hub.dispatch(frame) > 0 {
+                    self.ledger.record_delivered_n(frame.weight());
+                } else {
+                    self.ledger
+                        .record_loss_n(&self.name, LossCause::NoSubscriber, frame.weight());
+                }
+                return;
+            }
+        };
+        for member in members {
+            if self.hub.subscriber_count(&member.tag) > 0 {
+                if let Some(key) = member.delivery_key() {
+                    if !self.ledger.try_claim_delivery(key) {
+                        // Suppressed duplicate: already counted when
+                        // first delivered, nothing moves.
+                        continue;
+                    }
+                }
+            }
+            if self.hub.dispatch(&member) > 0 {
+                self.ledger.record_delivered();
+                if member.replayed {
+                    self.ledger.record_recovered();
+                }
+            } else {
+                self.ledger.record_loss(&self.name, LossCause::NoSubscriber);
+            }
+        }
+    }
+
     /// Attempts one send over the elected upstream route.
     /// `prior_attempts` is how many attempts the message has already
     /// consumed (0 for a fresh message); `expire` carries a
@@ -607,6 +666,7 @@ impl Ldmsd {
         now: Epoch,
     ) -> Option<(Arc<Ldmsd>, StreamMessage)> {
         let attempts = prior_attempts + 1;
+        let weight = msg.weight();
         let cfg = up.queue.config();
         let retryable = cfg.retries_enabled() && attempts < cfg.max_attempts;
         let route = &up.routes[up.elect(now)];
@@ -644,9 +704,10 @@ impl Ldmsd {
                 self.complete_wal_durable(up, lsn);
                 match cause {
                     LossCause::DaemonDown => {
-                        self.ledger.record_loss(route.target.name(), cause);
+                        self.ledger
+                            .record_loss_n(route.target.name(), cause, weight);
                     }
-                    _ => self.ledger.record_loss(&route.link_hop, cause),
+                    _ => self.ledger.record_loss_n(&route.link_hop, cause, weight),
                 }
             }
             return None;
@@ -686,7 +747,7 @@ impl Ldmsd {
                     None => {
                         self.complete_wal_durable(up, lsn);
                         self.ledger
-                            .record_loss(&route.link_hop, LossCause::LinkLoss);
+                            .record_loss_n(&route.link_hop, LossCause::LinkLoss, weight);
                     }
                 }
                 None
@@ -714,12 +775,20 @@ impl Ldmsd {
     /// attributed-lost message can never be replayed and recounted.
     fn attribute(&self, up: &UpstreamSet, entry: QueueEntry) {
         self.complete_wal_durable(up, entry.lsn);
+        let weight = entry.msg.weight();
         let route = &up.routes[up.active_idx()];
         match entry.cause {
-            LossCause::LinkLoss => self.ledger.record_loss(&route.link_hop, entry.cause),
-            LossCause::DaemonDown => self.ledger.record_loss(route.target.name(), entry.cause),
-            LossCause::Crash => self.ledger.record_loss(&self.name, entry.cause),
-            _ => self.ledger.record_loss(&up.queue_hop, entry.cause),
+            LossCause::LinkLoss => self
+                .ledger
+                .record_loss_n(&route.link_hop, entry.cause, weight),
+            LossCause::DaemonDown => {
+                self.ledger
+                    .record_loss_n(route.target.name(), entry.cause, weight)
+            }
+            LossCause::Crash => self.ledger.record_loss_n(&self.name, entry.cause, weight),
+            _ => self
+                .ledger
+                .record_loss_n(&up.queue_hop, entry.cause, weight),
         }
     }
 
@@ -801,7 +870,8 @@ impl Ldmsd {
                 (Some(set), Some(lsn)) if set.contains(&lsn)
             );
             if !covered {
-                self.ledger.record_loss(&self.name, LossCause::Crash);
+                self.ledger
+                    .record_loss_n(&self.name, LossCause::Crash, e.msg.weight());
             }
         }
     }
@@ -1063,6 +1133,16 @@ impl LdmsNetwork {
         &self.ledger
     }
 
+    /// Per-hop retry-queue pressure, in topology order:
+    /// `(daemon, currently parked, deepest ever)`. Entries count
+    /// buffer slots — a batch frame occupies one.
+    pub fn queue_depths(&self) -> Vec<(String, usize, u64)> {
+        self.ordered
+            .iter()
+            .map(|d| (d.name().to_string(), d.queued(), d.queue_high_water()))
+            .collect()
+    }
+
     /// Resolves a fault-script component name: a compute-node name, an
     /// aggregator host name, or the aliases `"l1"` / `"l2"` /
     /// `"standby"`.
@@ -1128,7 +1208,7 @@ impl LdmsNetwork {
     /// due by the message's publish instant are drained first, so
     /// buffered traffic re-flows in virtual-time order.
     pub fn publish(&self, msg: StreamMessage) {
-        self.ledger.record_published();
+        self.ledger.record_published_n(msg.weight());
         self.pump(msg.recv_time);
         match self.nodes.get(msg.producer.as_ref()) {
             Some(d) => d.receive(msg),

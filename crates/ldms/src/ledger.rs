@@ -107,13 +107,27 @@ impl DeliveryLedger {
     }
 
     /// Counts one message entering the pipeline.
+    #[cfg(test)]
     pub(crate) fn record_published(&self) {
-        self.published.fetch_add(1, Ordering::Relaxed);
+        self.record_published_n(1);
+    }
+
+    /// Counts `n` messages entering the pipeline. A batch frame enters
+    /// as one [`crate::StreamMessage`] but accounts for every message
+    /// coalesced into it, so the ledger always counts logical messages
+    /// regardless of framing.
+    pub(crate) fn record_published_n(&self, n: u64) {
+        self.published.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Counts one message reaching a subscriber at the terminal daemon.
     pub(crate) fn record_delivered(&self) {
-        self.delivered.fetch_add(1, Ordering::Relaxed);
+        self.record_delivered_n(1);
+    }
+
+    /// Counts `n` messages reaching a subscriber at the terminal.
+    pub(crate) fn record_delivered_n(&self, n: u64) {
+        self.delivered.fetch_add(n, Ordering::Relaxed);
         self.debug_check_attribution();
     }
 
@@ -134,16 +148,29 @@ impl DeliveryLedger {
     /// Counts one delivered message that reached the terminal via WAL
     /// replay after a crash — the "demonstrably recovered" counter.
     pub(crate) fn record_recovered(&self) {
-        self.recovered.fetch_add(1, Ordering::Relaxed);
+        self.record_recovered_n(1);
+    }
+
+    /// Counts `n` recovered messages (a replayed frame recovers every
+    /// message inside it).
+    pub(crate) fn record_recovered_n(&self, n: u64) {
+        self.recovered.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Attributes one lost message to `(hop, cause)`.
     pub(crate) fn record_loss(&self, hop: &str, cause: LossCause) {
+        self.record_loss_n(hop, cause, 1);
+    }
+
+    /// Attributes `n` lost messages to `(hop, cause)`. Dropping a batch
+    /// frame loses every message coalesced into it, so loss accounting
+    /// is weighted by frame size.
+    pub(crate) fn record_loss_n(&self, hop: &str, cause: LossCause, n: u64) {
         *self
             .losses
             .lock()
             .entry((hop.to_string(), cause))
-            .or_insert(0) += 1;
+            .or_insert(0) += n;
         self.debug_check_attribution();
     }
 

@@ -41,6 +41,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod daemon;
 pub mod fault;
 pub mod heartbeat;
@@ -52,6 +53,7 @@ pub mod stream;
 pub mod transport;
 pub mod wal;
 
+pub use batch::{BatchConfig, FrameRecord};
 pub use daemon::{DaemonRole, LdmsNetwork, Ldmsd, NetworkOpts, RecoveryReport};
 pub use fault::{FaultScript, FaultSpec, Lifecycle, SimRng};
 pub use heartbeat::HeartbeatConfig;

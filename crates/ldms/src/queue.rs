@@ -154,6 +154,7 @@ pub struct RetryQueue {
     rng: AtomicRng,
     parked_total: AtomicU64,
     overflowed: AtomicU64,
+    high_water: AtomicU64,
 }
 
 impl RetryQueue {
@@ -166,6 +167,7 @@ impl RetryQueue {
             rng,
             parked_total: AtomicU64::new(0),
             overflowed: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
         }
     }
 
@@ -194,6 +196,16 @@ impl RetryQueue {
         self.overflowed.load(Ordering::Relaxed)
     }
 
+    /// Deepest the queue has ever been (entries, frames counting as
+    /// one — this measures buffer pressure, not logical messages).
+    pub fn high_water(&self) -> u64 {
+        self.high_water.load(Ordering::Relaxed)
+    }
+
+    fn note_depth(&self, depth: usize) {
+        self.high_water.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
     /// Computes the instant of the next attempt after a failure at
     /// `now`, given the attempts consumed so far: exponential backoff
     /// with jitter, clamped to the ceiling, always strictly after
@@ -220,11 +232,13 @@ impl RetryQueue {
             entry.expire.get_or_insert(now + d);
             self.parked_total.fetch_add(1, Ordering::Relaxed);
             entries.push_back(entry);
+            self.note_depth(entries.len());
             return Vec::new();
         }
         if entries.len() < self.config.capacity {
             self.parked_total.fetch_add(1, Ordering::Relaxed);
             entries.push_back(entry);
+            self.note_depth(entries.len());
             return Vec::new();
         }
         match self.config.policy {
@@ -244,6 +258,7 @@ impl RetryQueue {
                 if self.config.capacity > 0 {
                     self.parked_total.fetch_add(1, Ordering::Relaxed);
                     entries.push_back(entry);
+                    self.note_depth(entries.len());
                     debug_assert!(
                         entries.len() <= self.config.capacity,
                         "drop-oldest queue grew past capacity: {} > {}",

@@ -38,7 +38,11 @@ pub const CSV_HEADER: [&str; 24] = [
     "seg:timestamp",
 ];
 
-fn field_to_string(v: Option<&JsonValue>) -> String {
+/// Renders one JSON field the way the CSV store prints it: `N/A` for
+/// missing or null fields, bare scalars otherwise. Exported so typed
+/// stores can reproduce the exact CSV accept/reject semantics without
+/// materialising the intermediate string row.
+pub fn field_to_string(v: Option<&JsonValue>) -> String {
     match v {
         None => "N/A".to_string(),
         Some(JsonValue::Str(s)) => s.clone(),

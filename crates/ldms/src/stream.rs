@@ -44,6 +44,12 @@ pub struct StreamMessage {
     /// True when the message was re-sent from a write-ahead-log replay
     /// after a crash restart.
     pub replayed: bool,
+    /// Number of logical messages coalesced into this one (`0` for a
+    /// plain message, `n >= 1` for a batch frame carrying `n`
+    /// [`crate::batch`]-encoded records). Everything that counts
+    /// messages — ledger, hub stats, loss attribution — weights a
+    /// frame by this.
+    pub batch: u32,
 }
 
 impl StreamMessage {
@@ -66,6 +72,7 @@ impl StreamMessage {
             seq: None,
             origin: None,
             replayed: false,
+            batch: 0,
         }
     }
 
@@ -73,6 +80,25 @@ impl StreamMessage {
     pub fn with_seq(mut self, seq: u64) -> Self {
         self.seq = Some(seq);
         self
+    }
+
+    /// Marks the message as a batch frame carrying `n` logical
+    /// messages.
+    pub fn with_batch(mut self, n: u32) -> Self {
+        self.batch = n;
+        self
+    }
+
+    /// True when the message is a batch frame.
+    pub fn is_frame(&self) -> bool {
+        self.batch > 0
+    }
+
+    /// Logical message weight: `1` for a plain message, the record
+    /// count for a batch frame (an empty frame still weighs 1 — it is
+    /// one message on the wire).
+    pub fn weight(&self) -> u64 {
+        u64::from(self.batch.max(1))
     }
 
     /// Stamps the `(job_id, rank)` origin used in the idempotency key.
@@ -175,8 +201,11 @@ impl StreamHub {
 
     /// Delivers a message to all subscribers of its tag. Returns how
     /// many sinks received it (0 = dropped, best-effort semantics).
+    /// Counters move in logical-message units: a batch frame counts
+    /// for every message coalesced into it.
     pub fn dispatch(&self, msg: &StreamMessage) -> usize {
-        self.stats.published.fetch_add(1, Ordering::Relaxed);
+        let weight = msg.weight();
+        self.stats.published.fetch_add(weight, Ordering::Relaxed);
         self.stats
             .bytes
             .fetch_add(msg.len() as u64, Ordering::Relaxed);
@@ -186,13 +215,13 @@ impl StreamHub {
                 for s in sinks {
                     s.deliver(msg);
                 }
-                self.stats.delivered.fetch_add(1, Ordering::Relaxed);
+                self.stats.delivered.fetch_add(weight, Ordering::Relaxed);
                 sinks.len()
             }
             _ => {
                 self.stats
                     .dropped_no_subscriber
-                    .fetch_add(1, Ordering::Relaxed);
+                    .fetch_add(weight, Ordering::Relaxed);
                 0
             }
         }

@@ -1,0 +1,439 @@
+//! Differential harness for frame batching and parallel rank fan-out.
+//!
+//! The batching and deferred-delivery hot paths are pure transport
+//! optimizations: whatever combination of `{batched, unbatched} ×
+//! {immediate, deferred}` a run uses, the terminal must store the
+//! byte-identical set of DSOS rows, the delivery ledger must read the
+//! same, and crash recovery must behave the same. These tests pin that
+//! down by running the same logical workload through all four modes —
+//! calm, under daemon outages, and under crash-stop faults with a
+//! durable WAL — and diffing the results exactly.
+
+mod fault_common;
+
+use fault_common::{base_epoch, node_names, TAG};
+use repro_suite::apps::experiment::{run_job, Instrumentation, RunSpec};
+use repro_suite::apps::platform::FsChoice;
+use repro_suite::apps::workloads::MpiIoTest;
+use repro_suite::connector::{
+    column_id, BatchConfig, ConnectorConfig, DeliveryMode, FaultScript, Pipeline, PipelineOpts,
+    QueueConfig, RecoveryReport, WalConfig,
+};
+use repro_suite::darshan::hooks::{EventSink, IoEvent};
+use repro_suite::darshan::runtime::JobMeta;
+use repro_suite::darshan::{ModuleId, OpKind};
+use repro_suite::dsos::Value;
+use repro_suite::ldms::StreamMessage;
+use repro_suite::simtime::{Clock, SimDuration};
+use std::collections::HashSet;
+
+const JOB_ID: u64 = 7;
+
+/// Everything a differential comparison looks at, reduced to exactly
+/// comparable form. `rows` is the sorted multiset of stored DSOS rows
+/// (debug-rendered, so every column participates in the comparison).
+#[derive(Debug, Clone, PartialEq)]
+struct Snap {
+    rows: Vec<String>,
+    published: u64,
+    delivered: u64,
+    lost: u64,
+    duplicates: u64,
+    stored: u64,
+    missing: u64,
+    balanced: bool,
+    recovery: RecoveryReport,
+}
+
+fn snapshot(p: &Pipeline) -> Snap {
+    let mut rows: Vec<String> = p
+        .events_of_job(JOB_ID)
+        .iter()
+        .map(|row| format!("{row:?}"))
+        .collect();
+    rows.sort();
+    Snap {
+        rows,
+        published: p.ledger().published(),
+        delivered: p.ledger().delivered(),
+        lost: p.ledger().total_lost(),
+        duplicates: p.ledger().duplicates(),
+        stored: p.stored_events() as u64,
+        missing: p.store().total_missing(),
+        balanced: p.ledger().balances(),
+        recovery: p.recovery_report(),
+    }
+}
+
+/// One deterministic connector-driven scenario: `nodes` ranks, each
+/// publishing `events_per_rank` I/O events through its own connector
+/// (exactly the production path: Darshan hook → connector → pipeline),
+/// under an arbitrary fault script and queue/WAL configuration.
+#[derive(Clone)]
+struct Scn {
+    nodes: u64,
+    events_per_rank: u64,
+    queue: QueueConfig,
+    script: FaultScript,
+    wal: Option<WalConfig>,
+    slack_s: u64,
+}
+
+fn io_event(rank: u32, record_id: u64, op: OpKind, clock: &mut Clock) -> IoEvent {
+    let start = clock.time_pair();
+    clock.advance(SimDuration::from_micros(100));
+    IoEvent {
+        module: ModuleId::Posix,
+        op,
+        file: "/scratch/eq.dat".into(),
+        record_id,
+        rank,
+        len: 4096,
+        offset: 4096 * record_id as i64,
+        start,
+        end: clock.time_pair(),
+        dur: 1e-4,
+        cnt: 1,
+        switches: 0,
+        flushes: -1,
+        max_byte: 4095,
+        hdf5: None,
+    }
+}
+
+/// Runs one scenario in one `(batch, delivery)` mode. Ranks are driven
+/// sequentially, so every mode sees the identical event stream at the
+/// identical virtual instants — the only degree of freedom left is the
+/// transport path under test.
+fn run_mode(sc: &Scn, batch: BatchConfig, deferred: bool) -> Snap {
+    let nodes = node_names(sc.nodes);
+    let p = Pipeline::build_with(
+        &nodes,
+        &PipelineOpts {
+            dsosd_count: 1,
+            tag: TAG.to_string(),
+            attach_store: true,
+            queue: sc.queue.clone(),
+            faults: sc.script.clone(),
+            wal: sc.wal.clone(),
+            ..PipelineOpts::default()
+        },
+    );
+    let job = JobMeta::new(JOB_ID, 99_066, "/apps/eq", sc.nodes as u32);
+    let cfg = ConnectorConfig {
+        batch,
+        delivery: if deferred {
+            DeliveryMode::Deferred
+        } else {
+            DeliveryMode::Immediate
+        },
+        ..ConnectorConfig::default()
+    };
+    let mut staged: Vec<(u64, StreamMessage)> = Vec::new();
+    for (i, name) in nodes.iter().enumerate() {
+        let conn = p.connector_for_rank(cfg.clone(), job.clone(), name.clone());
+        // Stagger ranks by a microsecond so no two rows collide.
+        let mut clock = Clock::new(base_epoch() + SimDuration::from_micros(i as u64));
+        for e in 0..sc.events_per_rank {
+            let op = match e {
+                0 => OpKind::Open,
+                n if n == sc.events_per_rank - 1 => OpKind::Close,
+                _ => OpKind::Write,
+            };
+            let ev = io_event(i as u32, e, op, &mut clock);
+            conn.on_event(&ev, &mut clock);
+        }
+        conn.flush();
+        staged.extend(conn.take_outbox().into_iter().map(|m| (i as u64, m)));
+    }
+    if deferred {
+        staged.sort_by_key(|(rank, m)| (m.recv_time, *rank));
+        for (_, msg) in staged {
+            p.network().publish(msg);
+        }
+    } else {
+        assert!(staged.is_empty(), "immediate mode must not stage");
+    }
+    p.settle(base_epoch() + SimDuration::from_secs(sc.slack_s));
+    snapshot(&p)
+}
+
+/// All four transport modes of one scenario, seed-path first.
+fn matrix(sc: &Scn, frame: usize) -> [(&'static str, Snap); 4] {
+    [
+        (
+            "unbatched-immediate",
+            run_mode(sc, BatchConfig::disabled(), false),
+        ),
+        (
+            "batched-immediate",
+            run_mode(sc, BatchConfig::frames_of(frame), false),
+        ),
+        (
+            "unbatched-deferred",
+            run_mode(sc, BatchConfig::disabled(), true),
+        ),
+        (
+            "batched-deferred",
+            run_mode(sc, BatchConfig::frames_of(frame), true),
+        ),
+    ]
+}
+
+/// Seed-derived scenario shape, so the equivalence holds over several
+/// topology/workload sizes, not one lucky instance.
+fn shape(seed: u64) -> (u64, u64, usize) {
+    let nodes = 2 + seed % 2;
+    let events = 10 + (seed * 7) % 17;
+    let frame = 2 + (seed % 5) as usize;
+    (nodes, events, frame)
+}
+
+fn assert_identical(seed: u64, modes: &[(&'static str, Snap)]) {
+    let (seed_label, reference) = &modes[0];
+    for (label, snap) in &modes[1..] {
+        assert_eq!(
+            snap, reference,
+            "seed {seed}: mode {label} diverged from {seed_label}"
+        );
+    }
+}
+
+/// No two stored rows may share the `(ProducerName, rank, seg_timestamp)`
+/// identity — replay and unbatching must never double-store.
+fn assert_no_duplicate_rows(rows: &[Vec<Value>]) {
+    let mut seen: HashSet<(String, u64, u64)> = HashSet::new();
+    for row in rows {
+        let producer = row[column_id("ProducerName")]
+            .as_str()
+            .expect("string producer")
+            .to_string();
+        let rank = row[column_id("rank")].as_u64().expect("u64 rank");
+        let ts = match row[column_id("seg_timestamp")] {
+            Value::F64(t) => t.to_bits(),
+            ref v => panic!("non-f64 seg_timestamp: {v:?}"),
+        };
+        assert!(
+            seen.insert((producer.clone(), rank, ts)),
+            "duplicate DSOS row for producer={producer} rank={rank}"
+        );
+    }
+}
+
+#[test]
+fn calm_runs_are_identical_in_all_four_modes() {
+    for seed in [3u64, 11, 29] {
+        let (nodes, events_per_rank, frame) = shape(seed);
+        let sc = Scn {
+            nodes,
+            events_per_rank,
+            queue: QueueConfig::default(),
+            script: FaultScript::new(),
+            wal: None,
+            slack_s: 60,
+        };
+        let modes = matrix(&sc, frame);
+        assert_identical(seed, &modes);
+        let (_, base) = &modes[0];
+        assert_eq!(base.published, nodes * events_per_rank);
+        assert_eq!(base.stored, base.published);
+        assert_eq!(base.lost, 0);
+        assert_eq!(base.missing, 0);
+        assert!(base.balanced);
+        assert_eq!(base.recovery, RecoveryReport::default());
+    }
+}
+
+#[test]
+fn outages_with_reliable_queues_stay_identical_and_lossless() {
+    for seed in [5u64, 17, 23] {
+        let (nodes, events_per_rank, frame) = shape(seed);
+        // The L1 aggregator goes dark in the middle of the publish
+        // window; reliable retry queues park and re-deliver everything.
+        let outage_from = base_epoch() + SimDuration::from_millis(2);
+        let outage_until = base_epoch() + SimDuration::from_millis(40);
+        let sc = Scn {
+            nodes,
+            events_per_rank,
+            queue: QueueConfig::reliable(),
+            script: FaultScript::new().daemon_outage("l1", outage_from, outage_until),
+            wal: None,
+            slack_s: 120,
+        };
+        let modes = matrix(&sc, frame);
+        assert_identical(seed, &modes);
+        let (_, base) = &modes[0];
+        assert_eq!(base.lost, 0, "seed {seed}: reliable retry must re-deliver");
+        assert_eq!(base.stored, nodes * events_per_rank);
+        assert!(base.balanced);
+        assert_eq!(base.recovery, RecoveryReport::default());
+    }
+}
+
+#[test]
+fn crashes_with_durable_wal_recover_identically_without_duplicates() {
+    for seed in [7u64, 13, 31] {
+        let (nodes, events_per_rank, frame) = shape(seed);
+        // Crash-stop the L1 aggregator mid-publish: volatile queue
+        // state dies, the daemon restarts and replays its durable WAL.
+        let crash_at = base_epoch() + SimDuration::from_millis(3);
+        let restart_at = base_epoch() + SimDuration::from_millis(50);
+        let sc = Scn {
+            nodes,
+            events_per_rank,
+            queue: QueueConfig::reliable(),
+            script: FaultScript::new().crash("l1", crash_at, restart_at),
+            wal: Some(WalConfig::durable()),
+            slack_s: 120,
+        };
+        let modes = matrix(&sc, frame);
+        let (_, base) = &modes[0];
+        assert_eq!(
+            base.lost, 0,
+            "seed {seed}: durable WAL + reliable queue loses nothing"
+        );
+        assert_eq!(base.stored, nodes * events_per_rank);
+        assert!(base.balanced);
+        assert_eq!(base.recovery.crashes, 1);
+        // The row sets — what analysis actually reads — are identical
+        // in all four modes, and the ledgers agree end to end. (WAL
+        // traffic counters legitimately differ between framings: a
+        // frame is one WAL record however many messages it carries.)
+        for (label, snap) in &modes[1..] {
+            assert_eq!(
+                snap.rows, base.rows,
+                "seed {seed}: {label} stored different rows"
+            );
+            for (field, a, b) in [
+                ("published", snap.published, base.published),
+                ("delivered", snap.delivered, base.delivered),
+                ("lost", snap.lost, base.lost),
+                ("stored", snap.stored, base.stored),
+                ("missing", snap.missing, base.missing),
+                ("crashes", snap.recovery.crashes, base.recovery.crashes),
+            ] {
+                assert_eq!(a, b, "seed {seed}: {label} diverged on {field}");
+            }
+            assert!(snap.balanced, "seed {seed}: {label} unbalanced");
+        }
+        // Same framing ⇒ the full recovery report matches too, for
+        // both delivery modes.
+        assert_eq!(modes[0].1.recovery, modes[2].1.recovery, "seed {seed}");
+        assert_eq!(modes[1].1.recovery, modes[3].1.recovery, "seed {seed}");
+    }
+}
+
+#[test]
+fn best_effort_outages_keep_every_mode_internally_consistent() {
+    // With best-effort queues an outage genuinely loses messages, and
+    // a dropped frame loses every message inside it — so the four
+    // modes legitimately store different subsets. Each mode must still
+    // account exactly, never duplicate, and store only rows the calm
+    // run would have stored.
+    let (nodes, events_per_rank, frame) = (3u64, 20u64, 4usize);
+    let calm = Scn {
+        nodes,
+        events_per_rank,
+        queue: QueueConfig::default(),
+        script: FaultScript::new(),
+        wal: None,
+        slack_s: 60,
+    };
+    let calm_rows: HashSet<String> = run_mode(&calm, BatchConfig::disabled(), false)
+        .rows
+        .into_iter()
+        .collect();
+    let sc = Scn {
+        queue: QueueConfig::best_effort(),
+        script: FaultScript::new().daemon_outage(
+            "l1",
+            base_epoch() + SimDuration::from_millis(2),
+            base_epoch() + SimDuration::from_millis(30),
+        ),
+        ..calm
+    };
+    let mut lossy_modes = 0;
+    for (label, snap) in matrix(&sc, frame) {
+        assert!(snap.balanced, "{label}: ledger must balance");
+        assert_eq!(
+            snap.stored + snap.lost,
+            nodes * events_per_rank,
+            "{label}: every message stored or attributed"
+        );
+        assert_eq!(snap.duplicates, 0, "{label}: nothing delivered twice");
+        assert!(
+            snap.rows.iter().all(|r| calm_rows.contains(r)),
+            "{label}: stored a row the calm run never produced"
+        );
+        if snap.lost > 0 {
+            lossy_modes += 1;
+        }
+    }
+    assert!(
+        lossy_modes > 0,
+        "the outage window must actually bite somewhere"
+    );
+}
+
+/// Workload-level equivalence: the same MPI job run through the full
+/// application stack (`run_job`, with real rank threads) stores the
+/// identical rows in all four modes, across seeds. This is the
+/// parallel-vs-serial half of the differential harness: deferred
+/// delivery runs rank fan-out concurrently yet must merge back to the
+/// exact serial result.
+#[test]
+fn workload_runs_match_across_modes_and_seeds() {
+    for seed in [7u64, 11, 23] {
+        let app = MpiIoTest::tiny(false);
+        let spec = |batch: BatchConfig, delivery: DeliveryMode| {
+            RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+                .with_store(true)
+                .with_seed(seed)
+                .with_batch(batch)
+                .with_delivery(delivery)
+        };
+        let specs = [
+            (
+                "unbatched-serial",
+                spec(BatchConfig::disabled(), DeliveryMode::Immediate),
+            ),
+            (
+                "batched-serial",
+                spec(BatchConfig::frames_of(4), DeliveryMode::Immediate),
+            ),
+            (
+                "unbatched-parallel",
+                spec(BatchConfig::disabled(), DeliveryMode::Deferred),
+            ),
+            (
+                "batched-parallel",
+                spec(BatchConfig::frames_of(4), DeliveryMode::Deferred),
+            ),
+        ];
+        let mut reference: Option<(u64, Vec<String>)> = None;
+        for (label, spec) in specs {
+            let r = run_job(&app, &spec);
+            let p = r.pipeline.as_ref().expect("connector run has a pipeline");
+            assert_eq!(r.messages_lost, 0, "seed {seed}: {label} lost messages");
+            assert!(p.ledger().balances(), "seed {seed}: {label} unbalanced");
+            assert_eq!(p.store().total_missing(), 0);
+            let rows_raw = p.events_of_job(spec.job_id);
+            assert_no_duplicate_rows(&rows_raw);
+            let mut rows: Vec<String> = rows_raw.iter().map(|row| format!("{row:?}")).collect();
+            rows.sort();
+            match &reference {
+                None => reference = Some((r.messages, rows)),
+                Some((ref_messages, ref_rows)) => {
+                    assert_eq!(
+                        r.messages, *ref_messages,
+                        "seed {seed}: {label} published a different count"
+                    );
+                    assert_eq!(
+                        &rows, ref_rows,
+                        "seed {seed}: {label} stored different rows"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -8,6 +8,7 @@ use repro_suite::connector::{
     DEFAULT_STREAM_TAG,
 };
 use repro_suite::dsos::Value;
+use repro_suite::ldms::batch::{encode_frame, FrameRecord};
 use repro_suite::ldms::{MsgFormat, SimRng, StreamMessage};
 use repro_suite::simtime::{Epoch, SimDuration};
 use std::collections::HashSet;
@@ -108,6 +109,70 @@ pub fn run_scenario(sc: &Scenario) -> (Pipeline, Outcome) {
             );
             published += 1;
         }
+    }
+    p.settle(base + SimDuration::from_secs(sc.slack_s));
+    let outcome = Outcome {
+        published,
+        ledger_published: p.ledger().published(),
+        stored: p.stored_events() as u64,
+        lost: p.ledger().total_lost(),
+        missing: p.store().total_missing(),
+        balances: p.ledger().balances(),
+    };
+    (p, outcome)
+}
+
+/// Runs a scenario with frame batching: each node's sequence-stamped
+/// messages coalesce into frames of `frame` records (the last frame
+/// may run short), published at the last member's instant — the same
+/// framing the connector produces. The outcome stays in *logical*
+/// messages: a dropped frame counts every record it carried.
+pub fn run_batched_scenario(sc: &Scenario, frame: usize) -> (Pipeline, Outcome) {
+    assert!(frame >= 1);
+    let nodes = node_names(sc.nodes);
+    let p = Pipeline::build_with(
+        &nodes,
+        &PipelineOpts {
+            dsosd_count: 1,
+            tag: TAG.to_string(),
+            attach_store: true,
+            queue: sc.queue.clone(),
+            faults: sc.script.clone(),
+            standby_l1: sc.standby,
+            wal: sc.wal.clone(),
+            ..PipelineOpts::default()
+        },
+    );
+    let base = base_epoch();
+    let mut published = 0u64;
+    for (n_idx, name) in nodes.iter().enumerate() {
+        let mut records: Vec<FrameRecord> = Vec::new();
+        let mut last_t = base;
+        let flush = |records: &mut Vec<FrameRecord>, at: Epoch| {
+            if records.is_empty() {
+                return;
+            }
+            let count = records.len() as u32;
+            p.network().publish(
+                StreamMessage::new(TAG, MsgFormat::Json, encode_frame(records), name, at)
+                    .with_origin(7, n_idx as u64)
+                    .with_batch(count),
+            );
+            records.clear();
+        };
+        for i in 0..sc.msgs_per_node {
+            let t = base + SimDuration::from_millis(i * 10 + n_idx as u64);
+            last_t = t;
+            records.push(FrameRecord {
+                seq: Some(i + 1),
+                payload: payload(name, 7, n_idx as u64, t.as_secs_f64()),
+            });
+            published += 1;
+            if records.len() >= frame {
+                flush(&mut records, t);
+            }
+        }
+        flush(&mut records, last_t);
     }
     p.settle(base + SimDuration::from_secs(sc.slack_s));
     let outcome = Outcome {
