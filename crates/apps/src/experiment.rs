@@ -5,7 +5,8 @@ use crate::stack::DarshanStack;
 use crate::workloads::Workload;
 use darshan_ldms_connector::{
     BatchConfig, ConnectorConfig, DarshanConnector, DeliveryMode, FaultScript, HeartbeatConfig,
-    Pipeline, PipelineOpts, QueueConfig, RecoveryReport, WalConfig, DEFAULT_STREAM_TAG,
+    LatencySummary, Pipeline, PipelineOpts, QueueConfig, RecoveryReport, TelemetryConfig,
+    WalConfig, DEFAULT_STREAM_TAG,
 };
 use darshan_sim::log::write_log;
 use darshan_sim::runtime::JobMeta;
@@ -76,6 +77,12 @@ pub struct RunSpec {
     /// Crash-durable write-ahead log attached to every hop (`None` by
     /// default — retry queues are volatile).
     pub wal: Option<WalConfig>,
+    /// Pipeline self-telemetry policy (`None` by default — the run is
+    /// byte-identical to an uninstrumented one).
+    pub telemetry: Option<TelemetryConfig>,
+    /// Advisory end-to-end p95 latency budget in virtual seconds; a
+    /// telemetry run exceeding it draws the `TRC009` lint warning.
+    pub latency_budget_s: Option<f64>,
 }
 
 impl RunSpec {
@@ -97,6 +104,8 @@ impl RunSpec {
             standby_l1: false,
             heartbeat: HeartbeatConfig::default(),
             wal: None,
+            telemetry: None,
+            latency_budget_s: None,
         }
     }
 
@@ -172,6 +181,18 @@ impl RunSpec {
         self
     }
 
+    /// Enables pipeline self-telemetry with the given policy.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
+        self
+    }
+
+    /// Sets the advisory end-to-end p95 latency budget (`TRC009`).
+    pub fn with_latency_budget(mut self, budget_s: f64) -> Self {
+        self.latency_budget_s = Some(budget_s);
+        self
+    }
+
     /// Sets the connector's frame-batching policy. No-op for
     /// Darshan-only baselines (they publish nothing).
     pub fn with_batch(mut self, batch: BatchConfig) -> Self {
@@ -238,6 +259,9 @@ pub struct RunResult {
     /// suppressed duplicates (all zero on the default fault-free path
     /// and for baselines).
     pub recovery: RecoveryReport,
+    /// Hop-level latency digest over the sampled traces (empty unless
+    /// the spec enabled telemetry).
+    pub latency: LatencySummary,
 }
 
 /// Runs one job to completion through the full stack.
@@ -257,6 +281,7 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
                 standby_l1: spec.standby_l1,
                 heartbeat: spec.heartbeat,
                 wal: spec.wal.clone(),
+                telemetry: spec.telemetry,
             },
         ))
     } else {
@@ -347,14 +372,30 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
         p.ledger().total_lost()
     });
 
+    // Distill the sampled traces into a per-run latency digest before
+    // linting, so the budget check sees the settled pipeline.
+    let latency = pipeline
+        .as_ref()
+        .and_then(|p| p.telemetry())
+        .map(|t| t.latency_summary())
+        .unwrap_or_default();
+
     // Post-run: lint the stored trace, reconciling sequence gaps
     // against the delivery ledger. Only meaningful with a store.
-    let trace_report = match pipeline.as_ref() {
+    let mut trace_report = match pipeline.as_ref() {
         Some(p) if spec.store => {
             check_pipeline_trace(p, &TraceLintOpts::default(), &LintConfig::new())
         }
         _ => iolint::Report::default(),
     };
+    if let Some(budget_s) = spec.latency_budget_s {
+        trace_report.merge(iolint::check_latency_budget(
+            latency.p95_end_to_end_s(),
+            latency.traces,
+            budget_s,
+            &LintConfig::new(),
+        ));
+    }
 
     let mut per_rank = per_rank.into_inner();
     per_rank.sort_by_key(|&(r, _, _, _)| r);
@@ -393,6 +434,7 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
         topology_report,
         trace_report,
         recovery,
+        latency,
     }
 }
 

@@ -23,7 +23,7 @@
 //! drill (every loss attributed to one `(hop, cause)` bucket), 1 when
 //! it does not, 2 on usage errors.
 
-use darshan_ldms_connector::{FaultScript, QueueConfig, WalConfig};
+use darshan_ldms_connector::{FaultScript, QueueConfig, TelemetryConfig, WalConfig};
 use iosim_apps::workloads::HaccIo;
 use iosim_apps::{run_job, FsChoice, Instrumentation, RunSpec};
 use iosim_time::{Epoch, SimDuration};
@@ -86,6 +86,10 @@ fn spec(faults: FaultScript) -> RunSpec {
         .with_queue(QueueConfig::reliable())
         .with_standby(true)
         .with_wal(WalConfig::durable())
+        // Metrics + flight recorders on every drill: a failed drill
+        // dumps the crashed daemon's last actions instead of just an
+        // unbalanced ledger.
+        .with_telemetry(TelemetryConfig::metrics_only())
         .with_faults(faults)
 }
 
@@ -185,6 +189,15 @@ fn main() -> ExitCode {
     if balanced {
         ExitCode::SUCCESS
     } else {
+        // Post-mortem: dump each crashed daemon's flight recorder so
+        // the failing drill is diagnosable from the CI log alone.
+        eprintln!("\nledger did not balance; crash flight recorders:");
+        if rec.crash_dumps.is_empty() {
+            eprintln!("  (no crash-stop fault fired — imbalance is elsewhere)");
+        }
+        for dump in &rec.crash_dumps {
+            eprintln!("{}", dump.render());
+        }
         ExitCode::from(1)
     }
 }

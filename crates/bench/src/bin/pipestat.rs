@@ -1,0 +1,293 @@
+//! `pipestat` — pipeline self-telemetry report for the paper workloads.
+//!
+//! Runs the four paper workloads through the full pipeline with the
+//! telemetry hub enabled (`TelemetryConfig::trace_all()`, so every
+//! message carries a trace context) and renders, per workload:
+//!
+//! * a **per-daemon metric table** from the registry — forwarded /
+//!   ingested counters, retry-queue depth, parked frames, retry
+//!   backoff histogram, WAL replays, heartbeat misses, and the DSOS
+//!   store's dedup-hit counter. Compute-node samplers (`nidNNNNN`) are
+//!   folded into one aggregate row to keep the table readable at 128
+//!   ranks;
+//! * a **per-hop latency table** from the sampled span log — publish,
+//!   forward, park, retry, WAL-replay, and ingest hop latencies plus
+//!   the end-to-end publish→ingest distribution (p50/p95/max in
+//!   virtual milliseconds).
+//!
+//! Emits `BENCH_pipestat.json` (one registry + latency snapshot per
+//! workload, via the hub's JSON exporter) and `BENCH_pipestat.prom`
+//! (the Prometheus-style text exposition of the headline HACC-IO run).
+//! Exits non-zero if any workload loses messages, leaves the delivery
+//! ledger unbalanced, completes zero traces, or renders an empty
+//! exposition — the CI `telemetry-smoke` job gates on this binary.
+
+use darshan_ldms_connector::TelemetryConfig;
+use iosim_apps::experiment::{run_job, Instrumentation, RunSpec};
+use iosim_apps::platform::FsChoice;
+use iosim_apps::workloads::{HaccIo, Hmmer, MpiIoTest, Sw4, Workload};
+use iosim_telemetry::{HistogramSnapshot, HopKind, LatencySummary, Metric};
+use iosim_util::table::TextTable;
+use repro_bench::HarnessOpts;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Metric families rendered as table columns, in display order. Must
+/// track the families registered by `Ldmsd::attach_telemetry` and the
+/// DSOS store.
+const FAMILIES: [&str; 9] = [
+    "forwarded",
+    "ingested",
+    "queue_depth",
+    "parked_frames",
+    "retries",
+    "retry_backoff_ms",
+    "wal_replayed",
+    "heartbeat_misses",
+    "ingest_dedup_hits",
+];
+
+fn workloads(quick: bool) -> Vec<(&'static str, Box<dyn Workload>)> {
+    let scale = if quick { 1 } else { 2 };
+    vec![
+        (
+            "HACC-IO",
+            Box::new(HaccIo {
+                nodes: 32 * scale,
+                ranks_per_node: 4,
+                particles_per_rank: 50_000,
+                path: "/scratch/hacc-io.pipestat".to_string(),
+            }) as Box<dyn Workload>,
+        ),
+        (
+            "MPI-IO-TEST",
+            Box::new(MpiIoTest {
+                iterations: 4,
+                block: 1 << 20,
+                ..MpiIoTest {
+                    nodes: 8 * scale,
+                    ranks_per_node: 4,
+                    ..MpiIoTest::tiny(false)
+                }
+            }),
+        ),
+        (
+            "HMMER",
+            Box::new(Hmmer {
+                ranks: 8,
+                families: 400 * u64::from(scale),
+                sequences: 8_000 * u64::from(scale),
+                ..Hmmer::tiny()
+            }),
+        ),
+        (
+            "sw4",
+            Box::new(Sw4 {
+                nodes: 4 * scale,
+                ranks_per_node: 4,
+                grid: [64, 64, 32],
+                steps: 8,
+                checkpoint_every: 2,
+                compute_s_per_step: 0.01,
+                path: "/scratch/sw4.pipestat".to_string(),
+            }),
+        ),
+    ]
+}
+
+/// One daemon's (or daemon group's) value for one family, summed so
+/// sampler rows can be folded together.
+#[derive(Default, Clone, Copy)]
+struct Cell {
+    value: u64,
+    hist: Option<HistogramSnapshot>,
+    present: bool,
+}
+
+impl Cell {
+    fn absorb(&mut self, m: &Metric) {
+        self.present = true;
+        match m {
+            Metric::Counter(c) => self.value += c.get(),
+            Metric::Gauge(g) => self.value += g.get(),
+            Metric::Histogram(h) => {
+                let s = h.snapshot();
+                let acc = self.hist.get_or_insert_with(HistogramSnapshot::default);
+                acc.count += s.count;
+                acc.sum = acc.sum.saturating_add(s.sum);
+                acc.max = acc.max.max(s.max);
+                acc.p50 = acc.p50.max(s.p50);
+                acc.p95 = acc.p95.max(s.p95);
+            }
+        }
+    }
+
+    fn render(&self) -> String {
+        if !self.present {
+            return "-".to_string();
+        }
+        match self.hist {
+            Some(s) if s.count > 0 => format!("n={} p95={}ms", s.count, s.p95),
+            Some(_) => "n=0".to_string(),
+            None => self.value.to_string(),
+        }
+    }
+}
+
+/// Folds the registry's `family -> daemon -> metric` map into
+/// `row label -> family -> cell`, collapsing `nidNNNNN` samplers into
+/// one aggregate row.
+fn daemon_rows(
+    families: &[(String, Vec<(String, Metric)>)],
+) -> (BTreeMap<String, BTreeMap<String, Cell>>, usize) {
+    let mut rows: BTreeMap<String, BTreeMap<String, Cell>> = BTreeMap::new();
+    let mut samplers = std::collections::BTreeSet::new();
+    for (family, series) in families {
+        for (daemon, metric) in series {
+            let label = if daemon.starts_with("nid") {
+                samplers.insert(daemon.clone());
+                "nid* (samplers)".to_string()
+            } else {
+                daemon.clone()
+            };
+            rows.entry(label)
+                .or_default()
+                .entry(family.clone())
+                .or_default()
+                .absorb(metric);
+        }
+    }
+    (rows, samplers.len())
+}
+
+fn ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+fn hop_table(latency: &LatencySummary) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "hop",
+        "spans",
+        "p50 (ms)",
+        "p95 (ms)",
+        "max (ms)",
+        "mean (ms)",
+    ]);
+    for kind in HopKind::ALL {
+        let s = latency.hop(kind);
+        if s.count == 0 {
+            continue;
+        }
+        t.row(vec![
+            kind.as_str().to_string(),
+            s.count.to_string(),
+            ms(s.p50),
+            ms(s.p95),
+            ms(s.max),
+            format!("{:.3}", s.mean() / 1e6),
+        ]);
+    }
+    let e = &latency.end_to_end;
+    t.row(vec![
+        "end-to-end".to_string(),
+        e.count.to_string(),
+        ms(e.p50),
+        ms(e.p95),
+        ms(e.max),
+        format!("{:.3}", e.mean() / 1e6),
+    ]);
+    t
+}
+
+fn main() {
+    let opts = HarnessOpts::from_args();
+    let mut failures: Vec<String> = Vec::new();
+    let mut json = String::from("{\n  \"benchmark\": \"pipestat\",\n");
+    let _ = writeln!(json, "  \"quick\": {},", opts.quick);
+    json.push_str("  \"workloads\": [\n");
+    let mut headline_prom = String::new();
+
+    println!("pipestat: pipeline self-telemetry report (trace-all sampling)");
+    let apps = workloads(opts.quick);
+    for (wi, (name, app)) in apps.iter().enumerate() {
+        let spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+            .with_store(true)
+            .with_telemetry(TelemetryConfig::trace_all());
+        let r = run_job(app.as_ref(), &spec);
+        let p = r.pipeline.as_ref().expect("connector run has a pipeline");
+        let tel = p.telemetry().expect("telemetry was requested").clone();
+        let balanced = p.ledger().balances();
+        let prom = tel.render_prometheus();
+        let families = tel.registry().families();
+        let (rows, sampler_count) = daemon_rows(&families);
+
+        println!(
+            "\n== {name} ==  {} msgs published, {} lost, ledger {}",
+            r.messages,
+            r.messages_lost,
+            if balanced { "balanced" } else { "UNBALANCED" }
+        );
+        println!(
+            "  {} metric series across {} daemons ({} samplers folded), {} traces / {} spans ({} dropped)",
+            tel.registry().series_count(),
+            rows.len() + sampler_count.saturating_sub(1),
+            sampler_count,
+            r.latency.traces,
+            r.latency.spans,
+            r.latency.spans_dropped,
+        );
+
+        let mut header = vec!["daemon".to_string()];
+        header.extend(FAMILIES.iter().map(|f| (*f).to_string()));
+        let mut table = TextTable::new(header);
+        for (label, cells) in &rows {
+            let mut row = vec![label.clone()];
+            for family in FAMILIES {
+                row.push(cells.get(family).copied().unwrap_or_default().render());
+            }
+            table.row(row);
+        }
+        println!("\n{}", table.render());
+        println!("{}", hop_table(&r.latency).render());
+
+        if r.messages_lost != 0 || !balanced {
+            failures.push(format!(
+                "{name}: lost {} messages (balanced: {balanced})",
+                r.messages_lost
+            ));
+        }
+        if r.latency.traces == 0 || r.latency.end_to_end.count == 0 {
+            failures.push(format!(
+                "{name}: no completed traces despite trace-all sampling"
+            ));
+        }
+        if prom.is_empty() {
+            failures.push(format!("{name}: empty Prometheus exposition"));
+        }
+        if *name == "HACC-IO" {
+            headline_prom = prom;
+        }
+
+        let _ = writeln!(json, "    {{\n      \"workload\": \"{name}\",");
+        let _ = writeln!(json, "      \"messages\": {},", r.messages);
+        let _ = writeln!(json, "      \"lost\": {},", r.messages_lost);
+        let _ = writeln!(json, "      \"balanced\": {balanced},");
+        let _ = writeln!(json, "      \"snapshot\": {}", tel.render_json());
+        let _ = writeln!(json, "    }}{}", if wi + 1 < apps.len() { "," } else { "" });
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_pipestat.json", &json).expect("write BENCH_pipestat.json");
+    std::fs::write("BENCH_pipestat.prom", &headline_prom).expect("write BENCH_pipestat.prom");
+    eprintln!("\nwrote BENCH_pipestat.json and BENCH_pipestat.prom");
+    opts.write_artifact("BENCH_pipestat.json", &json);
+    opts.write_artifact("BENCH_pipestat.prom", &headline_prom);
+
+    if !failures.is_empty() {
+        eprintln!("\nFAILURES:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -5,6 +5,7 @@ use crate::message::build_message;
 use crate::DEFAULT_STREAM_TAG;
 use darshan_sim::hooks::{EventSink, IoEvent};
 use darshan_sim::runtime::JobMeta;
+use iosim_telemetry::Telemetry;
 use iosim_time::{Clock, Epoch};
 use iosim_util::JsonWriter;
 use ldms_sim::batch::{encode_frame, BatchConfig, FrameRecord};
@@ -133,6 +134,9 @@ struct PendingFrame {
     /// `(first_record_time, last_record_time, rank)` — set when the
     /// first record lands.
     context: Option<(Epoch, Epoch, u64)>,
+    /// Trace context the frame will carry: that of the first sampled
+    /// member, so a frame holding any traced record is traced.
+    trace: Option<u64>,
 }
 
 /// The Darshan-LDMS Connector for one rank.
@@ -146,6 +150,8 @@ pub struct DarshanConnector {
     job: Arc<JobMeta>,
     producer: String,
     network: Arc<LdmsNetwork>,
+    /// Trace-stamping hub; `None` leaves every message untraced.
+    telemetry: Option<Arc<Telemetry>>,
     stats: Arc<ConnectorStats>,
     writer: Mutex<JsonWriter>,
     /// Per-connector (i.e. per job+rank) sequence counter, stamped on
@@ -168,11 +174,25 @@ impl DarshanConnector {
         producer: String,
         network: Arc<LdmsNetwork>,
     ) -> Arc<Self> {
+        Self::with_telemetry(config, job, producer, network, None)
+    }
+
+    /// Creates a connector that stamps a trace context onto the
+    /// hub-sampled subset of its published messages. With `None` the
+    /// connector behaves exactly like [`DarshanConnector::new`].
+    pub fn with_telemetry(
+        config: ConnectorConfig,
+        job: Arc<JobMeta>,
+        producer: String,
+        network: Arc<LdmsNetwork>,
+        telemetry: Option<Arc<Telemetry>>,
+    ) -> Arc<Self> {
         Arc::new(Self {
             config,
             job,
             producer,
             network,
+            telemetry,
             stats: Arc::new(ConnectorStats::default()),
             writer: Mutex::new(JsonWriter::with_capacity(1024)),
             seq: AtomicU64::new(0),
@@ -224,6 +244,7 @@ impl DarshanConnector {
         let records = std::mem::take(&mut pending.records);
         pending.bytes = 0;
         let count = records.len() as u32;
+        let trace = pending.trace.take();
         self.emit(
             StreamMessage::new(
                 &self.config.tag,
@@ -233,7 +254,8 @@ impl DarshanConnector {
                 at,
             )
             .with_origin(self.job.job_id, rank)
-            .with_batch(count),
+            .with_batch(count)
+            .with_trace(trace),
         );
     }
 
@@ -293,6 +315,10 @@ impl EventSink for DarshanConnector {
         // crash-restart replay be deduplicated at the terminal.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let now = clock.now();
+        let trace = self
+            .telemetry
+            .as_ref()
+            .and_then(|t| t.sample(self.job.job_id, u64::from(event.rank), seq));
         if self.config.batch.enabled() {
             let mut pending = self.pending.lock();
             // Time bound: a frame whose oldest record has aged past
@@ -307,6 +333,7 @@ impl EventSink for DarshanConnector {
                 None => Some((now, now, u64::from(event.rank))),
             };
             pending.bytes += payload.len();
+            pending.trace = pending.trace.or(trace);
             pending.records.push(FrameRecord {
                 seq: Some(seq),
                 payload,
@@ -326,7 +353,8 @@ impl EventSink for DarshanConnector {
                     now,
                 )
                 .with_seq(seq)
-                .with_origin(self.job.job_id, u64::from(event.rank)),
+                .with_origin(self.job.job_id, u64::from(event.rank))
+                .with_trace(trace),
             );
         }
     }

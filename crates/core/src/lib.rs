@@ -40,6 +40,7 @@ pub mod schema;
 
 pub use connector::{ConnectorConfig, ConnectorStats, DarshanConnector, DeliveryMode, FormatMode};
 pub use cost::CostModel;
+pub use iosim_telemetry::{CrashDump, LatencySummary, Telemetry, TelemetryConfig};
 pub use ldms_sim::{
     BatchConfig, DeliveryLedger, FaultScript, FaultSpec, HeartbeatConfig, LossCause, LossRecord,
     OverflowPolicy, QueueConfig, RecoveryReport, WalConfig,

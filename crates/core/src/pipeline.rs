@@ -9,6 +9,7 @@ use crate::connector::{ConnectorConfig, DarshanConnector};
 use crate::schema::{DsosStreamStore, CONTAINER};
 use darshan_sim::runtime::JobMeta;
 use dsos_sim::{DsosCluster, Value};
+use iosim_telemetry::{Telemetry, TelemetryConfig};
 use iosim_time::Epoch;
 use ldms_sim::{
     DeliveryLedger, FaultScript, HeartbeatConfig, LdmsNetwork, NetworkOpts, QueueConfig,
@@ -37,6 +38,11 @@ pub struct PipelineOpts {
     pub heartbeat: HeartbeatConfig,
     /// Attach a crash-durable write-ahead log to every hop.
     pub wal: Option<WalConfig>,
+    /// Self-telemetry policy: `Some` builds one [`Telemetry`] hub and
+    /// attaches every daemon, the connector (trace stamping), and the
+    /// DSOS store to it. `None` (the default) keeps the pipeline
+    /// byte-identical to the uninstrumented build.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 impl Default for PipelineOpts {
@@ -50,6 +56,7 @@ impl Default for PipelineOpts {
             standby_l1: false,
             heartbeat: HeartbeatConfig::default(),
             wal: None,
+            telemetry: None,
         }
     }
 }
@@ -59,6 +66,7 @@ pub struct Pipeline {
     network: Arc<LdmsNetwork>,
     cluster: Arc<DsosCluster>,
     store: Arc<DsosStreamStore>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Pipeline {
@@ -96,6 +104,7 @@ impl Pipeline {
     /// heartbeat policy, write-ahead logs), and a chaos schedule
     /// applied before the run.
     pub fn build_with(node_names: &[String], opts: &PipelineOpts) -> Self {
+        let telemetry = opts.telemetry.map(Telemetry::new);
         let network = Arc::new(LdmsNetwork::build_full(
             node_names,
             &NetworkOpts {
@@ -103,11 +112,15 @@ impl Pipeline {
                 standby_l1: opts.standby_l1,
                 heartbeat: opts.heartbeat,
                 wal: opts.wal.clone(),
+                telemetry: telemetry.clone(),
             },
         ));
         network.apply_faults(&opts.faults);
         let cluster = DsosCluster::new(opts.dsosd_count);
         let store = DsosStreamStore::new(cluster.clone());
+        if let Some(tel) = &telemetry {
+            store.attach_telemetry(tel);
+        }
         if opts.attach_store {
             network.l2().subscribe(&opts.tag, store.clone());
         }
@@ -115,7 +128,14 @@ impl Pipeline {
             network,
             cluster,
             store,
+            telemetry,
         }
+    }
+
+    /// The telemetry hub shared by the network, connectors, and store
+    /// (when enabled via [`PipelineOpts::telemetry`]).
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// The LDMS aggregation network.
@@ -154,7 +174,13 @@ impl Pipeline {
         job: Arc<JobMeta>,
         producer: String,
     ) -> Arc<DarshanConnector> {
-        DarshanConnector::new(config, job, producer, self.network.clone())
+        DarshanConnector::with_telemetry(
+            config,
+            job,
+            producer,
+            self.network.clone(),
+            self.telemetry.clone(),
+        )
     }
 
     /// Convenience query: all stored events of a job in

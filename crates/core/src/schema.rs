@@ -197,6 +197,8 @@ pub struct DsosStreamStore {
     duplicates: AtomicU64,
     seqs: Mutex<HashMap<StreamKey, SeqTrack>>,
     seen: Mutex<HashSet<DeliveryKey>>,
+    /// Registered `ingest_dedup_hits` counter, when telemetry is on.
+    dedup_hits: Mutex<Option<Arc<iosim_telemetry::Counter>>>,
 }
 
 impl DsosStreamStore {
@@ -212,7 +214,15 @@ impl DsosStreamStore {
             duplicates: AtomicU64::new(0),
             seqs: Mutex::new(HashMap::new()),
             seen: Mutex::new(HashSet::new()),
+            dedup_hits: Mutex::new(None),
         })
+    }
+
+    /// Registers the store's `ingest_dedup_hits` counter with a
+    /// telemetry hub, so replay-suppression shows up in exposition
+    /// next to the daemons' families.
+    pub fn attach_telemetry(&self, hub: &Arc<iosim_telemetry::Telemetry>) {
+        *self.dedup_hits.lock() = Some(hub.registry().counter("ingest_dedup_hits", "dsos-store"));
     }
 
     /// Rows successfully ingested.
@@ -328,6 +338,9 @@ impl StreamSink for DsosStreamStore {
         if let Some(key) = msg.delivery_key() {
             if !self.seen.lock().insert(key) {
                 self.duplicates.fetch_add(1, Ordering::Relaxed);
+                if let Some(c) = self.dedup_hits.lock().as_ref() {
+                    c.inc();
+                }
                 return;
             }
         }

@@ -207,12 +207,19 @@ lint!(
     Warning,
     "one rank spends far longer in I/O than its peers"
 );
+lint!(
+    TRC009,
+    "TRC009",
+    "latency-budget",
+    Warning,
+    "sampled end-to-end p95 pipeline latency exceeds the configured budget"
+);
 
 /// Every lint, in code order. `TOP*` codes come from the topology
 /// pass, `TRC*` codes from the trace pass.
 pub const REGISTRY: &[LintCode] = &[
     TOP001, TOP002, TOP003, TOP004, TOP005, TOP006, TOP007, TOP008, TOP009, TOP010, TOP011, TOP012,
-    TRC001, TRC002, TRC003, TRC004, TRC005, TRC006, TRC007, TRC008,
+    TRC001, TRC002, TRC003, TRC004, TRC005, TRC006, TRC007, TRC008, TRC009,
 ];
 
 /// Looks a lint up by code (`"TOP001"`, case-insensitive) or by name

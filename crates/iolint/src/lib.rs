@@ -51,7 +51,8 @@ pub use topology::{
     lint_topology, parse_conf, ConfError, DaemonSpec, OutageKind, OutageSpec, Role, TopologySpec,
 };
 pub use trace::{
-    events_from_cluster, lint_gaps, lint_trace, LossBudget, TraceEvent, TraceLintOpts,
+    events_from_cluster, lint_gaps, lint_latency_budget, lint_trace, LossBudget, TraceEvent,
+    TraceLintOpts,
 };
 
 use darshan_ldms_connector::Pipeline;
@@ -88,4 +89,11 @@ pub fn check_trace(events: &[TraceEvent], opts: &TraceLintOpts, config: &LintCon
 /// delivery ledger.
 pub fn check_pipeline_trace(p: &Pipeline, opts: &TraceLintOpts, config: &LintConfig) -> Report {
     Report::new(trace::lint_pipeline_trace(p, opts), config)
+}
+
+/// Advisory latency-budget check (`TRC009`) over a run's sampled
+/// latency digest: p95 end-to-end latency and completed-trace count as
+/// plain numbers, compared against a budget in virtual seconds.
+pub fn check_latency_budget(p95_s: f64, traces: u64, budget_s: f64, config: &LintConfig) -> Report {
+    Report::new(trace::lint_latency_budget(p95_s, traces, budget_s), config)
 }

@@ -448,6 +448,27 @@ pub fn lint_pipeline_trace(p: &Pipeline, opts: &TraceLintOpts) -> Vec<Diagnostic
     diags
 }
 
+/// `TRC009` — advisory end-to-end latency budget over a run's sampled
+/// traces. Fed plain numbers (p95 in virtual seconds, completed-trace
+/// count) so callers need not hold the telemetry hub; a run with no
+/// completed trace never fires.
+pub fn lint_latency_budget(p95_s: f64, traces: u64, budget_s: f64) -> Vec<Diagnostic> {
+    if traces == 0 || p95_s <= budget_s {
+        return Vec::new();
+    }
+    vec![Diagnostic::new(
+        &diag::TRC009,
+        "pipeline".to_string(),
+        format!(
+            "sampled end-to-end p95 latency {p95_s:.6}s exceeds the {budget_s:.6}s budget \
+             over {traces} traced messages"
+        ),
+    )
+    .with_help(
+        "raise the budget, shorten retry backoff, or inspect the per-hop latency histograms",
+    )]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -554,5 +575,30 @@ mod tests {
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code.code, "TRC006");
         assert!(diags[0].message.contains("2 of 2"));
+    }
+
+    #[test]
+    fn latency_budget_passes_under_budget_and_with_no_traces() {
+        // Comfortably under budget: clean.
+        assert!(lint_latency_budget(0.002, 128, 0.5).is_empty());
+        // Exactly at budget: clean (the budget is inclusive).
+        assert!(lint_latency_budget(0.5, 128, 0.5).is_empty());
+        // Over budget but nothing was ever traced: advisory lint has
+        // no evidence to fire on.
+        assert!(lint_latency_budget(9.0, 0, 0.5).is_empty());
+    }
+
+    #[test]
+    fn latency_budget_fires_as_advisory_warning_when_exceeded() {
+        let diags = lint_latency_budget(1.25, 64, 0.5);
+        assert_eq!(diags.len(), 1);
+        let d = &diags[0];
+        assert_eq!(d.code.code, "TRC009");
+        assert_eq!(d.severity, crate::Severity::Warning, "advisory, not error");
+        assert_eq!(d.subject, "pipeline");
+        assert!(d.message.contains("1.250000s"));
+        assert!(d.message.contains("0.500000s budget"));
+        assert!(d.message.contains("64 traced messages"));
+        assert!(d.help.is_some());
     }
 }

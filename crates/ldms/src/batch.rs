@@ -220,6 +220,7 @@ pub fn unbatch(frame: &StreamMessage, records: Vec<FrameRecord>) -> Vec<StreamMe
             origin: frame.origin,
             replayed: frame.replayed,
             batch: 0,
+            trace: frame.trace,
         })
         .collect()
 }
@@ -291,6 +292,30 @@ mod tests {
         assert_eq!(members[1].delivery_key().unwrap().3, 5);
         assert!(members.iter().all(|m| !m.is_frame() && m.weight() == 1));
         assert_eq!(members[0].origin, Some((7, 3)));
+    }
+
+    /// A frame carrying a trace context hands it to every unbatched
+    /// member, so a sampled message stays traceable across the
+    /// batch/unbatch boundary; an untraced frame yields untraced
+    /// members.
+    #[test]
+    fn unbatch_propagates_trace_context() {
+        let records = vec![rec(Some(1), "a"), rec(Some(2), "b")];
+        let mk = |trace| {
+            StreamMessage::new(
+                "t",
+                MsgFormat::Json,
+                encode_frame(&records),
+                "nid00001",
+                Epoch::from_secs(10),
+            )
+            .with_batch(2)
+            .with_trace(trace)
+        };
+        let traced = unbatch(&mk(Some(0xBEEF)), records.clone());
+        assert!(traced.iter().all(|m| m.trace == Some(0xBEEF)));
+        let untraced = unbatch(&mk(None), records);
+        assert!(untraced.iter().all(|m| m.trace.is_none()));
     }
 
     #[test]

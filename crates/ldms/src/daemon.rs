@@ -42,6 +42,9 @@ use crate::queue::{QueueConfig, QueueEntry, RetryQueue};
 use crate::stream::{StreamHub, StreamMessage, StreamSink, StreamStats};
 use crate::transport::TransportLink;
 use crate::wal::{WalConfig, WalStats, WriteAheadLog};
+use iosim_telemetry::{
+    Counter, CrashDump, FlightEvent, FlightRecorder, Gauge, Histogram, HopKind, Telemetry,
+};
 use iosim_time::{Epoch, SimDuration};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
@@ -200,6 +203,26 @@ struct CrashWindow {
     replayed: bool,
 }
 
+/// Per-daemon telemetry handles, resolved once at attach time so the
+/// hot path pays one atomic bump per metric instead of a registry
+/// lookup. Absent entirely (the default) telemetry costs one relaxed
+/// atomic load per hook site.
+struct DaemonTelemetry {
+    hub: Arc<Telemetry>,
+    /// Cached span site label — the daemon name, shared by every span
+    /// this daemon records.
+    site: Arc<str>,
+    flight: Arc<FlightRecorder>,
+    forwarded: Arc<Counter>,
+    ingested: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    parked_frames: Arc<Counter>,
+    retries: Arc<Counter>,
+    retry_backoff_ms: Arc<Histogram>,
+    wal_replayed: Arc<Counter>,
+    heartbeat_misses: Arc<Counter>,
+}
+
 /// One LDMS daemon.
 pub struct Ldmsd {
     name: String,
@@ -211,6 +234,9 @@ pub struct Ldmsd {
     crashes: Mutex<Vec<CrashWindow>>,
     has_crashes: AtomicBool,
     crash_count: AtomicU64,
+    tel: RwLock<Option<Arc<DaemonTelemetry>>>,
+    has_tel: AtomicBool,
+    crash_dumps: Mutex<Vec<CrashDump>>,
 }
 
 impl Ldmsd {
@@ -231,7 +257,47 @@ impl Ldmsd {
             crashes: Mutex::new(Vec::new()),
             has_crashes: AtomicBool::new(false),
             crash_count: AtomicU64::new(0),
+            tel: RwLock::new(None),
+            has_tel: AtomicBool::new(false),
+            crash_dumps: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Attaches this daemon to a telemetry hub: registers its metric
+    /// families (so exposition shows them even at zero) and resolves
+    /// every handle once. Must be called before traffic flows; the
+    /// untraced default path never takes the attached branch.
+    pub fn attach_telemetry(&self, hub: &Arc<Telemetry>) {
+        let reg = hub.registry();
+        let tel = Arc::new(DaemonTelemetry {
+            hub: hub.clone(),
+            site: Arc::from(self.name.as_str()),
+            flight: hub.flight(&self.name),
+            forwarded: reg.counter("forwarded", &self.name),
+            ingested: reg.counter("ingested", &self.name),
+            queue_depth: reg.gauge("queue_depth", &self.name),
+            parked_frames: reg.counter("parked_frames", &self.name),
+            retries: reg.counter("retries", &self.name),
+            retry_backoff_ms: reg.histogram("retry_backoff_ms", &self.name),
+            wal_replayed: reg.counter("wal_replayed", &self.name),
+            heartbeat_misses: reg.counter("heartbeat_misses", &self.name),
+        });
+        *self.tel.write() = Some(tel);
+        self.has_tel.store(true, Ordering::Relaxed);
+    }
+
+    /// The attached telemetry handles, when telemetry is enabled.
+    fn tel(&self) -> Option<Arc<DaemonTelemetry>> {
+        if !self.has_tel.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.tel.read().clone()
+    }
+
+    /// Crash dumps recorded at this daemon's crash-stop instants
+    /// (empty unless telemetry was attached and a crash fired).
+    pub fn crash_dumps(&self) -> Vec<CrashDump> {
+        self.crash_dumps.lock().clone()
     }
 
     /// The daemon's name.
@@ -600,6 +666,7 @@ impl Ldmsd {
                     if msg.replayed {
                         self.ledger.record_recovered();
                     }
+                    self.note_ingest(&msg);
                 } else {
                     self.ledger.record_loss(&self.name, LossCause::NoSubscriber);
                 }
@@ -645,9 +712,27 @@ impl Ldmsd {
                 if member.replayed {
                     self.ledger.record_recovered();
                 }
+                self.note_ingest(&member);
             } else {
                 self.ledger.record_loss(&self.name, LossCause::NoSubscriber);
             }
+        }
+    }
+
+    /// Telemetry for one terminal delivery: bumps the ingest counter
+    /// and, for a traced message, closes the trace with an `ingest`
+    /// span whose latency is the full publish-to-store sojourn.
+    fn note_ingest(&self, msg: &StreamMessage) {
+        let Some(tel) = self.tel() else { return };
+        tel.ingested.add(msg.weight());
+        if let Some(trace) = msg.trace {
+            tel.hub.span(
+                trace,
+                HopKind::Ingest,
+                &tel.site,
+                msg.recv_time,
+                msg.recv_time.since(msg.publish_time),
+            );
         }
     }
 
@@ -682,6 +767,19 @@ impl Ldmsd {
             None
         };
         if let Some((cause, component_up)) = detected {
+            if let Some(tel) = self.tel() {
+                // A send finding the active route unresponsive is what
+                // heartbeat monitoring observes as a miss.
+                tel.heartbeat_misses.inc();
+                tel.flight.note(
+                    now,
+                    format!(
+                        "send blocked: {} route={} retryable={retryable}",
+                        cause.as_str(),
+                        route.target.name()
+                    ),
+                );
+            }
             if retryable {
                 // Retry no earlier than the component's scheduled
                 // recovery — or the heartbeat-detection instant that
@@ -725,6 +823,18 @@ impl Ldmsd {
                 if let (Some(l), Some(w)) = (lsn, up.wal.as_ref()) {
                     w.complete(l);
                 }
+                if let Some(tel) = self.tel() {
+                    tel.forwarded.add(weight);
+                    if let Some(trace) = carried.trace {
+                        tel.hub.span(
+                            trace,
+                            HopKind::Forward,
+                            &tel.site,
+                            carried.recv_time,
+                            carried.recv_time.since(now),
+                        );
+                    }
+                }
                 Some((route.target.clone(), carried))
             }
             None => {
@@ -764,8 +874,29 @@ impl Ldmsd {
                 entry.lsn = w.append(&entry.msg, entry.attempts);
             }
         }
+        if let Some(tel) = self.tel() {
+            let backoff = entry.next_attempt.since(now);
+            tel.parked_frames.inc();
+            tel.retry_backoff_ms.record(backoff.as_nanos() / 1_000_000);
+            tel.flight.note(
+                now,
+                format!(
+                    "park: cause={} attempts={} wal={} retry_in={:.3}s",
+                    entry.cause.as_str(),
+                    entry.attempts,
+                    entry.lsn.is_some(),
+                    backoff.as_secs_f64()
+                ),
+            );
+            if let Some(trace) = entry.msg.trace {
+                tel.hub.span(trace, HopKind::Park, &tel.site, now, backoff);
+            }
+        }
         for evicted in up.queue.push(entry, now) {
             self.attribute(up, evicted);
+        }
+        if let Some(tel) = self.tel() {
+            tel.queue_depth.set(up.queue.len() as u64);
         }
     }
 
@@ -775,6 +906,17 @@ impl Ldmsd {
     /// attributed-lost message can never be replayed and recounted.
     fn attribute(&self, up: &UpstreamSet, entry: QueueEntry) {
         self.complete_wal_durable(up, entry.lsn);
+        if let Some(tel) = self.tel() {
+            tel.flight.note(
+                entry.msg.recv_time,
+                format!(
+                    "abandon: cause={} attempts={} weight={}",
+                    entry.cause.as_str(),
+                    entry.attempts,
+                    entry.msg.weight()
+                ),
+            );
+        }
         let weight = entry.msg.weight();
         let route = &up.routes[up.active_idx()];
         match entry.cause {
@@ -816,8 +958,23 @@ impl Ldmsd {
             for expired in up.queue.take_expired(now) {
                 self.attribute(up, expired);
             }
+            let tel = self.tel();
             let mut conts = Vec::new();
             while let Some(mut entry) = up.queue.pop_due(now) {
+                if let Some(tel) = &tel {
+                    tel.retries.inc();
+                    if let Some(trace) = entry.msg.trace {
+                        // Latency of the retry hop: how long the entry
+                        // sat parked before this drain re-sent it.
+                        tel.hub.span(
+                            trace,
+                            HopKind::Retry,
+                            &tel.site,
+                            now,
+                            now.since(entry.msg.recv_time),
+                        );
+                    }
+                }
                 // A buffered message cannot arrive before the retry
                 // that re-sent it: bump its clock to the drain time.
                 entry.msg.recv_time = entry.msg.recv_time.max(now);
@@ -826,6 +983,9 @@ impl Ldmsd {
                 {
                     conts.push(c);
                 }
+            }
+            if let Some(tel) = &tel {
+                tel.queue_depth.set(up.queue.len() as u64);
             }
             conts
         };
@@ -843,7 +1003,7 @@ impl Ldmsd {
             if !cw.crashed && cw.at <= now {
                 cw.crashed = true;
                 self.crash_count.fetch_add(1, Ordering::Relaxed);
-                self.crash_drop_volatile();
+                self.crash_drop_volatile(cw.at);
             }
             if cw.crashed && !cw.replayed && cw.restart <= now {
                 cw.replayed = true;
@@ -859,21 +1019,59 @@ impl Ldmsd {
     /// a surviving (durable) WAL record are attributed `lost-crash`;
     /// covered entries live on in the log until the restart replays
     /// them.
-    fn crash_drop_volatile(&self) {
+    fn crash_drop_volatile(&self, at: Epoch) {
         let guard = self.upstream.read();
-        let Some(up) = guard.as_ref() else { return };
+        let tel = self.tel();
+        let Some(up) = guard.as_ref() else {
+            // A terminal daemon has no queue to lose, but its flight
+            // recorder still explains what it saw before dying.
+            if let Some(tel) = tel {
+                self.snapshot_crash_dump(&tel, at, 0, 0);
+            }
+            return;
+        };
         let entries = up.queue.drain_all();
         let surviving = up.wal.as_ref().map(|w| w.crash());
+        let dropped = entries.len() as u64;
+        let mut wal_covered = 0u64;
         for e in entries {
             let covered = matches!(
                 (&surviving, e.lsn),
                 (Some(set), Some(lsn)) if set.contains(&lsn)
             );
-            if !covered {
+            if covered {
+                wal_covered += 1;
+            } else {
                 self.ledger
                     .record_loss_n(&self.name, LossCause::Crash, e.msg.weight());
             }
         }
+        if let Some(tel) = tel {
+            tel.queue_depth.set(0);
+            self.snapshot_crash_dump(&tel, at, dropped, wal_covered);
+        }
+    }
+
+    /// Freezes the flight recorder into a [`CrashDump`] at the crash
+    /// instant, after noting the crash itself so the dump's last line
+    /// is the death.
+    fn snapshot_crash_dump(&self, tel: &DaemonTelemetry, at: Epoch, dropped: u64, covered: u64) {
+        tel.flight.note(
+            at,
+            format!("crash-stop: {dropped} volatile queue entries ({covered} WAL-covered)"),
+        );
+        self.crash_dumps.lock().push(CrashDump {
+            daemon: self.name.clone(),
+            at_s: at.as_secs_f64(),
+            dropped_volatile: dropped,
+            wal_covered: covered,
+            events: tel
+                .flight
+                .snapshot()
+                .iter()
+                .map(FlightEvent::render)
+                .collect(),
+        });
     }
 
     /// Restart recovery: re-parks every durable, uncompleted WAL
@@ -884,8 +1082,28 @@ impl Ldmsd {
         let guard = self.upstream.read();
         let Some(up) = guard.as_ref() else { return };
         let Some(w) = &up.wal else { return };
+        let tel = self.tel();
         for rec in w.replay() {
             let mut msg = rec.msg;
+            if let Some(tel) = &tel {
+                tel.wal_replayed.inc();
+                tel.flight.note(
+                    restart,
+                    format!("wal-replay: lsn={} attempts={}", rec.lsn, rec.attempts),
+                );
+                if let Some(trace) = msg.trace {
+                    // The replayed message keeps its original trace
+                    // id and gains a replay span covering the gap
+                    // between its last sighting and the restart.
+                    tel.hub.span(
+                        trace,
+                        HopKind::Replay,
+                        &tel.site,
+                        restart,
+                        restart.since(msg.recv_time),
+                    );
+                }
+            }
             msg.replayed = true;
             msg.recv_time = msg.recv_time.max(restart);
             let attempts = rec.attempts;
@@ -901,6 +1119,9 @@ impl Ldmsd {
             for evicted in up.queue.push(entry, restart) {
                 self.attribute(up, evicted);
             }
+        }
+        if let Some(tel) = &tel {
+            tel.queue_depth.set(up.queue.len() as u64);
         }
     }
 
@@ -943,11 +1164,15 @@ pub struct NetworkOpts {
     /// Attach a write-ahead log with this configuration to every
     /// forwarding hop, making retry queues crash-durable.
     pub wal: Option<WalConfig>,
+    /// Attach every daemon to this telemetry hub (metric registry,
+    /// span log, flight recorders). `None` (the default) keeps the
+    /// pipeline byte-identical to the uninstrumented build.
+    pub telemetry: Option<Arc<Telemetry>>,
 }
 
 /// Aggregated crash-recovery counters for one network (and its
 /// ledger): what the chaos CLI prints and the acceptance tests assert.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RecoveryReport {
     /// Crash-stop events processed across all daemons.
     pub crashes: u64,
@@ -972,6 +1197,9 @@ pub struct RecoveryReport {
     pub failbacks: u64,
     /// Longest observed failover delay in virtual seconds.
     pub max_failover_latency_s: f64,
+    /// Flight-recorder dumps captured at crash-stop instants, in
+    /// topology order (empty unless telemetry was attached).
+    pub crash_dumps: Vec<CrashDump>,
 }
 
 impl RecoveryReport {
@@ -1007,6 +1235,7 @@ pub struct LdmsNetwork {
     standby: Option<Arc<Ldmsd>>,
     l2: Arc<Ldmsd>,
     ledger: Arc<DeliveryLedger>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl LdmsNetwork {
@@ -1085,6 +1314,11 @@ impl LdmsNetwork {
             ordered.push(s.clone());
         }
         ordered.push(l2.clone());
+        if let Some(tel) = &opts.telemetry {
+            for d in &ordered {
+                d.attach_telemetry(tel);
+            }
+        }
         Self {
             nodes,
             ordered,
@@ -1092,7 +1326,13 @@ impl LdmsNetwork {
             standby,
             l2,
             ledger,
+            telemetry: opts.telemetry.clone(),
         }
+    }
+
+    /// The telemetry hub every daemon reports into, when attached.
+    pub fn telemetry(&self) -> Option<&Arc<Telemetry>> {
+        self.telemetry.as_ref()
     }
 
     /// The first-level (head node) aggregator.
@@ -1209,6 +1449,19 @@ impl LdmsNetwork {
     /// buffered traffic re-flows in virtual-time order.
     pub fn publish(&self, msg: StreamMessage) {
         self.ledger.record_published_n(msg.weight());
+        if let Some(tel) = &self.telemetry {
+            if let Some(trace) = msg.trace {
+                // The trace's opening span: zero-latency marker at the
+                // producer, stamped with the publish instant.
+                tel.span(
+                    trace,
+                    HopKind::Publish,
+                    &msg.producer,
+                    msg.publish_time,
+                    SimDuration::ZERO,
+                );
+            }
+        }
         self.pump(msg.recv_time);
         match self.nodes.get(msg.producer.as_ref()) {
             Some(d) => d.receive(msg),
@@ -1253,6 +1506,7 @@ impl LdmsNetwork {
             r.crashes += d.crashes_seen();
             r.failovers += d.failovers();
             r.failbacks += d.failbacks();
+            r.crash_dumps.extend(d.crash_dumps());
             max_latency = max_latency.max(d.max_failover_latency());
             if let Some(w) = d.wal_stats() {
                 r.wal_appended += w.appended;
@@ -1476,6 +1730,7 @@ mod tests {
                 standby_l1: standby,
                 heartbeat: HeartbeatConfig::default(),
                 wal,
+                telemetry: None,
             },
         )
     }
@@ -1605,6 +1860,100 @@ mod tests {
         assert_eq!(nid.failbacks(), 1);
         net.settle(Epoch::from_secs(400));
         assert!(net.ledger().balances());
+    }
+
+    // ---- pipeline self-telemetry ----------------------------------
+
+    fn traced_net(wal: Option<WalConfig>) -> (LdmsNetwork, Arc<Telemetry>) {
+        let hub = Telemetry::new(iosim_telemetry::TelemetryConfig::trace_all());
+        let net = LdmsNetwork::build_full(
+            &["nid0".into()],
+            &NetworkOpts {
+                queue: QueueConfig::reliable(),
+                standby_l1: false,
+                heartbeat: HeartbeatConfig::default(),
+                wal,
+                telemetry: Some(hub.clone()),
+            },
+        );
+        (net, hub)
+    }
+
+    #[test]
+    fn traced_message_accumulates_publish_forward_ingest_spans() {
+        let (net, hub) = traced_net(None);
+        net.l2().subscribe("darshanConnector", BufferSink::new());
+        let trace = hub.sample(7, 0, 1).expect("trace-all samples everything");
+        net.publish(
+            msg_at("nid0", Epoch::from_secs(120))
+                .with_seq(1)
+                .with_origin(7, 0)
+                .with_trace(Some(trace)),
+        );
+        let kinds: Vec<HopKind> = hub.spans().spans_of(trace).iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds.iter().filter(|&&k| k == HopKind::Publish).count(),
+            1,
+            "one publish span at the producer"
+        );
+        assert_eq!(
+            kinds.iter().filter(|&&k| k == HopKind::Forward).count(),
+            2,
+            "node→L1 and L1→L2 forwards"
+        );
+        assert_eq!(kinds.iter().filter(|&&k| k == HopKind::Ingest).count(), 1);
+        let sum = hub.latency_summary();
+        assert_eq!((sum.traces, sum.end_to_end.count), (1, 1));
+        assert!(sum.end_to_end.max > 0, "link delays are nonzero");
+        assert!(sum.hop(HopKind::Forward).count == 2);
+    }
+
+    #[test]
+    fn wal_replay_preserves_trace_id_and_adds_replay_span() {
+        let (net, hub) = traced_net(Some(WalConfig::durable()));
+        net.apply_faults(
+            &FaultScript::new()
+                .daemon_outage("l2", Epoch::from_secs(100), Epoch::from_secs(500))
+                .crash("l1", Epoch::from_secs(150), Epoch::from_secs(600)),
+        );
+        let sink = BufferSink::new();
+        net.l2().subscribe("darshanConnector", sink.clone());
+        let trace = hub.sample(7, 0, 1).expect("trace-all samples everything");
+        net.publish(
+            msg_at("nid0", Epoch::from_secs(120))
+                .with_seq(1)
+                .with_origin(7, 0)
+                .with_trace(Some(trace)),
+        );
+        net.settle(Epoch::from_secs(1000));
+        let got = sink.take();
+        assert_eq!(got.len(), 1);
+        assert!(got[0].replayed);
+        assert_eq!(
+            got[0].trace,
+            Some(trace),
+            "replay re-injects the message with its trace context intact"
+        );
+        let spans = hub.spans().spans_of(trace);
+        let replay: Vec<_> = spans.iter().filter(|s| s.kind == HopKind::Replay).collect();
+        assert_eq!(replay.len(), 1, "one WAL-replay span");
+        assert!(
+            replay[0].at >= Epoch::from_secs(600),
+            "replayed at the restart instant"
+        );
+        assert!(
+            replay[0].latency >= SimDuration::from_secs(400),
+            "time-in-limbo spans the crash window"
+        );
+        assert!(
+            spans.iter().any(|s| s.kind == HopKind::Park),
+            "the pre-crash park was traced too"
+        );
+        assert_eq!(hub.latency_summary().end_to_end.count, 1);
+        // The crash also left a flight-recorder dump on the crashed L1.
+        let dumps = net.l1().crash_dumps();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].wal_covered, 1, "the lost entry was WAL-covered");
     }
 
     #[test]

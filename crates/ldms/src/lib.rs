@@ -57,6 +57,7 @@ pub use batch::{BatchConfig, FrameRecord};
 pub use daemon::{DaemonRole, LdmsNetwork, Ldmsd, NetworkOpts, RecoveryReport};
 pub use fault::{FaultScript, FaultSpec, Lifecycle, SimRng};
 pub use heartbeat::HeartbeatConfig;
+pub use iosim_telemetry::{CrashDump, LatencySummary, Telemetry, TelemetryConfig};
 pub use ledger::{DeliveryKey, DeliveryLedger, LossCause, LossRecord};
 pub use queue::{OverflowPolicy, QueueConfig, RetryQueue};
 pub use stream::{MsgFormat, StreamMessage, StreamSink, StreamStats};

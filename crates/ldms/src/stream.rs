@@ -50,6 +50,11 @@ pub struct StreamMessage {
     /// messages — ledger, hub stats, loss attribution — weights a
     /// frame by this.
     pub batch: u32,
+    /// Trace context: the telemetry trace id this message accumulates
+    /// hop spans under, stamped by the connector on a sampled subset
+    /// of messages. `None` (the default) means untraced — the hot
+    /// path skips all span recording.
+    pub trace: Option<u64>,
 }
 
 impl StreamMessage {
@@ -73,6 +78,7 @@ impl StreamMessage {
             origin: None,
             replayed: false,
             batch: 0,
+            trace: None,
         }
     }
 
@@ -86,6 +92,13 @@ impl StreamMessage {
     /// messages.
     pub fn with_batch(mut self, n: u32) -> Self {
         self.batch = n;
+        self
+    }
+
+    /// Stamps a telemetry trace context (`None` leaves the message
+    /// untraced).
+    pub fn with_trace(mut self, trace: Option<u64>) -> Self {
+        self.trace = trace;
         self
     }
 

@@ -15,6 +15,7 @@ pub use hpcws_sim as hpcws;
 pub use iosim_apps as apps;
 pub use iosim_fs as simfs;
 pub use iosim_mpi as simmpi;
+pub use iosim_telemetry as telemetry;
 pub use iosim_time as simtime;
 pub use iosim_util as util;
 pub use ldms_sim as ldms;

@@ -1,0 +1,164 @@
+//! The per-daemon flight recorder.
+//!
+//! Each daemon keeps a small ring buffer of its most recent notable
+//! events — parks, retry expiries, failovers, crashes, WAL replays —
+//! stamped with virtual time. The ring is always on: the events it
+//! records only happen on fault paths, so the calm hot path never
+//! touches it. When a crash-stop fault hits, the ring is snapshotted
+//! into a [`CrashDump`] and attached to the run's `RecoveryReport`,
+//! so a chaos drill can explain *why* a message was lost (what the
+//! daemon was doing in the moments before it died), not just that
+//! it was.
+
+use iosim_time::Epoch;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+
+/// One recorded event: a virtual instant and a rendered description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlightEvent {
+    /// Virtual instant the event happened.
+    pub at: Epoch,
+    /// Human-readable description.
+    pub what: String,
+}
+
+impl FlightEvent {
+    /// Renders as `  t=<epoch>s  <what>`.
+    pub fn render(&self) -> String {
+        format!("  t={:.6}s  {}", self.at.as_secs_f64(), self.what)
+    }
+}
+
+/// Bounded ring buffer of recent [`FlightEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    events: Mutex<VecDeque<FlightEvent>>,
+    total: std::sync::atomic::AtomicU64,
+}
+
+/// Default ring capacity — enough to cover the fault window a chaos
+/// drill opens, small enough to be negligible per daemon.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 64;
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// New recorder holding the most recent `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Self {
+            cap: cap.max(1),
+            events: Mutex::new(VecDeque::new()),
+            total: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Records an event, evicting the oldest once the ring is full.
+    pub fn note(&self, at: Epoch, what: String) {
+        let mut events = self.events.lock();
+        if events.len() == self.cap {
+            events.pop_front();
+        }
+        events.push_back(FlightEvent { at, what });
+        self.total
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Events currently in the ring, oldest first.
+    pub fn snapshot(&self) -> Vec<FlightEvent> {
+        self.events.lock().iter().cloned().collect()
+    }
+
+    /// Events recorded over the recorder's lifetime (including
+    /// evicted ones).
+    pub fn total(&self) -> u64 {
+        self.total.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.lock().len()
+    }
+
+    /// True when nothing has been recorded (or everything evicted).
+    pub fn is_empty(&self) -> bool {
+        self.events.lock().is_empty()
+    }
+}
+
+/// The flight-recorder snapshot taken at a crash-stop fault, attached
+/// to the run's `RecoveryReport`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CrashDump {
+    /// The daemon that crashed.
+    pub daemon: String,
+    /// Virtual instant of the crash, seconds since the epoch.
+    pub at_s: f64,
+    /// Volatile queue entries dropped by the crash.
+    pub dropped_volatile: u64,
+    /// Of those, entries covered by a durable WAL record (replayable
+    /// at restart).
+    pub wal_covered: u64,
+    /// Rendered flight-recorder lines, oldest first, as of the crash.
+    pub events: Vec<String>,
+}
+
+impl CrashDump {
+    /// Multi-line rendering for CLI output.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "flight recorder: {} crashed at t={:.6}s ({} volatile entries dropped, {} WAL-covered)\n",
+            self.daemon, self.at_s, self.dropped_volatile, self.wal_covered
+        );
+        if self.events.is_empty() {
+            out.push_str("  (no recorded events before the crash)\n");
+        } else {
+            for line in &self.events {
+                out.push_str(line);
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let fr = FlightRecorder::new(3);
+        for i in 0..5 {
+            fr.note(Epoch::from_secs(100 + i), format!("event {i}"));
+        }
+        let snap = fr.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].what, "event 2");
+        assert_eq!(snap[2].what, "event 4");
+        assert_eq!(fr.total(), 5);
+        assert!(!fr.is_empty());
+    }
+
+    #[test]
+    fn dump_renders_header_and_events() {
+        let dump = CrashDump {
+            daemon: "voltrino-head".to_string(),
+            at_s: 100.5,
+            dropped_volatile: 3,
+            wal_covered: 2,
+            events: vec!["  t=100.400000s  park: cause=link-loss".to_string()],
+        };
+        let text = dump.render();
+        assert!(text.contains("voltrino-head crashed at t=100.5"));
+        assert!(text.contains("3 volatile entries dropped"));
+        assert!(text.contains("park: cause=link-loss"));
+        let empty = CrashDump::default().render();
+        assert!(empty.contains("no recorded events"));
+    }
+}

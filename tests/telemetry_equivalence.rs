@@ -1,0 +1,387 @@
+//! Differential harness for pipeline self-telemetry.
+//!
+//! Telemetry is pure observation: whether a run carries no hub at all,
+//! a metrics-only hub, or full trace-every-message sampling, the
+//! terminal must store the byte-identical set of DSOS rows, the
+//! delivery ledger must read the same, and crash recovery must behave
+//! the same. These tests pin that down by running the same logical
+//! workload with telemetry off/metrics-only/trace-all — calm, under
+//! daemon outages, and under crash-stop faults with a durable WAL —
+//! and diffing everything except the observational artifacts
+//! (crash-flight dumps, span logs) themselves.
+
+mod fault_common;
+
+use fault_common::{base_epoch, node_names, TAG};
+use repro_suite::apps::experiment::{run_job, Instrumentation, RunSpec};
+use repro_suite::apps::platform::FsChoice;
+use repro_suite::apps::workloads::MpiIoTest;
+use repro_suite::connector::{
+    BatchConfig, ConnectorConfig, FaultScript, Pipeline, PipelineOpts, QueueConfig, RecoveryReport,
+    TelemetryConfig, WalConfig,
+};
+use repro_suite::darshan::hooks::{EventSink, IoEvent};
+use repro_suite::darshan::runtime::JobMeta;
+use repro_suite::darshan::{ModuleId, OpKind};
+use repro_suite::simtime::{Clock, SimDuration};
+
+const JOB_ID: u64 = 7;
+
+/// Everything the pipeline *produced* (as opposed to *observed*),
+/// reduced to exactly comparable form. Crash-flight dumps are stripped
+/// from the recovery report before comparison: they exist only when a
+/// telemetry hub is attached, and their absence is precisely what the
+/// off-mode run is allowed to differ in.
+#[derive(Debug, Clone, PartialEq)]
+struct Snap {
+    rows: Vec<String>,
+    published: u64,
+    delivered: u64,
+    lost: u64,
+    duplicates: u64,
+    stored: u64,
+    missing: u64,
+    balanced: bool,
+    recovery: RecoveryReport,
+}
+
+fn snapshot(p: &Pipeline) -> Snap {
+    let mut rows: Vec<String> = p
+        .events_of_job(JOB_ID)
+        .iter()
+        .map(|row| format!("{row:?}"))
+        .collect();
+    rows.sort();
+    let mut recovery = p.recovery_report();
+    recovery.crash_dumps.clear();
+    Snap {
+        rows,
+        published: p.ledger().published(),
+        delivered: p.ledger().delivered(),
+        lost: p.ledger().total_lost(),
+        duplicates: p.ledger().duplicates(),
+        stored: p.stored_events() as u64,
+        missing: p.store().total_missing(),
+        balanced: p.ledger().balances(),
+        recovery,
+    }
+}
+
+#[derive(Clone)]
+struct Scn {
+    nodes: u64,
+    events_per_rank: u64,
+    queue: QueueConfig,
+    script: FaultScript,
+    wal: Option<WalConfig>,
+    slack_s: u64,
+}
+
+fn io_event(rank: u32, record_id: u64, op: OpKind, clock: &mut Clock) -> IoEvent {
+    let start = clock.time_pair();
+    clock.advance(SimDuration::from_micros(100));
+    IoEvent {
+        module: ModuleId::Posix,
+        op,
+        file: "/scratch/tel.dat".into(),
+        record_id,
+        rank,
+        len: 4096,
+        offset: 4096 * record_id as i64,
+        start,
+        end: clock.time_pair(),
+        dur: 1e-4,
+        cnt: 1,
+        switches: 0,
+        flushes: -1,
+        max_byte: 4095,
+        hdf5: None,
+    }
+}
+
+/// The telemetry configurations under comparison, off-mode first.
+fn telemetry_modes() -> [(&'static str, Option<TelemetryConfig>); 3] {
+    [
+        ("telemetry-off", None),
+        ("metrics-only", Some(TelemetryConfig::metrics_only())),
+        ("trace-all", Some(TelemetryConfig::trace_all())),
+    ]
+}
+
+/// Runs one scenario through the production path (Darshan hook →
+/// connector → pipeline) with the given telemetry config and framing,
+/// returning the snapshot plus the pipeline for telemetry assertions.
+fn run_with(sc: &Scn, telemetry: Option<TelemetryConfig>, batch: BatchConfig) -> (Pipeline, Snap) {
+    let nodes = node_names(sc.nodes);
+    let p = Pipeline::build_with(
+        &nodes,
+        &PipelineOpts {
+            dsosd_count: 1,
+            tag: TAG.to_string(),
+            attach_store: true,
+            queue: sc.queue.clone(),
+            faults: sc.script.clone(),
+            wal: sc.wal.clone(),
+            telemetry,
+            ..PipelineOpts::default()
+        },
+    );
+    let job = JobMeta::new(JOB_ID, 99_066, "/apps/tel", sc.nodes as u32);
+    let cfg = ConnectorConfig {
+        batch,
+        ..ConnectorConfig::default()
+    };
+    for (i, name) in nodes.iter().enumerate() {
+        let conn = p.connector_for_rank(cfg.clone(), job.clone(), name.clone());
+        let mut clock = Clock::new(base_epoch() + SimDuration::from_micros(i as u64));
+        for e in 0..sc.events_per_rank {
+            let op = match e {
+                0 => OpKind::Open,
+                n if n == sc.events_per_rank - 1 => OpKind::Close,
+                _ => OpKind::Write,
+            };
+            let ev = io_event(i as u32, e, op, &mut clock);
+            conn.on_event(&ev, &mut clock);
+        }
+        conn.flush();
+    }
+    p.settle(base_epoch() + SimDuration::from_secs(sc.slack_s));
+    let snap = snapshot(&p);
+    (p, snap)
+}
+
+fn shape(seed: u64) -> (u64, u64, usize) {
+    let nodes = 2 + seed % 2;
+    let events = 10 + (seed * 7) % 17;
+    let frame = 2 + (seed % 5) as usize;
+    (nodes, events, frame)
+}
+
+/// Diffs every telemetry mode against the off-mode reference, in both
+/// unbatched and batched framings.
+fn assert_equivalent(seed: u64, sc: &Scn, frame: usize) -> Vec<(&'static str, Pipeline, Snap)> {
+    let mut kept = Vec::new();
+    for (framing, batch) in [
+        ("unbatched", BatchConfig::disabled()),
+        ("batched", BatchConfig::frames_of(frame)),
+    ] {
+        let mut reference: Option<Snap> = None;
+        for (label, tel) in telemetry_modes() {
+            let (p, snap) = run_with(sc, tel, batch.clone());
+            match &reference {
+                None => reference = Some(snap.clone()),
+                Some(r) => assert_eq!(
+                    &snap, r,
+                    "seed {seed}: {framing}/{label} diverged from telemetry-off"
+                ),
+            }
+            kept.push((label, p, snap));
+        }
+    }
+    kept
+}
+
+#[test]
+fn calm_runs_are_identical_with_and_without_telemetry() {
+    for seed in [3u64, 11, 29] {
+        let (nodes, events_per_rank, frame) = shape(seed);
+        let sc = Scn {
+            nodes,
+            events_per_rank,
+            queue: QueueConfig::default(),
+            script: FaultScript::new(),
+            wal: None,
+            slack_s: 60,
+        };
+        let runs = assert_equivalent(seed, &sc, frame);
+        let (_, _, base) = &runs[0];
+        assert_eq!(base.published, nodes * events_per_rank);
+        assert_eq!(base.stored, base.published);
+        assert!(base.balanced);
+        // The trace-all run must actually have observed the pipeline:
+        // every message completes a publish→ingest trace.
+        for (label, p, _) in &runs {
+            match *label {
+                "telemetry-off" => assert!(p.telemetry().is_none()),
+                "metrics-only" => {
+                    let t = p.telemetry().expect("hub attached");
+                    assert_eq!(t.latency_summary().traces, 0, "seed {seed}: sampling off");
+                    assert!(t.registry().series_count() > 0);
+                }
+                "trace-all" => {
+                    let summary = p.telemetry().expect("hub attached").latency_summary();
+                    assert_eq!(
+                        summary.end_to_end.count,
+                        nodes * events_per_rank,
+                        "seed {seed}: every message completes an end-to-end trace"
+                    );
+                    assert!(summary.end_to_end.max > 0);
+                }
+                other => unreachable!("unknown mode {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn outages_with_reliable_queues_are_identical_with_and_without_telemetry() {
+    for seed in [5u64, 17, 23] {
+        let (nodes, events_per_rank, frame) = shape(seed);
+        let sc = Scn {
+            nodes,
+            events_per_rank,
+            queue: QueueConfig::reliable(),
+            script: FaultScript::new().daemon_outage(
+                "l1",
+                base_epoch() + SimDuration::from_millis(2),
+                base_epoch() + SimDuration::from_millis(40),
+            ),
+            wal: None,
+            slack_s: 120,
+        };
+        let runs = assert_equivalent(seed, &sc, frame);
+        let (_, _, base) = &runs[0];
+        assert_eq!(base.lost, 0, "seed {seed}: reliable retry must re-deliver");
+        assert_eq!(base.stored, nodes * events_per_rank);
+        assert!(base.balanced);
+        // The retry machinery showed up in the metrics: something
+        // parked and retried during the outage window.
+        for (label, p, _) in &runs {
+            if *label == "trace-all" {
+                let reg = p.telemetry().expect("hub attached").registry();
+                let parked: u64 = reg
+                    .families()
+                    .iter()
+                    .filter(|(f, _)| f == "parked_frames")
+                    .flat_map(|(_, series)| series.iter())
+                    .map(|(_, m)| match m {
+                        repro_suite::telemetry::Metric::Counter(c) => c.get(),
+                        _ => 0,
+                    })
+                    .sum();
+                assert!(parked > 0, "seed {seed}: outage must park frames");
+            }
+        }
+    }
+}
+
+#[test]
+fn crashes_with_durable_wal_are_identical_and_dump_the_flight_recorder() {
+    for seed in [7u64, 13, 31] {
+        let (nodes, events_per_rank, frame) = shape(seed);
+        let sc = Scn {
+            nodes,
+            events_per_rank,
+            queue: QueueConfig::reliable(),
+            script: FaultScript::new().crash(
+                "l1",
+                base_epoch() + SimDuration::from_millis(3),
+                base_epoch() + SimDuration::from_millis(50),
+            ),
+            wal: Some(WalConfig::durable()),
+            slack_s: 120,
+        };
+        let runs = assert_equivalent(seed, &sc, frame);
+        let (_, _, base) = &runs[0];
+        assert_eq!(base.lost, 0, "seed {seed}: durable WAL loses nothing");
+        assert_eq!(base.stored, nodes * events_per_rank);
+        assert!(base.balanced);
+        assert_eq!(base.recovery.crashes, 1);
+        for (label, p, _) in &runs {
+            let dumps = p.recovery_report().crash_dumps;
+            if *label == "telemetry-off" {
+                assert!(dumps.is_empty(), "seed {seed}: no hub, no dumps");
+            } else {
+                assert_eq!(dumps.len(), 1, "seed {seed}: {label} dumps the crash");
+                let d = &dumps[0];
+                assert_eq!(d.daemon, "voltrino-head");
+                assert!(
+                    d.events.iter().any(|e| e.contains("crash-stop")),
+                    "seed {seed}: {label} flight log records the crash itself"
+                );
+                assert!(!d.render().is_empty());
+            }
+        }
+    }
+}
+
+/// The `TRC009` latency-budget lint, end to end through `RunSpec`: an
+/// impossible budget fires the advisory warning, a generous one stays
+/// clean, and a budget without telemetry has no traces to judge.
+#[test]
+fn latency_budget_lint_fires_through_run_spec() {
+    let app = MpiIoTest::tiny(false);
+    let base = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+        .with_store(true)
+        .with_telemetry(TelemetryConfig::trace_all());
+    let tight = run_job(&app, &base.clone().with_latency_budget(1e-9));
+    assert!(
+        tight.trace_report.codes().contains("TRC009"),
+        "sub-nanosecond budget must fire on any real pipeline"
+    );
+    assert!(
+        !tight.trace_report.has_errors(),
+        "TRC009 is advisory: a blown budget warns, never errors"
+    );
+    let roomy = run_job(&app, &base.with_latency_budget(10.0));
+    assert!(!roomy.trace_report.codes().contains("TRC009"));
+    let untraced = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+        .with_store(true)
+        .with_latency_budget(1e-9);
+    let r = run_job(&app, &untraced);
+    assert!(
+        !r.trace_report.codes().contains("TRC009"),
+        "no telemetry, no traces, no evidence to fire on"
+    );
+}
+
+/// Workload-level equivalence through the full application stack: the
+/// same MPI job stores the identical rows with telemetry off and with
+/// trace-all sampling, across seeds.
+#[test]
+fn workload_runs_match_with_and_without_telemetry() {
+    for seed in [7u64, 11, 23] {
+        let app = MpiIoTest::tiny(false);
+        let base_spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+            .with_store(true)
+            .with_seed(seed);
+        let mut reference: Option<(u64, Vec<String>)> = None;
+        for (label, spec) in [
+            ("telemetry-off", base_spec.clone()),
+            (
+                "trace-all",
+                base_spec
+                    .clone()
+                    .with_telemetry(TelemetryConfig::trace_all()),
+            ),
+        ] {
+            let r = run_job(&app, &spec);
+            let p = r.pipeline.as_ref().expect("connector run has a pipeline");
+            assert_eq!(r.messages_lost, 0, "seed {seed}: {label} lost messages");
+            assert!(p.ledger().balances(), "seed {seed}: {label} unbalanced");
+            let mut rows: Vec<String> = p
+                .events_of_job(spec.job_id)
+                .iter()
+                .map(|row| format!("{row:?}"))
+                .collect();
+            rows.sort();
+            match &reference {
+                None => {
+                    assert!(r.latency.is_empty(), "seed {seed}: off-mode has no spans");
+                    reference = Some((r.messages, rows));
+                }
+                Some((ref_messages, ref_rows)) => {
+                    assert_eq!(r.messages, *ref_messages, "seed {seed}: publish count");
+                    assert_eq!(
+                        &rows, ref_rows,
+                        "seed {seed}: {label} stored different rows"
+                    );
+                    assert_eq!(
+                        r.latency.end_to_end.count, r.messages,
+                        "seed {seed}: every message traced end to end"
+                    );
+                }
+            }
+        }
+    }
+}
