@@ -5,8 +5,8 @@ use crate::stack::DarshanStack;
 use crate::workloads::Workload;
 use darshan_ldms_connector::{
     BatchConfig, ConnectorConfig, DarshanConnector, DeliveryMode, FaultScript, HeartbeatConfig,
-    LatencySummary, Pipeline, PipelineOpts, QueueConfig, RecoveryReport, TelemetryConfig,
-    WalConfig, DEFAULT_STREAM_TAG,
+    LatencySummary, OverloadConfig, Pipeline, PipelineOpts, QueueConfig, RecoveryReport,
+    TelemetryConfig, WalConfig, DEFAULT_STREAM_TAG,
 };
 use darshan_sim::log::write_log;
 use darshan_sim::runtime::JobMeta;
@@ -83,6 +83,10 @@ pub struct RunSpec {
     /// Advisory end-to-end p95 latency budget in virtual seconds; a
     /// telemetry run exceeding it draws the `TRC009` lint warning.
     pub latency_budget_s: Option<f64>,
+    /// Overload-control policy attached to every forwarding hop
+    /// (`None` by default — storms degrade exactly as the paper's
+    /// best-effort pipeline would).
+    pub overload: Option<OverloadConfig>,
 }
 
 impl RunSpec {
@@ -106,6 +110,7 @@ impl RunSpec {
             wal: None,
             telemetry: None,
             latency_budget_s: None,
+            overload: None,
         }
     }
 
@@ -193,6 +198,12 @@ impl RunSpec {
         self
     }
 
+    /// Attaches an overload controller to every forwarding hop.
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = Some(overload);
+        self
+    }
+
     /// Sets the connector's frame-batching policy. No-op for
     /// Darshan-only baselines (they publish nothing).
     pub fn with_batch(mut self, batch: BatchConfig) -> Self {
@@ -240,6 +251,13 @@ pub struct RunResult {
     /// and for fault-free connector runs with a store attached). The
     /// per-hop attribution lives in the pipeline's delivery ledger.
     pub messages_lost: u64,
+    /// Event mass delivered at summary fidelity instead of as
+    /// individual rows (0 unless an overload controller degraded into
+    /// adaptive sampling under storm load).
+    pub messages_summarized: u64,
+    /// Achieved accuracy: individually-delivered fraction of the event
+    /// mass that reached the store (`1.0` when nothing was summarized).
+    pub accuracy: f64,
     /// File-system traffic counters.
     pub fs_stats: FsStatsSnapshot,
     /// The monitoring pipeline (present for connector runs; carries
@@ -282,6 +300,7 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
                 heartbeat: spec.heartbeat,
                 wal: spec.wal.clone(),
                 telemetry: spec.telemetry,
+                overload: spec.overload.clone(),
             },
         ))
     } else {
@@ -365,12 +384,15 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
     // minute of virtual time past job end, abandoning (and attributing)
     // whatever cannot be delivered by then. After this the delivery
     // ledger balances exactly. A no-op for fault-free best-effort runs.
-    let messages_lost = pipeline.as_ref().map_or(0, |p| {
-        let horizon =
-            spec.epoch_base + SimDuration::from_secs_f64(runtime_s) + SimDuration::from_secs(60);
-        p.settle(horizon);
-        p.ledger().total_lost()
-    });
+    let (messages_lost, messages_summarized, accuracy) =
+        pipeline.as_ref().map_or((0, 0, 1.0), |p| {
+            let horizon = spec.epoch_base
+                + SimDuration::from_secs_f64(runtime_s)
+                + SimDuration::from_secs(60);
+            p.settle(horizon);
+            let ledger = p.ledger();
+            (ledger.total_lost(), ledger.summarized(), ledger.accuracy())
+        });
 
     // Distill the sampled traces into a per-run latency digest before
     // linting, so the budget check sees the settled pipeline.
@@ -428,6 +450,8 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
         },
         events_seen,
         messages_lost,
+        messages_summarized,
+        accuracy,
         fs_stats: fs.stats(),
         pipeline,
         log_bytes,

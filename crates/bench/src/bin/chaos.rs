@@ -1,7 +1,7 @@
 //! `chaos` CLI: seeded crash/failover drills over the HACC-IO pipeline.
 //!
 //! ```text
-//! chaos [--json] [--seed N] <crash-compute|crash-aggregator|crash-store|flapping-link>
+//! chaos [--json] [--seed N] <crash-compute|crash-aggregator|crash-store|flapping-link|storm>
 //! ```
 //!
 //! Each scenario runs HACC-IO through the crash-tolerant deployment
@@ -14,7 +14,12 @@
 //!   store-side aggregator rides out an outage of its own — the full
 //!   WAL-replay + heartbeat-failover acceptance scenario;
 //! - `crash-store`: the store-side aggregator itself crash-stops;
-//! - `flapping-link`: the head node's uplink flaps three times.
+//! - `flapping-link`: the head node's uplink flaps three times;
+//! - `storm`: a 16×-oversubscribed HMMER burst through the overload
+//!   controller, with a seed-placed link outage overlapping the storm.
+//!   Passes only if the ledger balances exactly, nothing is silently
+//!   dropped, the sampler actually degraded into sketches, and every
+//!   metadata (open/close) event was delivered individually.
 //!
 //! The drill emits a recovery report (WAL replays, failover latency in
 //! virtual time, suppressed duplicates) and the ledger accounting.
@@ -23,8 +28,12 @@
 //! drill (every loss attributed to one `(hop, cause)` bucket), 1 when
 //! it does not, 2 on usage errors.
 
-use darshan_ldms_connector::{FaultScript, QueueConfig, TelemetryConfig, WalConfig};
-use iosim_apps::workloads::HaccIo;
+use darshan_ldms_connector::{
+    column_id, DeliveryMode, FaultScript, OverloadConfig, Pipeline, QueueConfig, TelemetryConfig,
+    WalConfig,
+};
+use dsos_sim::Value;
+use iosim_apps::workloads::{HaccIo, Hmmer};
 use iosim_apps::{run_job, FsChoice, Instrumentation, RunSpec};
 use iosim_time::{Epoch, SimDuration};
 use iosim_util::JsonWriter;
@@ -32,13 +41,14 @@ use ldms_sim::SimRng;
 use std::process::ExitCode;
 
 const USAGE: &str =
-    "usage: chaos [--json] [--seed N] <crash-compute|crash-aggregator|crash-store|flapping-link>";
+    "usage: chaos [--json] [--seed N] <crash-compute|crash-aggregator|crash-store|flapping-link|storm>";
 
-const SCENARIOS: [&str; 4] = [
+const SCENARIOS: [&str; 5] = [
     "crash-compute",
     "crash-aggregator",
     "crash-store",
     "flapping-link",
+    "storm",
 ];
 
 struct Cli {
@@ -131,6 +141,142 @@ fn script(scenario: &str, seed: u64, epoch: Epoch, runtime_s: f64) -> FaultScrip
     }
 }
 
+/// Stored rows of the drill job whose `op` is a metadata event.
+fn meta_rows(p: &Pipeline, job_id: u64) -> u64 {
+    p.events_of_job(job_id)
+        .iter()
+        .filter(
+            |row| matches!(&row[column_id("op")], Value::Str(op) if op == "open" || op == "close"),
+        )
+        .count() as u64
+}
+
+/// The `storm` drill: an HMMER burst offered at 16× the overload
+/// controller's service rate, with a seed-placed link outage landing
+/// mid-storm. The probe run (fault-free, no controller) calibrates the
+/// offered rate and the expected metadata-row count.
+fn storm_drill(cli: &Cli) -> ExitCode {
+    let app = Hmmer {
+        ranks: 8,
+        families: 200,
+        sequences: 4_000,
+        ..Hmmer::tiny()
+    };
+    let base_spec = || {
+        RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+            .with_store(true)
+            .with_delivery(DeliveryMode::Deferred)
+            .with_queue(QueueConfig::reliable().with_capacity(4096))
+            .with_wal(WalConfig::durable())
+            .with_telemetry(TelemetryConfig::metrics_only())
+    };
+    let probe = run_job(&app, &base_spec());
+    let job_id = base_spec().job_id;
+    let meta_expected = meta_rows(probe.pipeline.as_ref().expect("probe pipeline"), job_id);
+    let offered = probe.msg_rate;
+
+    // Seed-placed outage: the head node's uplink drops for 200–600 ms
+    // somewhere 20–60% into the run, overlapping the burst so the
+    // controller degrades while the retry path is also exercised.
+    let mut rng = SimRng::new(cli.seed ^ 0x5707_4A11);
+    let epoch = base_spec().epoch_base;
+    let from = epoch + SimDuration::from_secs_f64(probe.runtime_s * (0.2 + 0.4 * rng.next_f64()));
+    let until = from + SimDuration::from_millis(200 + rng.next_u64() % 400);
+    let faults = FaultScript::new().link_flap("l1", from, until);
+
+    let r = run_job(
+        &app,
+        &base_spec()
+            .with_overload(OverloadConfig::for_rate(offered / 16.0))
+            .with_faults(faults),
+    );
+    let p = r.pipeline.as_ref().expect("connector run has a pipeline");
+    let stored = p.stored_events() as u64;
+    let meta_stored = meta_rows(p, job_id);
+    let balanced = p.ledger().balances();
+    let max_depth = p
+        .network()
+        .overload_stats()
+        .iter()
+        .map(|(_, s)| s.max_depth)
+        .fold(0.0f64, f64::max);
+
+    let mut failures: Vec<String> = Vec::new();
+    if !balanced {
+        failures.push("ledger does not balance".to_string());
+    }
+    if r.messages_lost != 0 {
+        failures.push(format!(
+            "{} messages silently dropped (outage must drain through the retry path)",
+            r.messages_lost
+        ));
+    }
+    if r.messages_summarized == 0 {
+        failures.push("16x oversubscription never degraded into sketches".to_string());
+    }
+    if stored + r.messages_lost + r.messages_summarized != r.messages {
+        failures.push(format!(
+            "coverage hole: stored {} + lost {} + summarized {} != published {}",
+            stored, r.messages_lost, r.messages_summarized, r.messages
+        ));
+    }
+    if meta_stored != meta_expected {
+        failures.push(format!(
+            "metadata events not delivered individually: stored {meta_stored}, expected {meta_expected}"
+        ));
+    }
+
+    if cli.json {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("scenario", "storm");
+        w.field_uint("seed", cli.seed);
+        w.field_float("offered_rate", offered);
+        w.field_float("service_rate", offered / 16.0);
+        w.field_uint("published", r.messages);
+        w.field_uint("stored", stored);
+        w.field_uint("summarized", r.messages_summarized);
+        w.field_uint("lost", r.messages_lost);
+        w.field_float("accuracy", r.accuracy);
+        w.field_uint("balanced", u64::from(balanced));
+        w.field_uint("meta_expected", meta_expected);
+        w.field_uint("meta_stored", meta_stored);
+        w.field_float("max_overload_depth", max_depth);
+        w.field_uint("summary_sketches", p.stored_summaries() as u64);
+        // Parked-then-journaled frames: varies with the seed-placed
+        // outage window, showing the retry path was exercised.
+        w.field_uint("wal_appended", r.recovery.wal_appended);
+        w.field_uint("passed", u64::from(failures.is_empty()));
+        w.end_object();
+        println!("{}", w.as_str());
+    } else {
+        println!("== chaos drill: storm (seed {})", cli.seed);
+        println!(
+            "offered {:.0} msg/s against a {:.0} msg/s controller (16x oversubscribed)",
+            offered,
+            offered / 16.0
+        );
+        println!(
+            "published={} stored={} summarized={} lost={} accuracy={:.4} balanced={}",
+            r.messages, stored, r.messages_summarized, r.messages_lost, r.accuracy, balanced
+        );
+        println!(
+            "metadata: {meta_stored}/{meta_expected} delivered individually; peak modeled backlog {max_depth:.0} msgs"
+        );
+        println!("ledger: {}", p.ledger().summary());
+    }
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nstorm drill FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
@@ -140,6 +286,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if cli.scenario == "storm" {
+        return storm_drill(&cli);
+    }
 
     let app = HaccIo::tiny();
     // Probe run: the publish schedule is application-driven, so the

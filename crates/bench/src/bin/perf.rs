@@ -24,7 +24,7 @@
 //! the pipeline cost, so an individual shortfall there is reported but
 //! does not fail the gate on its own.
 
-use darshan_ldms_connector::{BatchConfig, DeliveryMode};
+use darshan_ldms_connector::{BatchConfig, DeliveryMode, OverloadConfig, QueueConfig};
 use iosim_apps::experiment::{run_job, Instrumentation, RunSpec};
 use iosim_apps::platform::FsChoice;
 use iosim_apps::workloads::{HaccIo, Hmmer, MpiIoTest, Sw4, Workload};
@@ -307,6 +307,85 @@ fn main() {
         }
         json.push_str("      ]\n");
         let _ = writeln!(json, "    }}{}", if wi + 1 < apps.len() { "," } else { "" });
+    }
+    json.push_str("  ],\n");
+
+    // ------------------------------------------------------------------
+    // Overload sweep: HMMER driven at 1x / 4x / 16x its own offered
+    // load, against a controller provisioned for `offered / x`. Reports
+    // the achieved accuracy (individually-delivered fraction of the
+    // event mass) and the sustained wall-clock throughput at each
+    // point — folding bulk events into sketches sheds downstream work,
+    // so throughput should hold or rise while accuracy degrades.
+    let (_, storm_app) = apps
+        .iter()
+        .find(|(n, _)| *n == "HMMER")
+        .expect("HMMER is in the matrix");
+    let storm_base = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+        .with_store(true)
+        .with_delivery(DeliveryMode::Deferred)
+        .with_queue(QueueConfig::reliable().with_capacity(4096));
+    let probe = run_job(storm_app.as_ref(), &storm_base);
+    let offered = probe.msg_rate;
+    let baseline_s = baseline_wall(storm_app.as_ref(), iters);
+    println!("\n== HMMER overload sweep (offered {offered:.0} msgs/s virtual) ==");
+    json.push_str("  \"overload_sweep\": [\n");
+    let mut prev_accuracy = f64::INFINITY;
+    let loads = [1.0f64, 4.0, 16.0];
+    for (oi, &x) in loads.iter().enumerate() {
+        let rate = offered / x;
+        let spec = storm_base
+            .clone()
+            .with_overload(OverloadConfig::for_rate(rate));
+        let mut wall_s = f64::INFINITY;
+        let mut last = None;
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            let r = run_job(storm_app.as_ref(), &spec);
+            wall_s = wall_s.min(t0.elapsed().as_secs_f64());
+            last = Some(r);
+        }
+        let r = last.expect("at least one iteration");
+        let p = r.pipeline.as_ref().expect("connector run has a pipeline");
+        let balanced = p.ledger().balances();
+        let pipeline_s = (wall_s - baseline_s).max(wall_s * 0.02);
+        let throughput = r.messages as f64 / pipeline_s;
+        println!(
+            "  {:>4.0}x load (service {rate:>7.0} msgs/s)  accuracy {:>6.4}  {:>9.1} msgs/s sustained  \
+             {:>6} summarized  {:>4} lost",
+            x, r.accuracy, throughput, r.messages_summarized, r.messages_lost
+        );
+        if !balanced || r.messages_lost != 0 {
+            failures.push(format!(
+                "HMMER overload {x:.0}x: lost {} messages (balanced: {balanced})",
+                r.messages_lost
+            ));
+        }
+        if r.accuracy > prev_accuracy + 1e-9 {
+            failures.push(format!(
+                "HMMER overload {x:.0}x: accuracy {:.4} rose above the lighter load's {:.4}",
+                r.accuracy, prev_accuracy
+            ));
+        }
+        prev_accuracy = r.accuracy;
+        if x >= 16.0 && r.messages_summarized == 0 {
+            failures.push(format!(
+                "HMMER overload {x:.0}x: a 16x-oversubscribed controller never degraded into sampling"
+            ));
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"workload\": \"HMMER\", \"offered_load\": {x:.1}, \
+             \"offered_rate_msgs_per_s\": {offered:.1}, \"service_rate_msgs_per_s\": {rate:.1}, \
+             \"wall_ms\": {:.3}, \"throughput_msgs_per_s\": {throughput:.1}, \
+             \"accuracy\": {:.4}, \"summarized\": {}, \"lost\": {}, \"balanced\": {}}}{}",
+            wall_s * 1e3,
+            r.accuracy,
+            r.messages_summarized,
+            r.messages_lost,
+            balanced,
+            if oi + 1 < loads.len() { "," } else { "" }
+        );
     }
     json.push_str("  ],\n");
 

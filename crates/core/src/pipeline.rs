@@ -12,8 +12,8 @@ use dsos_sim::{DsosCluster, Value};
 use iosim_telemetry::{Telemetry, TelemetryConfig};
 use iosim_time::Epoch;
 use ldms_sim::{
-    DeliveryLedger, FaultScript, HeartbeatConfig, LdmsNetwork, NetworkOpts, QueueConfig,
-    RecoveryReport, WalConfig,
+    DeliveryLedger, FaultScript, HeartbeatConfig, LdmsNetwork, NetworkOpts, OverloadConfig,
+    QueueConfig, RecoveryReport, WalConfig,
 };
 use std::sync::Arc;
 
@@ -43,6 +43,12 @@ pub struct PipelineOpts {
     /// DSOS store to it. `None` (the default) keeps the pipeline
     /// byte-identical to the uninstrumented build.
     pub telemetry: Option<TelemetryConfig>,
+    /// Overload-control policy: `Some` attaches an
+    /// [`ldms_sim::OverloadController`] to every forwarding hop, adding
+    /// backpressure throttling, spill-to-WAL buffering, and
+    /// accuracy-bounded adaptive sampling under message storms. `None`
+    /// (the default) keeps the delivery path byte-identical.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl Default for PipelineOpts {
@@ -57,6 +63,7 @@ impl Default for PipelineOpts {
             heartbeat: HeartbeatConfig::default(),
             wal: None,
             telemetry: None,
+            overload: None,
         }
     }
 }
@@ -113,6 +120,7 @@ impl Pipeline {
                 heartbeat: opts.heartbeat,
                 wal: opts.wal.clone(),
                 telemetry: telemetry.clone(),
+                overload: opts.overload.clone(),
             },
         ));
         network.apply_faults(&opts.faults);
@@ -193,6 +201,21 @@ impl Pipeline {
     /// Total events stored.
     pub fn stored_events(&self) -> usize {
         self.cluster.object_count(CONTAINER)
+    }
+
+    /// All summary-sketch rows of a job in `(rank, window)` order
+    /// (empty unless an overload controller degraded into sampling).
+    pub fn summaries_of_job(&self, job_id: u64) -> Vec<Vec<Value>> {
+        self.cluster.query_prefix(
+            crate::schema::SUMMARY_CONTAINER,
+            "job_rank_window",
+            &[Value::U64(job_id)],
+        )
+    }
+
+    /// Total summary sketches stored.
+    pub fn stored_summaries(&self) -> usize {
+        self.cluster.object_count(crate::schema::SUMMARY_CONTAINER)
     }
 
     /// Aggregated crash-recovery counters for the run (all zero on the

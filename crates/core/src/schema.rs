@@ -47,6 +47,26 @@ pub const COLUMNS: [(&str, Type); 24] = [
 /// The container name used throughout the pipeline.
 pub const CONTAINER: &str = "darshan";
 
+/// Columns of the `darshan_summary` schema: one row per overload
+/// summary sketch — a per-(job, rank, window) stand-in for the bulk
+/// events the adaptive sampler folded under storm load.
+pub const SUMMARY_COLUMNS: [(&str, Type); 11] = [
+    ("job_id", Type::U64),
+    ("rank", Type::U64),
+    ("ProducerName", Type::Str),
+    ("window", Type::U64),
+    ("first_ts", Type::F64),
+    ("last_ts", Type::F64),
+    ("count", Type::U64),
+    ("bytes", Type::U64),
+    ("dur_min", Type::F64),
+    ("dur_max", Type::F64),
+    ("dur_sum", Type::F64),
+];
+
+/// Container holding summary-sketch rows, next to [`CONTAINER`].
+pub const SUMMARY_CONTAINER: &str = "darshan_summary";
+
 /// JSON field names of the 14 top-level columns, in [`COLUMNS`] order.
 const TOP_FIELDS: [&str; 14] = [
     "module",
@@ -144,6 +164,29 @@ pub fn column_id(name: &str) -> usize {
         .unwrap_or_else(|| panic!("no such darshan_data column: {name}"))
 }
 
+/// Builds the `darshan_summary` schema. `job_rank_window` mirrors the
+/// event schema's `job_rank_time` joint index so degraded and full
+/// fidelity data sort the same way; `time` orders sketches globally by
+/// window start.
+pub fn summary_schema() -> Arc<Schema> {
+    let mut b = Schema::builder("darshan_summary");
+    for (name, ty) in SUMMARY_COLUMNS {
+        b = b.attr(name, ty);
+    }
+    b.index("job_rank_window", &["job_id", "rank", "window"])
+        .index("time", &["first_ts"])
+        .build()
+        .expect("static schema is well-formed")
+}
+
+/// Position of a column in the summary schema.
+pub fn summary_column_id(name: &str) -> usize {
+    SUMMARY_COLUMNS
+        .iter()
+        .position(|&(n, _)| n == name)
+        .unwrap_or_else(|| panic!("no such darshan_summary column: {name}"))
+}
+
 /// Sequence-gap accounting for one publisher, keyed by
 /// `(producer, job_id, rank)` — two ranks on one node share a producer
 /// name, so the key must include the rank.
@@ -195,6 +238,10 @@ pub struct DsosStreamStore {
     ingested: AtomicU64,
     rejected: AtomicU64,
     duplicates: AtomicU64,
+    /// Summary-sketch rows ingested into [`SUMMARY_CONTAINER`].
+    summaries_ingested: AtomicU64,
+    /// Folded bulk events the ingested sketches stand in for.
+    summary_events: AtomicU64,
     seqs: Mutex<HashMap<StreamKey, SeqTrack>>,
     seen: Mutex<HashSet<DeliveryKey>>,
     /// Registered `ingest_dedup_hits` counter, when telemetry is on.
@@ -206,12 +253,15 @@ impl DsosStreamStore {
     pub fn new(cluster: Arc<DsosCluster>) -> Arc<Self> {
         let schema = darshan_schema();
         cluster.create_container(CONTAINER, &schema);
+        cluster.create_container(SUMMARY_CONTAINER, &summary_schema());
         Arc::new(Self {
             cluster,
             schema,
             ingested: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             duplicates: AtomicU64::new(0),
+            summaries_ingested: AtomicU64::new(0),
+            summary_events: AtomicU64::new(0),
             seqs: Mutex::new(HashMap::new()),
             seen: Mutex::new(HashSet::new()),
             dedup_hits: Mutex::new(None),
@@ -240,6 +290,19 @@ impl DsosStreamStore {
     /// already-ingested message after a crash restart).
     pub fn duplicates_suppressed(&self) -> u64 {
         self.duplicates.load(Ordering::Relaxed)
+    }
+
+    /// Summary-sketch rows ingested (only nonzero when an overload
+    /// controller degraded into adaptive sampling).
+    pub fn summaries(&self) -> u64 {
+        self.summaries_ingested.load(Ordering::Relaxed)
+    }
+
+    /// Folded bulk events the ingested sketches stand in for — the
+    /// event mass the store holds at summary fidelity rather than as
+    /// individual rows.
+    pub fn summary_events(&self) -> u64 {
+        self.summary_events.load(Ordering::Relaxed)
     }
 
     /// The schema in use.
@@ -331,6 +394,37 @@ impl DsosStreamStore {
         }
         (objs, rejected)
     }
+
+    /// Ingests one overload summary sketch into [`SUMMARY_CONTAINER`].
+    /// Sketches carry their own schema (they are pipeline-made, not
+    /// connector-made), so they bypass the Figure 3 flattening — and
+    /// they bypass sequence-gap tracking too: their synthetic sequence
+    /// space (`SUMMARY_SEQ_BIT`-tagged, per hop and key) would read as
+    /// one giant gap against connector numbering.
+    fn ingest_summary(&self, msg: &StreamMessage, dom: &JsonValue) {
+        let obj: Option<Vec<Value>> = SUMMARY_COLUMNS
+            .iter()
+            .map(|&(name, ty)| {
+                if name == "ProducerName" {
+                    Some(Value::Str(msg.producer.to_string()))
+                } else {
+                    json_field_to_value(ty, dom.get(name))
+                }
+            })
+            .collect();
+        let Some(obj) = obj else {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let accepted = self.cluster.ingest_batch(SUMMARY_CONTAINER, vec![obj]) as u64;
+        if accepted == 0 {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        self.summaries_ingested.fetch_add(1, Ordering::Relaxed);
+        self.summary_events
+            .fetch_add(msg.weight(), Ordering::Relaxed);
+    }
 }
 
 impl StreamSink for DsosStreamStore {
@@ -351,6 +445,10 @@ impl StreamSink for DsosStreamStore {
                 return;
             }
         };
+        if msg.is_summary() {
+            self.ingest_summary(msg, &dom);
+            return;
+        }
         self.track_seq(msg, &dom);
         // All rows of one message convert DOM→typed directly (no CSV
         // string intermediate) and ingest as one batch: a single shard
@@ -600,6 +698,46 @@ mod tests {
                 "payload {data}"
             );
         }
+    }
+
+    #[test]
+    fn summary_sketches_route_to_their_own_container() {
+        let cluster = DsosCluster::new(1);
+        let store = DsosStreamStore::new(cluster.clone());
+        let payload = r#"{"type":"summary","job_id":7,"rank":3,"window":12,
+            "first_ts":1650000000.25,"last_ts":1650000001.5,"count":40,"bytes":163840,
+            "dur_min":0.001,"dur_max":0.009,"dur_sum":0.21}"#;
+        let sketch = StreamMessage::new(
+            "darshanConnector",
+            MsgFormat::Json,
+            payload.to_string(),
+            "nid00046",
+            iosim_time::Epoch::from_secs(1),
+        )
+        .with_seq(1 << 63 | 1)
+        .with_origin(7, 3)
+        .with_summary_count(40);
+        store.deliver(&sketch);
+        assert_eq!(store.summaries(), 1);
+        assert_eq!(store.summary_events(), 40);
+        assert_eq!(store.ingested(), 0, "no event row came from a sketch");
+        assert_eq!(cluster.object_count(SUMMARY_CONTAINER), 1);
+        let rows = cluster.query_prefix(SUMMARY_CONTAINER, "job_rank_window", &[Value::U64(7)]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][summary_column_id("count")], Value::U64(40));
+        assert_eq!(rows[0][summary_column_id("bytes")], Value::U64(163_840));
+        assert_eq!(
+            rows[0][summary_column_id("ProducerName")],
+            Value::Str("nid00046".into())
+        );
+        assert!(
+            store.gap_reports().is_empty(),
+            "synthetic summary seqs stay out of gap tracking"
+        );
+        // Replayed sketch (same delivery key) is suppressed.
+        store.deliver(&sketch);
+        assert_eq!(store.summaries(), 1);
+        assert_eq!(store.duplicates_suppressed(), 1);
     }
 
     #[test]

@@ -152,6 +152,13 @@ lint!(
     "a scheduled crash window outlasts what the hop's write-ahead log can journal"
 );
 lint!(
+    TOP013,
+    "TOP013",
+    "sampling-unreachable",
+    Warning,
+    "a hop's adaptive-sampling watermark sits at or beyond its queue capacity; drops begin before sampling can engage"
+);
+lint!(
     TRC001,
     "TRC001",
     "unmatched-open",
@@ -219,7 +226,7 @@ lint!(
 /// pass, `TRC*` codes from the trace pass.
 pub const REGISTRY: &[LintCode] = &[
     TOP001, TOP002, TOP003, TOP004, TOP005, TOP006, TOP007, TOP008, TOP009, TOP010, TOP011, TOP012,
-    TRC001, TRC002, TRC003, TRC004, TRC005, TRC006, TRC007, TRC008, TRC009,
+    TOP013, TRC001, TRC002, TRC003, TRC004, TRC005, TRC006, TRC007, TRC008, TRC009,
 ];
 
 /// Looks a lint up by code (`"TOP001"`, case-insensitive) or by name

@@ -48,7 +48,8 @@ pub use diag::{
     find_lint, Diagnostic, LintCode, LintConfig, LintLevel, Report, Severity, REGISTRY,
 };
 pub use topology::{
-    lint_topology, parse_conf, ConfError, DaemonSpec, OutageKind, OutageSpec, Role, TopologySpec,
+    lint_topology, parse_conf, ConfError, DaemonSpec, OutageKind, OutageSpec, OverloadSpec, Role,
+    TopologySpec,
 };
 pub use trace::{
     events_from_cluster, lint_gaps, lint_latency_budget, lint_trace, LossBudget, TraceEvent,

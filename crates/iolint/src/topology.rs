@@ -43,6 +43,17 @@
 //! the sampler coalesces that many records per wire frame, so every
 //! queue and WAL capacity check downstream counts frames, not
 //! messages (hops park and journal whole frames).
+//!
+//! `overload rate=N [sample=N throttle=N spill=N keep-every=N
+//! window-ms=N]` attaches the overload-control ladder to a hop:
+//! `rate` is the sustainable service rate the fluid ingress meter
+//! drains at, and `sample` the meter depth at which the ladder
+//! degrades bulk traffic into summary sketches (defaulting to
+//! `2 * rate`, mirroring `OverloadConfig::for_rate`). The linter's
+//! `TOP013` fires when that sampling watermark sits at or beyond the
+//! hop's queue capacity — the queue overflows (or its deadline
+//! expires) before sampling can ever engage, so the run sheds
+//! messages instead of degrading accuracy.
 
 use crate::diag::{self, Diagnostic, Severity};
 use darshan_ldms_connector::{Pipeline, COLUMNS};
@@ -75,6 +86,19 @@ impl Role {
     }
 }
 
+/// Overload-control policy attached to a hop (conf-file only, like
+/// `rate_hz` — a live network's policy arrives via `NetworkOpts` and
+/// is checked pre-flight by the experiment driver, not the linter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverloadSpec {
+    /// Sustainable service rate (msgs/sec) the fluid meter drains at.
+    pub service_rate: f64,
+    /// Meter depth at which the degradation ladder escalates into
+    /// adaptive sampling (defaults to `2 * service_rate`, matching
+    /// `OverloadConfig::for_rate`).
+    pub sample_watermark: f64,
+}
+
 /// One daemon in the IR.
 #[derive(Debug, Clone)]
 pub struct DaemonSpec {
@@ -104,6 +128,9 @@ pub struct DaemonSpec {
     /// journal whole frames, so capacity math divides `rate_hz` by
     /// this. Conf-file only, like `rate_hz`.
     pub batch: Option<u64>,
+    /// Overload-control ladder guarding the hop, when declared
+    /// (enables `TOP013`). Conf-file only, like `rate_hz`.
+    pub overload: Option<OverloadSpec>,
 }
 
 impl DaemonSpec {
@@ -120,6 +147,7 @@ impl DaemonSpec {
             subscribers: Vec::new(),
             rate_hz: None,
             batch: None,
+            overload: None,
         }
     }
 
@@ -207,6 +235,7 @@ impl TopologySpec {
                     subscribers: vec![tag.to_string(); n],
                     rate_hz: None,
                     batch: None,
+                    overload: None,
                 }
             })
             .collect();
@@ -348,7 +377,8 @@ pub fn parse_conf(text: &str) -> Result<TopologySpec, ConfError> {
                 spec.daemons.push(DaemonSpec::new(name, role));
                 current = Some(spec.daemons.len() - 1);
             }
-            "upstream" | "standby" | "link" | "rate" | "batch" | "subscribe" | "queue" | "wal" => {
+            "upstream" | "standby" | "link" | "rate" | "batch" | "subscribe" | "queue" | "wal"
+            | "overload" => {
                 let d = current
                     .map(|i| &mut spec.daemons[i])
                     .ok_or_else(|| err(format!("`{}` before any `daemon`", toks[0])))?;
@@ -397,6 +427,9 @@ pub fn parse_conf(text: &str) -> Result<TopologySpec, ConfError> {
                     }
                     "queue" => {
                         d.queue = parse_queue(&toks[1..], line_no)?;
+                    }
+                    "overload" => {
+                        d.overload = Some(parse_overload(&toks[1..], line_no)?);
                     }
                     _ => unreachable!("outer match arm"),
                 }
@@ -487,6 +520,49 @@ fn parse_wal(kvs: &[&str], line: usize) -> Result<usize, ConfError> {
     capacity.ok_or(ConfError {
         line,
         msg: "wal needs capacity=<n>".into(),
+    })
+}
+
+fn parse_overload(kvs: &[&str], line: usize) -> Result<OverloadSpec, ConfError> {
+    let mut rate: Option<f64> = None;
+    let mut sample: Option<f64> = None;
+    for kv in kvs {
+        let (k, v) = kv.split_once('=').ok_or(ConfError {
+            line,
+            msg: format!("overload setting must be key=value: {kv}"),
+        })?;
+        match k {
+            "rate" => rate = Some(parse_f64(v, line, "overload rate")?),
+            "sample" => sample = Some(parse_f64(v, line, "overload sample watermark")?),
+            // The remaining ladder knobs are accepted for completeness
+            // (so a conf can mirror a full `OverloadConfig`) but do not
+            // affect the static sampling-reachability lint.
+            "throttle" | "spill" => {
+                parse_f64(v, line, k)?;
+            }
+            "keep-every" | "window-ms" => {
+                v.parse::<u64>().map_err(|_| ConfError {
+                    line,
+                    msg: format!("bad overload {k}: {v}"),
+                })?;
+            }
+            other => {
+                return Err(ConfError {
+                    line,
+                    msg: format!("unknown overload setting: {other}"),
+                })
+            }
+        }
+    }
+    let service_rate = rate.filter(|r| *r > 0.0).ok_or(ConfError {
+        line,
+        msg: "overload needs rate=<msgs/sec> (> 0)".into(),
+    })?;
+    Ok(OverloadSpec {
+        service_rate,
+        // Mirrors `OverloadConfig::for_rate`: sampling engages at twice
+        // the sustainable rate unless the conf pins it explicitly.
+        sample_watermark: sample.unwrap_or(service_rate * 2.0),
     })
 }
 
@@ -913,6 +989,39 @@ pub fn lint_topology(spec: &TopologySpec) -> Vec<Diagnostic> {
         }
     }
 
+    // TOP013 — sampling can never engage: the hop's sample watermark
+    // sits at or beyond its bounded queue capacity, so the queue
+    // overflows (or its block deadline expires) strictly before the
+    // fluid meter can reach the depth that would degrade bulk traffic
+    // into sketches. The operator configured accuracy-bounded
+    // degradation but will get attributed drops instead.
+    for d in daemons {
+        let (Some(ov), true) = (&d.overload, d.upstream.is_some()) else {
+            continue;
+        };
+        if ov.sample_watermark >= d.queue.capacity as f64 {
+            let shed = match d.queue.policy {
+                OverflowPolicy::BlockWithDeadline(_) => "deadline expiry",
+                _ => "overflow",
+            };
+            diags.push(
+                Diagnostic::new(
+                    &diag::TOP013,
+                    format!("daemon `{}`", d.name),
+                    format!(
+                        "sampling watermark {:.0} at `{}` is not below the queue capacity {}: \
+                         queue {shed} sheds messages before the ladder can degrade into sketches",
+                        ov.sample_watermark, d.name, d.queue.capacity
+                    ),
+                )
+                .with_help(
+                    "raise the queue capacity above the sample watermark (or lower \
+                     `overload sample=`) so degradation engages before drops do",
+                ),
+            );
+        }
+    }
+
     // TOP011 — single point of failure: a forwarding daemon whose
     // removal disconnects every sampler from every subscriber. The
     // paper's single head-node aggregator is exactly this; a standby
@@ -1115,6 +1224,60 @@ crash store 100 130
             .map(|d| d.code.code)
             .collect();
         assert!(!codes.contains(&"TOP012"), "{codes:?}");
+    }
+
+    #[test]
+    fn overload_directive_parses_and_defaults_the_sample_watermark() {
+        let spec = parse_conf(
+            "daemon a l1\n  upstream b\n  queue capacity=4096 attempts=8\n\
+             \x20 overload rate=15 keep-every=8 window-ms=100\ndaemon b l2\n",
+        )
+        .unwrap();
+        let ov = spec.daemons[0].overload.expect("overload parsed");
+        assert!((ov.service_rate - 15.0).abs() < 1e-12);
+        // for_rate semantics: sampling engages at twice the rate.
+        assert!((ov.sample_watermark - 30.0).abs() < 1e-12);
+        let spec =
+            parse_conf("daemon a l1\n  upstream b\n  overload rate=15 sample=900\ndaemon b l2\n")
+                .unwrap();
+        assert!((spec.daemons[0].overload.unwrap().sample_watermark - 900.0).abs() < 1e-12);
+        // rate is mandatory and must be positive.
+        assert!(parse_conf("daemon a l1\n  overload sample=10\n").is_err());
+        assert!(parse_conf("daemon a l1\n  overload rate=0\n").is_err());
+        assert!(parse_conf("daemon a l1\n  overload rate=5 bogus=1\n").is_err());
+    }
+
+    #[test]
+    fn sampling_watermark_at_or_beyond_queue_capacity_fires_top013() {
+        let conf = |capacity: u32| {
+            format!(
+                "tag darshanConnector
+daemon nid0 sampler
+  upstream agg
+  rate 100
+  queue capacity={capacity} attempts=8
+  overload rate=50 sample=512
+daemon agg l1
+  upstream store
+  queue capacity=4096 attempts=8
+daemon store l2
+  subscribe darshanConnector
+"
+            )
+        };
+        // Capacity 256 < sample watermark 512: the queue sheds first.
+        let spec = parse_conf(&conf(256)).unwrap();
+        let codes: Vec<&str> = lint_topology(&spec).iter().map(|d| d.code.code).collect();
+        assert!(codes.contains(&"TOP013"), "{codes:?}");
+        // Capacity 4096 leaves headroom above the watermark: clean.
+        let spec = parse_conf(&conf(4096)).unwrap();
+        let codes: Vec<&str> = lint_topology(&spec).iter().map(|d| d.code.code).collect();
+        assert!(!codes.contains(&"TOP013"), "{codes:?}");
+        // Equality still fires (the meter can never strictly exceed
+        // what the queue already refused to hold).
+        let spec = parse_conf(&conf(512)).unwrap();
+        let codes: Vec<&str> = lint_topology(&spec).iter().map(|d| d.code.code).collect();
+        assert!(codes.contains(&"TOP013"), "{codes:?}");
     }
 
     #[test]

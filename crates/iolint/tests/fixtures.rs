@@ -127,6 +127,11 @@ fn top012_wal_capacity_risk() {
 }
 
 #[test]
+fn top013_sampling_unreachable() {
+    assert_only(include_str!("fixtures/top013_sampling.conf"), "TOP013");
+}
+
+#[test]
 fn lint_config_can_silence_a_fixture() {
     let spec = parse_conf(include_str!("fixtures/top004_no_subscriber.conf")).unwrap();
     let cfg = LintConfig::new().allow("TOP004");
@@ -319,15 +324,12 @@ fn example_configs_lint_as_shipped() {
         let codes: Vec<&str> = report.codes().into_iter().collect();
         assert_eq!(codes, vec!["TOP011"], "{spof}:\n{}", report.render_text());
     }
-    // The crash-tolerant example is fully clean.
-    let text =
-        std::fs::read_to_string(format!("{dir}/standby-topology.conf")).expect("example exists");
-    let report = report_for(&text);
-    assert!(
-        report.is_clean(),
-        "standby-topology.conf:\n{}",
-        report.render_text()
-    );
+    // The crash-tolerant and storm-tolerant examples are fully clean.
+    for clean in ["standby-topology.conf", "overload-pipeline.conf"] {
+        let text = std::fs::read_to_string(format!("{dir}/{clean}")).expect("example exists");
+        let report = report_for(&text);
+        assert!(report.is_clean(), "{clean}:\n{}", report.render_text());
+    }
     let text =
         std::fs::read_to_string(format!("{dir}/broken-pipeline.conf")).expect("example exists");
     let report = report_for(&text);

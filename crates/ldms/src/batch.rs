@@ -221,6 +221,8 @@ pub fn unbatch(frame: &StreamMessage, records: Vec<FrameRecord>) -> Vec<StreamMe
             replayed: frame.replayed,
             batch: 0,
             trace: frame.trace,
+            class: frame.class,
+            summary_count: 0,
         })
         .collect()
 }

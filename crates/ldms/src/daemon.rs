@@ -38,6 +38,7 @@
 use crate::fault::{FaultScript, FaultSpec, Lifecycle};
 use crate::heartbeat::HeartbeatConfig;
 use crate::ledger::{DeliveryLedger, LossCause};
+use crate::overload::{OverloadConfig, OverloadController, OverloadStats};
 use crate::queue::{QueueConfig, QueueEntry, RetryQueue};
 use crate::stream::{StreamHub, StreamMessage, StreamSink, StreamStats};
 use crate::transport::TransportLink;
@@ -221,6 +222,11 @@ struct DaemonTelemetry {
     retry_backoff_ms: Arc<Histogram>,
     wal_replayed: Arc<Counter>,
     heartbeat_misses: Arc<Counter>,
+    overload_depth: Arc<Gauge>,
+    overload_throttled: Arc<Gauge>,
+    overload_spilled: Arc<Gauge>,
+    overload_folded: Arc<Gauge>,
+    overload_summaries: Arc<Gauge>,
 }
 
 /// One LDMS daemon.
@@ -237,6 +243,8 @@ pub struct Ldmsd {
     tel: RwLock<Option<Arc<DaemonTelemetry>>>,
     has_tel: AtomicBool,
     crash_dumps: Mutex<Vec<CrashDump>>,
+    overload: RwLock<Option<Arc<OverloadController>>>,
+    has_overload: AtomicBool,
 }
 
 impl Ldmsd {
@@ -260,7 +268,46 @@ impl Ldmsd {
             tel: RwLock::new(None),
             has_tel: AtomicBool::new(false),
             crash_dumps: Mutex::new(Vec::new()),
+            overload: RwLock::new(None),
+            has_overload: AtomicBool::new(false),
         })
+    }
+
+    /// Attaches an overload controller to this daemon's forwarding
+    /// hop. `hop_ord` must be unique across the network (it
+    /// disambiguates summary-sketch sequence numbers between hops).
+    /// Without a controller (the default) every admission is a
+    /// pass-through — byte-identical to the uncontrolled pipeline.
+    pub fn attach_overload(&self, config: OverloadConfig, hop_ord: u64) {
+        *self.overload.write() = Some(Arc::new(OverloadController::new(config, hop_ord)));
+        self.has_overload.store(true, Ordering::Relaxed);
+    }
+
+    /// The attached overload controller, when one is configured.
+    fn overload_ctl(&self) -> Option<Arc<OverloadController>> {
+        if !self.has_overload.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.overload.read().clone()
+    }
+
+    /// Counter snapshot of the hop's overload controller, if attached.
+    pub fn overload_stats(&self) -> Option<OverloadStats> {
+        self.overload_ctl().map(|c| c.stats())
+    }
+
+    /// Mirrors the overload controller's counters into the telemetry
+    /// registry's gauges (no-op unless both are attached). Called at
+    /// report/exposition points, not per admission.
+    pub fn sync_overload_telemetry(&self) {
+        let (Some(tel), Some(st)) = (self.tel(), self.overload_stats()) else {
+            return;
+        };
+        tel.overload_depth.set(st.depth as u64);
+        tel.overload_throttled.set(st.throttled);
+        tel.overload_spilled.set(st.spilled);
+        tel.overload_folded.set(st.folded_events);
+        tel.overload_summaries.set(st.summaries);
     }
 
     /// Attaches this daemon to a telemetry hub: registers its metric
@@ -281,6 +328,11 @@ impl Ldmsd {
             retry_backoff_ms: reg.histogram("retry_backoff_ms", &self.name),
             wal_replayed: reg.counter("wal_replayed", &self.name),
             heartbeat_misses: reg.counter("heartbeat_misses", &self.name),
+            overload_depth: reg.gauge("overload_depth", &self.name),
+            overload_throttled: reg.gauge("overload_throttled", &self.name),
+            overload_spilled: reg.gauge("overload_spilled", &self.name),
+            overload_folded: reg.gauge("overload_folded", &self.name),
+            overload_summaries: reg.gauge("overload_summaries", &self.name),
         });
         *self.tel.write() = Some(tel);
         self.has_tel.store(true, Ordering::Relaxed);
@@ -604,10 +656,27 @@ impl Ldmsd {
     /// retry or attributed to the ledger, per each hop's queue
     /// configuration.
     pub fn receive(&self, msg: StreamMessage) {
+        // Overload admissions can split one arrival into several
+        // onward messages (a thinned frame plus flushed summary
+        // sketches). The primary continuation walks inline; the extras
+        // queue here and each starts a fresh walk — with a fresh
+        // visited list, so a summary flushed mid-walk is not mistaken
+        // for a forwarding cycle.
+        let mut pending: Vec<(Arc<Ldmsd>, StreamMessage)> = Vec::new();
+        self.walk(msg, &mut pending);
+        while !pending.is_empty() {
+            let (daemon, carried) = pending.remove(0);
+            daemon.walk(carried, &mut pending);
+        }
+    }
+
+    /// One full chain walk from this daemon, collecting side-channel
+    /// continuations into `pending`.
+    fn walk(&self, msg: StreamMessage, pending: &mut Vec<(Arc<Ldmsd>, StreamMessage)>) {
         let mut visited: Vec<*const Ldmsd> = Vec::with_capacity(4);
-        let mut hop = self.process_hop(msg, &mut visited);
+        let mut hop = self.process_hop(msg, &mut visited, pending);
         while let Some((daemon, carried)) = hop {
-            hop = daemon.process_hop(carried, &mut visited);
+            hop = daemon.process_hop(carried, &mut visited, pending);
         }
     }
 
@@ -615,11 +684,13 @@ impl Ldmsd {
     /// forward. Returns the next daemon and the carried message when
     /// the hop succeeded; `None` when the walk ends here (terminal
     /// daemon, parked for retry, attributed loss, or suppressed
-    /// duplicate).
+    /// duplicate). Messages the overload controller splits off
+    /// (summary flushes) are pushed to `pending` for fresh walks.
     fn process_hop(
         &self,
         msg: StreamMessage,
         visited: &mut Vec<*const Ldmsd>,
+        pending: &mut Vec<(Arc<Ldmsd>, StreamMessage)>,
     ) -> Option<(Arc<Ldmsd>, StreamMessage)> {
         let me = self as *const Ldmsd;
         if visited.contains(&me) {
@@ -662,18 +733,97 @@ impl Ldmsd {
                 // Terminal daemon: this is where end-to-end delivery
                 // is decided. Intermediate dispatches above are taps.
                 if fanout > 0 {
-                    self.ledger.record_delivered();
-                    if msg.replayed {
-                        self.ledger.record_recovered();
+                    if msg.is_summary() {
+                        // A delivered sketch accounts its folded mass
+                        // in the ledger's summarized column — not
+                        // delivered, not lost.
+                        self.ledger.record_summarized_n(msg.weight());
+                    } else {
+                        self.ledger.record_delivered();
+                        if msg.replayed {
+                            self.ledger.record_recovered();
+                        }
                     }
                     self.note_ingest(&msg);
                 } else {
-                    self.ledger.record_loss(&self.name, LossCause::NoSubscriber);
+                    self.ledger
+                        .record_loss_n(&self.name, LossCause::NoSubscriber, msg.weight());
                 }
                 None
             }
-            Some(up) => self.try_send(up, msg, 0, None, None, now),
+            Some(up) => {
+                let Some(ctl) = self.overload_ctl() else {
+                    return self.try_send(up, msg, 0, None, None, now);
+                };
+                let outcome = ctl.admit(msg, now);
+                for s in outcome.summaries {
+                    let at = s.recv_time.max(now);
+                    if let Some(c) = self.try_send(up, s, 0, None, None, at) {
+                        pending.push(c);
+                    }
+                }
+                if let Some((spilled, release)) = outcome.spill {
+                    self.park(
+                        up,
+                        QueueEntry {
+                            msg: spilled,
+                            attempts: 0,
+                            next_attempt: release,
+                            expire: None,
+                            cause: LossCause::Backpressure,
+                            lsn: None,
+                        },
+                        now,
+                    );
+                }
+                match outcome.forward {
+                    Some(m) => {
+                        // A paced message leaves at its service slot,
+                        // not its arrival instant.
+                        let at = m.recv_time.max(now);
+                        self.try_send(up, m, 0, None, None, at)
+                    }
+                    None => None,
+                }
+            }
         }
+    }
+
+    /// Flushes the hop's open summary sketches (if an overload
+    /// controller is attached) and forwards them upstream. Returns how
+    /// many sketches were flushed. Called when settling a campaign so
+    /// folded mass re-enters the pipeline before final accounting.
+    pub fn flush_overload(&self, now: Epoch) -> usize {
+        let Some(ctl) = self.overload_ctl() else {
+            return 0;
+        };
+        let summaries = ctl.flush_all(now);
+        if summaries.is_empty() {
+            return 0;
+        }
+        let n = summaries.len();
+        let continuations: Vec<(Arc<Ldmsd>, StreamMessage)> = {
+            let guard = self.upstream.read();
+            match guard.as_ref() {
+                Some(up) => summaries
+                    .into_iter()
+                    .filter_map(|s| self.try_send(up, s, 0, None, None, now))
+                    .collect(),
+                // A terminal daemon never folds (admission happens on
+                // the forward path), but account defensively.
+                None => {
+                    for s in summaries {
+                        self.ledger
+                            .record_loss_n(&self.name, LossCause::NoSubscriber, s.weight());
+                    }
+                    Vec::new()
+                }
+            }
+        };
+        for (target, carried) in continuations {
+            target.receive(carried);
+        }
+        n
     }
 
     /// Terminal delivery of a batch frame: decode it and deliver every
@@ -1168,6 +1318,10 @@ pub struct NetworkOpts {
     /// span log, flight recorders). `None` (the default) keeps the
     /// pipeline byte-identical to the uninstrumented build.
     pub telemetry: Option<Arc<Telemetry>>,
+    /// Attach an overload controller with this policy to every
+    /// forwarding hop (samplers and aggregators with an upstream).
+    /// `None` (the default) keeps every admission a pass-through.
+    pub overload: Option<OverloadConfig>,
 }
 
 /// Aggregated crash-recovery counters for one network (and its
@@ -1317,6 +1471,17 @@ impl LdmsNetwork {
         if let Some(tel) = &opts.telemetry {
             for d in &ordered {
                 d.attach_telemetry(tel);
+            }
+        }
+        if let Some(oc) = &opts.overload {
+            // The same seed at every hop keeps the 1-in-N keep
+            // decision consistent end-to-end (an event kept at the
+            // sampler is kept at the aggregators too); the ordinal
+            // keeps each hop's sketch sequence numbers disjoint.
+            for (i, d) in ordered.iter().enumerate() {
+                if d.upstream.read().is_some() {
+                    d.attach_overload(oc.clone(), i as u64);
+                }
             }
         }
         Self {
@@ -1483,13 +1648,40 @@ impl LdmsNetwork {
     /// ledger balances: `published == delivered + total_lost`.
     pub fn settle(&self, horizon: Epoch) -> usize {
         loop {
-            let next = self.ordered.iter().filter_map(|d| d.next_event()).min();
-            match next {
-                Some(t) if t <= horizon => self.pump(t),
-                _ => break,
+            loop {
+                let next = self.ordered.iter().filter_map(|d| d.next_event()).min();
+                match next {
+                    Some(t) if t <= horizon => self.pump(t),
+                    _ => break,
+                }
+            }
+            // Close out any open summary sketches: their folded mass
+            // re-enters the pipeline (and may park or fold again at a
+            // later hop), so drain to quiescence again until no hop
+            // holds an open sketch.
+            let flushed: usize = self.ordered.iter().map(|d| d.flush_overload(horizon)).sum();
+            if flushed == 0 {
+                break;
             }
         }
         self.ordered.iter().map(|d| d.abandon_queue()).sum()
+    }
+
+    /// Per-hop overload-controller snapshots, in topology order
+    /// (absent hops — no controller attached — are skipped).
+    pub fn overload_stats(&self) -> Vec<(String, OverloadStats)> {
+        self.ordered
+            .iter()
+            .filter_map(|d| d.overload_stats().map(|s| (d.name().to_string(), s)))
+            .collect()
+    }
+
+    /// Mirrors every hop's overload counters into the telemetry
+    /// registry (no-op without telemetry or controllers).
+    pub fn sync_overload_telemetry(&self) {
+        for d in &self.ordered {
+            d.sync_overload_telemetry();
+        }
     }
 
     /// Aggregated crash-recovery counters across every daemon and the
@@ -1523,7 +1715,7 @@ impl LdmsNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::stream::{BufferSink, MsgFormat};
+    use crate::stream::{BufferSink, MsgClass, MsgFormat};
     use iosim_time::Epoch;
 
     fn msg(producer: &str, data: &str) -> StreamMessage {
@@ -1731,6 +1923,7 @@ mod tests {
                 heartbeat: HeartbeatConfig::default(),
                 wal,
                 telemetry: None,
+                overload: None,
             },
         )
     }
@@ -1874,6 +2067,7 @@ mod tests {
                 heartbeat: HeartbeatConfig::default(),
                 wal,
                 telemetry: Some(hub.clone()),
+                overload: None,
             },
         );
         (net, hub)
@@ -1964,5 +2158,154 @@ mod tests {
         net.l2().subscribe("darshanConnector", BufferSink::new());
         net.publish(msg("nid00040", "{}"));
         assert_eq!(net.recovery_report(), RecoveryReport::default());
+    }
+
+    // ---- overload control -----------------------------------------
+
+    fn overload_net(rate: f64) -> LdmsNetwork {
+        LdmsNetwork::build_full(
+            &["nid0".into()],
+            &NetworkOpts {
+                queue: QueueConfig::reliable().with_capacity(4096),
+                overload: Some(
+                    crate::overload::OverloadConfig::for_rate(rate)
+                        .with_propagation(SimDuration::ZERO)
+                        .with_window(SimDuration::from_millis(100)),
+                ),
+                ..NetworkOpts::default()
+            },
+        )
+    }
+
+    #[test]
+    fn storm_degrades_into_summaries_and_ledger_balances() {
+        let net = overload_net(50.0);
+        let sink = BufferSink::new();
+        net.l2().subscribe("darshanConnector", sink.clone());
+        let base = Epoch::from_secs(100);
+        const N: u64 = 2000;
+        // 2000 bulk events in one virtual second: 40x the 50 msg/s
+        // service rate — deep into the Sample state.
+        for i in 0..N {
+            let at = base + SimDuration::from_micros(i * 500);
+            let m = StreamMessage::new(
+                "darshanConnector",
+                MsgFormat::Json,
+                format!("{{\"op\":\"write\",\"len\":4096,\"dur\":0.005,\"i\":{i}}}"),
+                "nid0",
+                at,
+            )
+            .with_seq(i + 1)
+            .with_origin(7, 0);
+            net.publish(m);
+        }
+        net.settle(base + SimDuration::from_secs(600));
+        let ledger = net.ledger();
+        assert_eq!(ledger.published(), N);
+        assert!(ledger.balances(), "must balance: {}", ledger.summary());
+        assert!(ledger.summarized() > 0, "a 40x storm must fold events");
+        assert!(
+            ledger.accuracy() < 1.0,
+            "accuracy below 1 when events were folded"
+        );
+        let got = sink.take();
+        assert!(got.iter().any(|m| m.is_summary()), "sketches reach L2");
+        let row_mass: u64 = got.iter().filter(|m| !m.is_summary()).count() as u64;
+        let sketch_mass: u64 = got
+            .iter()
+            .filter(|m| m.is_summary())
+            .map(|m| m.weight())
+            .sum();
+        assert_eq!(
+            row_mass + sketch_mass + ledger.total_lost(),
+            N,
+            "rows + sketch mass + losses cover every published event"
+        );
+        let hops = net.overload_stats();
+        assert!(!hops.is_empty());
+        assert!(hops.iter().any(|(_, s)| s.folded_events > 0));
+    }
+
+    #[test]
+    fn metadata_survives_a_storm_individually() {
+        let net = overload_net(50.0);
+        let sink = BufferSink::new();
+        net.l2().subscribe("darshanConnector", sink.clone());
+        let base = Epoch::from_secs(100);
+        const N: u64 = 1500;
+        for i in 0..N {
+            let at = base + SimDuration::from_micros(i * 500);
+            // Every 100th event is a metadata open/close record.
+            let class = if i % 100 == 0 {
+                MsgClass::Meta
+            } else {
+                MsgClass::Bulk
+            };
+            let m = StreamMessage::new(
+                "darshanConnector",
+                MsgFormat::Json,
+                format!("{{\"op\":\"open\",\"len\":0,\"dur\":0.001,\"i\":{i}}}"),
+                "nid0",
+                at,
+            )
+            .with_seq(i + 1)
+            .with_origin(7, 0)
+            .with_class(class);
+            net.publish(m);
+        }
+        net.settle(base + SimDuration::from_secs(600));
+        assert!(net.ledger().balances());
+        let got = sink.take();
+        let delivered_meta: Vec<u64> = got
+            .iter()
+            .filter(|m| m.class == MsgClass::Meta)
+            .filter_map(|m| m.seq)
+            .collect();
+        let expected: Vec<u64> = (0..N).filter(|i| i % 100 == 0).map(|i| i + 1).collect();
+        assert_eq!(
+            delivered_meta, expected,
+            "every metadata event delivered individually, in order"
+        );
+    }
+
+    #[test]
+    fn calm_traffic_is_untouched_by_an_attached_controller() {
+        // Two identical networks, one with a controller: under calm
+        // load the delivered rows must be byte-identical.
+        let run = |overload: bool| {
+            let net = if overload {
+                overload_net(1000.0)
+            } else {
+                LdmsNetwork::build_full(
+                    &["nid0".into()],
+                    &NetworkOpts {
+                        queue: QueueConfig::reliable().with_capacity(4096),
+                        ..NetworkOpts::default()
+                    },
+                )
+            };
+            let sink = BufferSink::new();
+            net.l2().subscribe("darshanConnector", sink.clone());
+            let base = Epoch::from_secs(100);
+            for i in 0..50u64 {
+                let at = base + SimDuration::from_millis(i * 100);
+                let m = StreamMessage::new(
+                    "darshanConnector",
+                    MsgFormat::Json,
+                    format!("{{\"len\":64,\"dur\":0.001,\"i\":{i}}}"),
+                    "nid0",
+                    at,
+                )
+                .with_seq(i + 1)
+                .with_origin(7, 0);
+                net.publish(m);
+            }
+            net.settle(base + SimDuration::from_secs(60));
+            assert!(net.ledger().balances());
+            sink.take()
+        };
+        let with = run(true);
+        let without = run(false);
+        assert_eq!(with, without, "calm load: controller is invisible");
     }
 }

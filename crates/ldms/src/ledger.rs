@@ -12,8 +12,15 @@
 //! The ledger invariant (checked by the integration and property tests):
 //!
 //! ```text
-//! published == delivered + Σ losses(hop, cause)
+//! published == delivered + Σ losses(hop, cause) + summarized
 //! ```
+//!
+//! The `summarized` column is the overload controller's mass: events
+//! that were folded into a per-(job, rank, window) summary sketch
+//! instead of being delivered individually. A delivered sketch moves
+//! its folded-event count into `summarized`; a *lost* sketch attributes
+//! the same mass to a loss bucket — either way every published event is
+//! still counted exactly once.
 //!
 //! The invariant holds once in-flight retry queues have drained — after
 //! [`crate::LdmsNetwork::settle`] — and at any quiescent instant in
@@ -52,6 +59,9 @@ pub enum LossCause {
     /// A crash-stop fault destroyed the message while it sat in a
     /// volatile retry queue with no durable WAL record covering it.
     Crash,
+    /// The overload controller spilled the message to the hop's queue
+    /// under backpressure and the run ended before it drained.
+    Backpressure,
 }
 
 impl LossCause {
@@ -65,6 +75,7 @@ impl LossCause {
             LossCause::DeadlineExceeded => "deadline-exceeded",
             LossCause::CycleDropped => "cycle-dropped",
             LossCause::Crash => "lost-crash",
+            LossCause::Backpressure => "backpressure",
         }
     }
 }
@@ -98,6 +109,7 @@ pub struct DeliveryLedger {
     delivered_keys: Mutex<HashSet<DeliveryKey>>,
     duplicates: AtomicU64,
     recovered: AtomicU64,
+    summarized: AtomicU64,
 }
 
 impl DeliveryLedger {
@@ -157,6 +169,16 @@ impl DeliveryLedger {
         self.recovered.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Counts `n` published events whose individual delivery was
+    /// replaced by a summary sketch reaching the terminal daemon. The
+    /// events were counted in `published` when they entered the
+    /// pipeline; the sketch carries their mass here instead of into
+    /// `delivered`.
+    pub(crate) fn record_summarized_n(&self, n: u64) {
+        self.summarized.fetch_add(n, Ordering::Relaxed);
+        self.debug_check_attribution();
+    }
+
     /// Attributes one lost message to `(hop, cause)`.
     pub(crate) fn record_loss(&self, hop: &str, cause: LossCause) {
         self.record_loss_n(hop, cause, 1);
@@ -182,7 +204,7 @@ impl DeliveryLedger {
     /// a concurrent publish can only widen the inequality.
     fn debug_check_attribution(&self) {
         if cfg!(debug_assertions) {
-            let accounted = self.delivered() + self.total_lost();
+            let accounted = self.delivered() + self.total_lost() + self.summarized();
             let published = self.published();
             debug_assert!(
                 published == 0 || accounted <= published,
@@ -240,10 +262,28 @@ impl DeliveryLedger {
         self.recovered.load(Ordering::Relaxed)
     }
 
+    /// Published events accounted for by a delivered summary sketch
+    /// instead of an individual row.
+    pub fn summarized(&self) -> u64 {
+        self.summarized.load(Ordering::Relaxed)
+    }
+
     /// True when every published message is accounted for — holds at
     /// any quiescent instant (no messages parked in retry queues).
     pub fn balances(&self) -> bool {
-        self.published() == self.delivered() + self.total_lost()
+        self.published() == self.delivered() + self.total_lost() + self.summarized()
+    }
+
+    /// Fraction of accounted events delivered individually rather than
+    /// summarized: `delivered / (delivered + summarized)`. `1.0` when
+    /// nothing has flowed — a calm pipeline is fully accurate.
+    pub fn accuracy(&self) -> f64 {
+        let d = self.delivered();
+        let s = self.summarized();
+        if d + s == 0 {
+            return 1.0;
+        }
+        d as f64 / (d + s) as f64
     }
 
     /// All loss buckets, sorted by hop then cause.
@@ -272,6 +312,10 @@ impl DeliveryLedger {
         );
         for r in self.report() {
             s.push_str(&format!(" [{}@{}={}]", r.cause, r.hop, r.count));
+        }
+        let sm = self.summarized();
+        if sm > 0 {
+            s.push_str(&format!(" summarized={sm}"));
         }
         let (dup, rec) = (self.duplicates(), self.recovered());
         if rec > 0 {
@@ -320,6 +364,23 @@ mod tests {
         assert!(l.try_claim_delivery((Arc::from("nid0"), 7, 0, 2)));
         l.record_recovered();
         assert_eq!(l.recovered(), 1);
+    }
+
+    #[test]
+    fn summarized_mass_balances_the_ledger() {
+        let l = DeliveryLedger::new();
+        l.record_published_n(10);
+        l.record_delivered_n(6);
+        assert!(!l.balances());
+        l.record_summarized_n(3);
+        l.record_loss("q", LossCause::Backpressure);
+        assert!(l.balances());
+        assert_eq!(l.summarized(), 3);
+        assert!((l.accuracy() - 6.0 / 9.0).abs() < 1e-12);
+        assert!(l.summary().contains("summarized=3"));
+        assert!(l.summary().contains("backpressure@q=1"));
+        let calm = DeliveryLedger::new();
+        assert!((calm.accuracy() - 1.0).abs() < f64::EPSILON);
     }
 
     #[test]

@@ -38,6 +38,13 @@
 //! [`ledger`] so a WAL replay never double-counts a row. Again all
 //! opt-in — with no crash scripted and no WAL configured, the pipeline
 //! behaves byte-identically to the best-effort default.
+//!
+//! [`overload`] closes the loop on message storms: per-hop
+//! backpressure watermarks over a fluid ingress meter, priority
+//! classes on [`stream::StreamMessage`], spill-to-WAL buffering, and
+//! accuracy-bounded adaptive sampling into first-class summary
+//! sketches — every degradation step accounted in the ledger's
+//! `summarized` column so conservation still balances exactly.
 
 #![forbid(unsafe_code)]
 
@@ -46,6 +53,7 @@ pub mod daemon;
 pub mod fault;
 pub mod heartbeat;
 pub mod ledger;
+pub mod overload;
 pub mod queue;
 pub mod sampler;
 pub mod store;
@@ -59,7 +67,8 @@ pub use fault::{FaultScript, FaultSpec, Lifecycle, SimRng};
 pub use heartbeat::HeartbeatConfig;
 pub use iosim_telemetry::{CrashDump, LatencySummary, Telemetry, TelemetryConfig};
 pub use ledger::{DeliveryKey, DeliveryLedger, LossCause, LossRecord};
+pub use overload::{OverloadConfig, OverloadController, OverloadState, OverloadStats};
 pub use queue::{OverflowPolicy, QueueConfig, RetryQueue};
-pub use stream::{MsgFormat, StreamMessage, StreamSink, StreamStats};
+pub use stream::{MsgClass, MsgFormat, StreamMessage, StreamSink, StreamStats};
 pub use transport::TransportLink;
 pub use wal::{WalConfig, WalRecord, WalStats, WriteAheadLog};

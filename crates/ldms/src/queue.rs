@@ -15,7 +15,7 @@
 
 use crate::fault::AtomicRng;
 use crate::ledger::LossCause;
-use crate::stream::StreamMessage;
+use crate::stream::{MsgClass, StreamMessage};
 use iosim_time::{Epoch, SimDuration};
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -58,6 +58,11 @@ pub struct QueueConfig {
     pub jitter: f64,
     /// Seed for the jitter RNG (reproducible schedules).
     pub seed: u64,
+    /// Shed by priority class on `DropOldest` overflow: evict the
+    /// oldest *bulk* entry first, then summaries, and metadata last.
+    /// `false` (the default) keeps strict FIFO eviction, so existing
+    /// topologies are byte-identical.
+    pub priority_shed: bool,
 }
 
 impl QueueConfig {
@@ -73,6 +78,7 @@ impl QueueConfig {
             backoff_factor: 2.0,
             jitter: 0.0,
             seed: 0,
+            priority_shed: false,
         }
     }
 
@@ -88,6 +94,7 @@ impl QueueConfig {
             backoff_factor: 2.0,
             jitter: 0.1,
             seed: 0x5EED,
+            priority_shed: false,
         }
     }
 
@@ -112,6 +119,12 @@ impl QueueConfig {
     /// Sets the jitter seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables priority-class shedding on `DropOldest` overflow.
+    pub fn with_priority_shed(mut self, on: bool) -> Self {
+        self.priority_shed = on;
         self
     }
 
@@ -223,6 +236,19 @@ impl RetryQueue {
         now + SimDuration::from_nanos(((jittered * 1e9) as u64).max(1))
     }
 
+    /// Index of the entry to evict under priority shedding: the
+    /// oldest entry of the least-protected class present — bulk
+    /// records first, then summary sketches, metadata (open/close)
+    /// last. Within a class, FIFO.
+    fn shed_victim(&self, entries: &VecDeque<QueueEntry>) -> Option<usize> {
+        for class in [MsgClass::Bulk, MsgClass::Summary, MsgClass::Meta] {
+            if let Some(i) = entries.iter().position(|e| e.msg.class == class) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
     /// Parks an entry, applying the overflow policy. Returns the
     /// entries evicted to admit it (each to be attributed by the
     /// caller), with the incoming entry itself returned if rejected.
@@ -245,7 +271,12 @@ impl RetryQueue {
             OverflowPolicy::DropOldest => {
                 let mut evicted = Vec::new();
                 while entries.len() + 1 > self.config.capacity {
-                    match entries.pop_front() {
+                    let victim = if self.config.priority_shed {
+                        self.shed_victim(&entries)
+                    } else {
+                        entries.front().map(|_| 0)
+                    };
+                    match victim.and_then(|i| entries.remove(i)) {
                         Some(mut old) => {
                             old.cause = LossCause::QueueOverflow;
                             evicted.push(old);
@@ -253,8 +284,13 @@ impl RetryQueue {
                         None => break, // capacity 0: nothing to evict
                     }
                 }
-                self.overflowed
-                    .fetch_add(evicted.len() as u64, Ordering::Relaxed);
+                // Overflow is counted in logical-message weight, so a
+                // dropped frame of N members shows up as N, matching
+                // the ledger's loss column.
+                self.overflowed.fetch_add(
+                    evicted.iter().map(|e| e.msg.weight()).sum::<u64>(),
+                    Ordering::Relaxed,
+                );
                 if self.config.capacity > 0 {
                     self.parked_total.fetch_add(1, Ordering::Relaxed);
                     entries.push_back(entry);
@@ -268,14 +304,16 @@ impl RetryQueue {
                     evicted
                 } else {
                     entry.cause = LossCause::QueueOverflow;
-                    self.overflowed.fetch_add(1, Ordering::Relaxed);
+                    self.overflowed
+                        .fetch_add(entry.msg.weight(), Ordering::Relaxed);
                     evicted.push(entry);
                     evicted
                 }
             }
             OverflowPolicy::DropNewest => {
                 entry.cause = LossCause::QueueOverflow;
-                self.overflowed.fetch_add(1, Ordering::Relaxed);
+                self.overflowed
+                    .fetch_add(entry.msg.weight(), Ordering::Relaxed);
                 debug_assert!(
                     entries.len() <= self.config.capacity,
                     "drop-newest queue grew past capacity: {} > {}",
@@ -417,6 +455,75 @@ mod tests {
         assert_eq!(got.msg.tag.as_ref(), "soon");
         assert!(q.pop_due(Epoch::from_secs(10)).is_none());
         assert_eq!(q.next_event(), Some(Epoch::from_secs(50)));
+    }
+
+    #[test]
+    fn priority_shed_evicts_bulk_before_meta() {
+        let q = RetryQueue::new(
+            QueueConfig::reliable()
+                .with_capacity(3)
+                .with_priority_shed(true),
+        );
+        let classed = |tag: &str, at: u64, class: MsgClass| {
+            let mut e = entry(tag, at);
+            e.msg.class = class;
+            e
+        };
+        q.push(classed("meta", 1, MsgClass::Meta), Epoch::from_secs(1));
+        q.push(classed("bulk-old", 2, MsgClass::Bulk), Epoch::from_secs(2));
+        q.push(classed("bulk-new", 3, MsgClass::Bulk), Epoch::from_secs(3));
+        // Oldest bulk goes first, even though the meta entry is older.
+        let evicted = q.push(classed("in1", 4, MsgClass::Bulk), Epoch::from_secs(4));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].msg.tag.as_ref(), "bulk-old");
+        // Then the remaining bulk entries, newest admission included.
+        let evicted = q.push(classed("sum", 5, MsgClass::Summary), Epoch::from_secs(5));
+        assert_eq!(evicted[0].msg.tag.as_ref(), "bulk-new");
+        let evicted = q.push(classed("in2", 6, MsgClass::Meta), Epoch::from_secs(6));
+        assert_eq!(evicted[0].msg.tag.as_ref(), "in1");
+        // No bulk left: summaries shed before metadata.
+        let evicted = q.push(classed("in3", 7, MsgClass::Meta), Epoch::from_secs(7));
+        assert_eq!(evicted[0].msg.tag.as_ref(), "sum");
+        assert_eq!(q.len(), 3);
+    }
+
+    #[test]
+    fn without_priority_shed_eviction_stays_fifo() {
+        let q = RetryQueue::new(QueueConfig::reliable().with_capacity(2));
+        let mut meta = entry("meta", 1);
+        meta.msg.class = MsgClass::Meta;
+        q.push(meta, Epoch::from_secs(1));
+        q.push(entry("bulk", 2), Epoch::from_secs(2));
+        let evicted = q.push(entry("c", 3), Epoch::from_secs(3));
+        assert_eq!(evicted[0].msg.tag.as_ref(), "meta");
+    }
+
+    #[test]
+    fn overflow_counter_is_logical_message_weight() {
+        let q = RetryQueue::new(QueueConfig::reliable().with_capacity(1));
+        let mut frame = entry("frame", 1);
+        frame.msg.batch = 16;
+        q.push(frame, Epoch::from_secs(1));
+        q.push(entry("b", 2), Epoch::from_secs(2));
+        assert_eq!(q.overflowed(), 16, "evicted frame counts its members");
+        // Capacity-0 rejection also counts weight, not frames.
+        let q0 = RetryQueue::new(QueueConfig::reliable().with_capacity(0));
+        let mut frame = entry("frame", 3);
+        frame.msg.batch = 4;
+        let evicted = q0.push(frame, Epoch::from_secs(3));
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(q0.overflowed(), 4);
+        // DropNewest likewise.
+        let qn = RetryQueue::new(
+            QueueConfig::reliable()
+                .with_capacity(1)
+                .with_policy(OverflowPolicy::DropNewest),
+        );
+        qn.push(entry("a", 4), Epoch::from_secs(4));
+        let mut frame = entry("frame", 5);
+        frame.msg.batch = 8;
+        qn.push(frame, Epoch::from_secs(5));
+        assert_eq!(qn.overflowed(), 8);
     }
 
     #[test]

@@ -16,6 +16,23 @@ pub enum MsgFormat {
     Str,
 }
 
+/// Priority class of a stream message, driving shed order under
+/// overload: bulk read/write records degrade first, summary sketches
+/// next, and metadata (open/close) events are always delivered
+/// individually.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MsgClass {
+    /// Bulk I/O records (read/write segments) — lowest priority, the
+    /// first traffic the overload controller sheds into summaries.
+    #[default]
+    Bulk,
+    /// Metadata events (open/close) — never summarized, shed last.
+    Meta,
+    /// A per-(job, rank, window) summary sketch standing in for
+    /// `summary_count` folded bulk events.
+    Summary,
+}
+
 /// One stream message in flight.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StreamMessage {
@@ -55,6 +72,13 @@ pub struct StreamMessage {
     /// of messages. `None` (the default) means untraced — the hot
     /// path skips all span recording.
     pub trace: Option<u64>,
+    /// Priority class (shed order under overload). Defaults to
+    /// [`MsgClass::Bulk`]; inert unless an overload controller or
+    /// priority-shedding queue is configured.
+    pub class: MsgClass,
+    /// For [`MsgClass::Summary`] messages: how many folded bulk events
+    /// this sketch stands in for (its ledger mass). `0` otherwise.
+    pub summary_count: u32,
 }
 
 impl StreamMessage {
@@ -79,6 +103,8 @@ impl StreamMessage {
             replayed: false,
             batch: 0,
             trace: None,
+            class: MsgClass::Bulk,
+            summary_count: 0,
         }
     }
 
@@ -102,15 +128,38 @@ impl StreamMessage {
         self
     }
 
+    /// Stamps the priority class.
+    pub fn with_class(mut self, class: MsgClass) -> Self {
+        self.class = class;
+        self
+    }
+
+    /// Marks the message as a summary sketch standing in for `n`
+    /// folded bulk events (sets the class to [`MsgClass::Summary`]).
+    pub fn with_summary_count(mut self, n: u32) -> Self {
+        self.summary_count = n;
+        self.class = MsgClass::Summary;
+        self
+    }
+
     /// True when the message is a batch frame.
     pub fn is_frame(&self) -> bool {
         self.batch > 0
     }
 
+    /// True when the message is a summary sketch.
+    pub fn is_summary(&self) -> bool {
+        self.class == MsgClass::Summary
+    }
+
     /// Logical message weight: `1` for a plain message, the record
     /// count for a batch frame (an empty frame still weighs 1 — it is
-    /// one message on the wire).
+    /// one message on the wire), and the folded-event count for a
+    /// summary sketch — the mass it carries through the ledger.
     pub fn weight(&self) -> u64 {
+        if self.class == MsgClass::Summary {
+            return u64::from(self.summary_count.max(1));
+        }
         u64::from(self.batch.max(1))
     }
 
@@ -401,6 +450,20 @@ mod tests {
         let (p, job, rank, seq) = m.delivery_key().unwrap();
         assert_eq!((p.as_ref(), job, rank, seq), ("nid00001", 99, 4, 3));
         assert!(!m.replayed);
+    }
+
+    #[test]
+    fn summary_class_carries_folded_mass_as_weight() {
+        let m = msg("t", "{}");
+        assert_eq!(m.class, MsgClass::Bulk);
+        assert_eq!(m.weight(), 1);
+        let meta = msg("t", "{}").with_class(MsgClass::Meta);
+        assert_eq!(meta.weight(), 1, "class does not change plain weight");
+        let s = msg("t", "{}").with_summary_count(17);
+        assert!(s.is_summary());
+        assert_eq!(s.weight(), 17, "a sketch weighs its folded events");
+        let empty = msg("t", "{}").with_summary_count(0);
+        assert_eq!(empty.weight(), 1, "degenerate sketch still weighs 1");
     }
 
     #[test]

@@ -110,6 +110,7 @@ fn crash_without_wal_attributes_every_lost_message() {
         slack_s: 60,
         standby: false,
         wal: None,
+        overload: None,
     };
     let (p, outcome) = run_scenario(&sc);
     check_invariants(&outcome).unwrap();
@@ -148,6 +149,7 @@ fn uncheckpointed_replay_duplicates_are_suppressed_end_to_end() {
         // durable() checkpoints every 64 completions — more than this
         // run delivers, so the crash reverts all of them.
         wal: Some(WalConfig::durable()),
+        overload: None,
     };
     let (p, outcome) = run_scenario(&sc);
     check_invariants(&outcome).unwrap();
@@ -179,6 +181,7 @@ fn terminal_crash_resumes_without_duplicates() {
         slack_s: 60,
         standby: false,
         wal: Some(WalConfig::durable()),
+        overload: None,
     };
     let (p, outcome) = run_scenario(&sc);
     check_invariants(&outcome).unwrap();

@@ -298,6 +298,7 @@ fn fault_free_scenario_is_lossless_and_gapless() {
         slack_s: 60,
         standby: false,
         wal: None,
+        overload: None,
     };
     let (p, outcome) = run_scenario(&sc);
     check_invariants(&outcome).unwrap();

@@ -4,8 +4,8 @@
 #![allow(dead_code)]
 
 use repro_suite::connector::{
-    column_id, FaultScript, OverflowPolicy, Pipeline, PipelineOpts, QueueConfig, WalConfig,
-    DEFAULT_STREAM_TAG,
+    column_id, FaultScript, OverflowPolicy, OverloadConfig, Pipeline, PipelineOpts, QueueConfig,
+    WalConfig, DEFAULT_STREAM_TAG,
 };
 use repro_suite::dsos::Value;
 use repro_suite::ldms::batch::{encode_frame, FrameRecord};
@@ -59,6 +59,9 @@ pub struct Scenario {
     pub standby: bool,
     /// Crash-durable write-ahead log attached to every hop.
     pub wal: Option<WalConfig>,
+    /// Overload controller attached to every forwarding hop (`None`
+    /// keeps the delivery path byte-identical to the seed pipeline).
+    pub overload: Option<OverloadConfig>,
 }
 
 /// What a scenario run produced, reduced to the accounting numbers the
@@ -73,9 +76,12 @@ pub struct Outcome {
     pub stored: u64,
     /// Messages the ledger attributes as lost, all hops and causes.
     pub lost: u64,
+    /// Event mass delivered at summary fidelity — bulk events the
+    /// overload sampler folded into sketches that reached the store.
+    pub summarized: u64,
     /// Sequence gaps the store detected.
     pub missing: u64,
-    /// `published == delivered + lost` per the ledger.
+    /// `published == delivered + lost + summarized` per the ledger.
     pub balances: bool,
 }
 
@@ -93,6 +99,7 @@ pub fn run_scenario(sc: &Scenario) -> (Pipeline, Outcome) {
             faults: sc.script.clone(),
             standby_l1: sc.standby,
             wal: sc.wal.clone(),
+            overload: sc.overload.clone(),
             ..PipelineOpts::default()
         },
     );
@@ -116,6 +123,7 @@ pub fn run_scenario(sc: &Scenario) -> (Pipeline, Outcome) {
         ledger_published: p.ledger().published(),
         stored: p.stored_events() as u64,
         lost: p.ledger().total_lost(),
+        summarized: p.ledger().summarized(),
         missing: p.store().total_missing(),
         balances: p.ledger().balances(),
     };
@@ -140,6 +148,7 @@ pub fn run_batched_scenario(sc: &Scenario, frame: usize) -> (Pipeline, Outcome) 
             faults: sc.script.clone(),
             standby_l1: sc.standby,
             wal: sc.wal.clone(),
+            overload: sc.overload.clone(),
             ..PipelineOpts::default()
         },
     );
@@ -180,6 +189,7 @@ pub fn run_batched_scenario(sc: &Scenario, frame: usize) -> (Pipeline, Outcome) 
         ledger_published: p.ledger().published(),
         stored: p.stored_events() as u64,
         lost: p.ledger().total_lost(),
+        summarized: p.ledger().summarized(),
         missing: p.store().total_missing(),
         balances: p.ledger().balances(),
     };
@@ -197,20 +207,23 @@ pub fn check_invariants(o: &Outcome) -> Result<(), String> {
     }
     if !o.balances {
         return Err(format!(
-            "ledger does not balance: published={} stored={} lost={}",
-            o.published, o.stored, o.lost
+            "ledger does not balance: published={} stored={} lost={} summarized={}",
+            o.published, o.stored, o.lost, o.summarized
         ));
     }
-    if o.stored + o.lost != o.published {
+    if o.stored + o.lost + o.summarized != o.published {
         return Err(format!(
-            "published ({}) != stored ({}) + attributed losses ({})",
-            o.published, o.stored, o.lost
+            "published ({}) != stored ({}) + attributed losses ({}) + summarized ({})",
+            o.published, o.stored, o.lost, o.summarized
         ));
     }
-    if o.missing > o.lost {
+    // Folded events vanish from the store's per-publisher sequence
+    // space just like lost ones — gap detection cannot claim more
+    // missing than the ledger accounts for either way.
+    if o.missing > o.lost + o.summarized {
         return Err(format!(
-            "gap detection reports {} missing but only {} were lost",
-            o.missing, o.lost
+            "gap detection reports {} missing but only {} were lost and {} summarized",
+            o.missing, o.lost, o.summarized
         ));
     }
     Ok(())
@@ -273,6 +286,20 @@ pub fn random_scenario(seed: u64) -> Scenario {
         // tail, which must then be attributed, not replayed.
         _ => Some(WalConfig::durable().with_fsync_every(8)),
     };
+    // Overload controller on half the scenarios: scenarios publish at
+    // ~100 msg/s per node, so a service rate drawn from 5..55 msg/s is
+    // heavily oversubscribed (the ladder must escalate into sampling)
+    // while 500+ msg/s never leaves Normal — both paths must conserve.
+    let overload = match rng.next_u64() % 4 {
+        0 | 1 => None,
+        2 => Some(
+            OverloadConfig::for_rate(5.0 + (rng.next_u64() % 50) as f64)
+                .with_window(SimDuration::from_millis(50 + rng.next_u64() % 200)),
+        ),
+        _ => Some(OverloadConfig::for_rate(
+            500.0 + (rng.next_u64() % 1000) as f64,
+        )),
+    };
     // Fault windows overlap the publish span (10 ms per message step).
     let span_ms = msgs_per_node * 10 + 10;
     let mut script = FaultScript::new();
@@ -302,5 +329,6 @@ pub fn random_scenario(seed: u64) -> Scenario {
         slack_s: 60,
         standby,
         wal,
+        overload,
     }
 }

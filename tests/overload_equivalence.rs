@@ -1,0 +1,203 @@
+//! Differential suite for the overload-control layer.
+//!
+//! Two obligations, mirroring `batching_equivalence.rs`:
+//!
+//! 1. **Disabled ⇒ byte-identical.** A pipeline with no overload
+//!    controller, and one whose controller is so generously provisioned
+//!    it never leaves `Normal`, must store exactly the same rows in the
+//!    same order and report identical ledger counters.
+//! 2. **Storms ⇒ exact coverage.** Under an oversubscribed controller,
+//!    every published event is covered exactly once: as an individual
+//!    DSOS row, inside exactly one summary sketch's folded count, or as
+//!    a ledger-attributed loss. Checked calm, through a link outage,
+//!    and through a crash-stop — batched and unbatched.
+
+mod fault_common;
+
+use fault_common::{base_epoch, check_invariants, check_no_duplicate_rows, Scenario};
+use repro_suite::connector::{
+    column_id, summary_column_id, FaultScript, OverloadConfig, Pipeline, QueueConfig, WalConfig,
+};
+use repro_suite::dsos::Value;
+use repro_suite::simtime::SimDuration;
+use std::collections::HashMap;
+
+/// An overload policy the scenario workload (100 msg/s per node)
+/// oversubscribes roughly 7×: the ladder must escalate into sampling.
+fn storm_policy() -> OverloadConfig {
+    OverloadConfig::for_rate(15.0).with_window(SimDuration::from_millis(100))
+}
+
+fn storm_scenario(script: FaultScript, wal: Option<WalConfig>) -> Scenario {
+    Scenario {
+        nodes: 2,
+        msgs_per_node: 300,
+        queue: QueueConfig::reliable().with_capacity(4096),
+        script,
+        slack_s: 120,
+        standby: false,
+        wal,
+        overload: Some(storm_policy()),
+    }
+}
+
+/// Event mass held at summary fidelity per rank, from the summary
+/// container's own rows.
+fn sketch_mass_by_rank(p: &Pipeline) -> HashMap<u64, u64> {
+    let mut mass: HashMap<u64, u64> = HashMap::new();
+    for row in p.summaries_of_job(7) {
+        let rank = match row[summary_column_id("rank")] {
+            Value::U64(r) => r,
+            ref v => panic!("non-u64 summary rank: {v:?}"),
+        };
+        let count = match row[summary_column_id("count")] {
+            Value::U64(c) => c,
+            ref v => panic!("non-u64 summary count: {v:?}"),
+        };
+        *mass.entry(rank).or_default() += count;
+    }
+    mass
+}
+
+fn rows_by_rank(p: &Pipeline) -> HashMap<u64, u64> {
+    let mut rows: HashMap<u64, u64> = HashMap::new();
+    for row in p.events_of_job(7) {
+        let rank = match row[column_id("rank")] {
+            Value::U64(r) => r,
+            ref v => panic!("non-u64 rank: {v:?}"),
+        };
+        *rows.entry(rank).or_default() += 1;
+    }
+    rows
+}
+
+/// Coverage obligations common to every storm run: the ledger
+/// conservation law, store-side sketch mass agreeing with the ledger's
+/// `summarized` column, and no duplicate rows.
+fn check_storm_coverage(p: &Pipeline, o: &fault_common::Outcome) {
+    check_invariants(o).unwrap();
+    check_no_duplicate_rows(p, 7).unwrap();
+    assert!(o.summarized > 0, "a 7x-oversubscribed run must summarize");
+    assert_eq!(
+        p.store().summary_events(),
+        o.summarized,
+        "ledger summarized mass must equal the mass the store ingested"
+    );
+    assert_eq!(
+        o.stored + o.lost + o.summarized,
+        o.published,
+        "rows + sketch mass + losses must cover every published event"
+    );
+}
+
+// --- 1. disabled / never-escalating ⇒ byte-identical -------------------
+
+#[test]
+fn generous_controller_is_byte_identical_to_none() {
+    let calm = |overload: Option<OverloadConfig>| {
+        let mut sc = storm_scenario(FaultScript::new(), None);
+        sc.overload = overload;
+        fault_common::run_scenario(&sc)
+    };
+    let (p_none, o_none) = calm(None);
+    // Service rate 1e9 msg/s: the fluid meter never accumulates depth,
+    // the ladder never leaves Normal, nothing is paced or folded.
+    let (p_ctl, o_ctl) = calm(Some(OverloadConfig::for_rate(1e9)));
+    assert_eq!(o_ctl.published, o_none.published);
+    assert_eq!(o_ctl.stored, o_none.stored);
+    assert_eq!(o_ctl.lost, o_none.lost);
+    assert_eq!(o_ctl.summarized, 0);
+    assert_eq!(o_none.summarized, 0);
+    assert_eq!(
+        p_ctl.events_of_job(7),
+        p_none.events_of_job(7),
+        "an idle controller must not perturb a single stored row"
+    );
+    assert_eq!(p_ctl.stored_summaries(), 0);
+}
+
+// --- 2. storms ⇒ rows ∪ summaries ∪ losses cover exactly once ----------
+
+#[test]
+fn calm_storm_covers_every_event_exactly_once_unbatched() {
+    let sc = storm_scenario(FaultScript::new(), None);
+    let (p, o) = fault_common::run_scenario(&sc);
+    check_storm_coverage(&p, &o);
+    assert_eq!(o.lost, 0, "no faults: degradation must not drop anything");
+    // Per-rank exactly-once: with zero losses, each rank's individual
+    // rows plus its sketches' folded counts reconstruct its publish
+    // count exactly.
+    let rows = rows_by_rank(&p);
+    let sketches = sketch_mass_by_rank(&p);
+    for rank in 0..sc.nodes {
+        let covered =
+            rows.get(&rank).copied().unwrap_or(0) + sketches.get(&rank).copied().unwrap_or(0);
+        assert_eq!(
+            covered, sc.msgs_per_node,
+            "rank {rank}: rows + sketch mass must equal its published count"
+        );
+    }
+}
+
+#[test]
+fn calm_storm_covers_every_event_exactly_once_batched() {
+    let sc = storm_scenario(FaultScript::new(), None);
+    let (p, o) = fault_common::run_batched_scenario(&sc, 5);
+    check_storm_coverage(&p, &o);
+    assert_eq!(o.lost, 0);
+    let rows = rows_by_rank(&p);
+    let sketches = sketch_mass_by_rank(&p);
+    for rank in 0..sc.nodes {
+        let covered =
+            rows.get(&rank).copied().unwrap_or(0) + sketches.get(&rank).copied().unwrap_or(0);
+        assert_eq!(covered, sc.msgs_per_node, "rank {rank} under batching");
+    }
+}
+
+fn outage_script() -> FaultScript {
+    let base = base_epoch();
+    FaultScript::new().link_flap(
+        "l1",
+        base + SimDuration::from_millis(500),
+        base + SimDuration::from_millis(1500),
+    )
+}
+
+#[test]
+fn storm_through_link_outage_stays_covered_unbatched() {
+    let sc = storm_scenario(outage_script(), None);
+    let (p, o) = fault_common::run_scenario(&sc);
+    check_storm_coverage(&p, &o);
+}
+
+#[test]
+fn storm_through_link_outage_stays_covered_batched() {
+    let sc = storm_scenario(outage_script(), None);
+    let (p, o) = fault_common::run_batched_scenario(&sc, 5);
+    check_storm_coverage(&p, &o);
+}
+
+fn crash_script() -> FaultScript {
+    let base = base_epoch();
+    FaultScript::new().crash(
+        "l1",
+        base + SimDuration::from_millis(800),
+        base + SimDuration::from_millis(1800),
+    )
+}
+
+#[test]
+fn storm_through_crash_stays_covered_unbatched() {
+    // A WAL makes the crash interesting: spilled entries journaled at
+    // park time replay on restart instead of dying with the daemon.
+    let sc = storm_scenario(crash_script(), Some(WalConfig::durable()));
+    let (p, o) = fault_common::run_scenario(&sc);
+    check_storm_coverage(&p, &o);
+}
+
+#[test]
+fn storm_through_crash_stays_covered_batched() {
+    let sc = storm_scenario(crash_script(), Some(WalConfig::durable()));
+    let (p, o) = fault_common::run_batched_scenario(&sc, 5);
+    check_storm_coverage(&p, &o);
+}
