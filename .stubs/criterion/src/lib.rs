@@ -1,3 +1,194 @@
-//! Empty offline stand-in for `criterion`. Bench targets are not built
-//! by `cargo build`/`cargo test`; this exists only so dependency
-//! resolution succeeds offline.
+//! Minimal offline stand-in for `criterion`, API-compatible with the
+//! subset the `crates/bench/benches/*` targets use: `Criterion`,
+//! `BenchmarkGroup` (`sample_size` / `bench_function` /
+//! `bench_with_input` / `finish`), `Bencher` (`iter` /
+//! `iter_batched_ref`), `BenchmarkId`, `BatchSize`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Each routine is warmed once and timed over a small fixed iteration
+//! count with `std::time::Instant`, printing a single mean-time line —
+//! enough for `cargo bench` to smoke-run and for
+//! `cargo clippy --all-targets` to build the bench targets offline,
+//! with no statistics, plotting, or CLI surface.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// How `iter_batched*` amortizes setup; only the variants the benches
+/// name. The stub re-runs setup per batch regardless of the hint.
+pub enum BatchSize {
+    /// Small per-iteration input: large batches in real criterion.
+    SmallInput,
+    /// Large per-iteration input: small batches in real criterion.
+    LargeInput,
+    /// Setup re-run before every routine call.
+    PerIteration,
+}
+
+/// A `group/function/parameter` benchmark label.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Labels the benchmark `<function_name>/<parameter>`.
+    pub fn new<S: Display, P: Display>(function_name: S, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Labels the benchmark with the parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything `bench_function` accepts as a label.
+pub trait IntoBenchmarkId {
+    /// The rendered label.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        report(self.iters, start);
+    }
+
+    /// Times `routine` against a fresh `setup()` value each iteration.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        let mut input = setup();
+        std::hint::black_box(routine(&mut input)); // warm-up, untimed
+        let mut elapsed = std::time::Duration::ZERO;
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(&mut input));
+            elapsed += start.elapsed();
+            drop(input);
+        }
+        let mean_ns = elapsed.as_nanos() / u128::from(self.iters.max(1));
+        println!("    time: ~{mean_ns} ns/iter ({} iters)", self.iters);
+    }
+}
+
+fn report(iters: u64, start: Instant) {
+    let mean_ns = start.elapsed().as_nanos() / u128::from(iters.max(1));
+    println!("    time: ~{mean_ns} ns/iter ({iters} iters)");
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Scales the stub's fixed iteration count (real criterion's
+    /// statistical sample count has no offline equivalent).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Runs one benchmark routine.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        println!("{}/{}", self.name, id.into_id());
+        f(&mut Bencher { iters: self.iters });
+        self
+    }
+
+    /// Runs one benchmark routine against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        println!("{}/{}", self.name, id.id);
+        f(&mut Bencher { iters: self.iters }, input);
+        self
+    }
+
+    /// Ends the group (no-op offline).
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            iters: 30,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's simple
+/// `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,25 +1,40 @@
-//! `iolint` CLI: static topology validation and stored-trace linting.
+//! `iolint` CLI: static topology validation, whole-pipeline flow
+//! analysis, and stored-trace linting.
 //!
 //! ```text
-//! iolint [--json|--table] [-A CODE] [-W CODE] [-D CODE] topo <conf-file>...
-//! iolint [--json|--table] [-A CODE] [-W CODE] [-D CODE] trace <csv-file>...
+//! iolint [--format text|table|json] [-A CODE] [-W CODE] [-D CODE] topo <conf-file>...
+//! iolint [--format ...] [--storm N] [--duration S] analyze <conf-file>...
+//! iolint [--format ...] [-A CODE] [-W CODE] [-D CODE] trace <csv-file>...
 //! ```
 //!
 //! `topo` lints declarative topology conf files (see the `iolint`
-//! crate docs for the format); `trace` lints Figure 3 CSV exports (24
-//! columns in schema order, optional header row). `-A`/`-W`/`-D`
-//! re-level a lint by code (`TOP004`) or name (`missing-subscriber`).
+//! crate docs for the format); `analyze` additionally runs the flow
+//! solver — an abstract interpretation of the runtime's fluid model —
+//! and prints the per-hop worst-case bound table plus the network
+//! verdict (FLOW001–FLOW004 fire from the solver; the pre-solver
+//! heuristics downgrade to advisories). `trace` lints Figure 3 CSV
+//! exports (24 columns in schema order, optional header row).
+//! `-A`/`-W`/`-D` re-level a lint by code (`TOP004`) or name
+//! (`missing-subscriber`). `--storm`/`--duration` override the conf's
+//! `workload` directive for what-if sweeps.
+//!
+//! A conf that fails to parse renders as a `CONF001` diagnostic with
+//! the offending line, in whichever output format was selected.
 //!
 //! Exit status: 0 when every file is clean or carries only warnings,
-//! 1 when any error-severity diagnostic fires, 2 on usage, I/O, or
-//! parse errors.
+//! 1 when any error-severity diagnostic fires, 2 on usage or I/O
+//! errors. (`--json` / `--table` remain accepted as aliases for
+//! `--format json` / `--format table`.)
 
 use darshan_ldms_connector::COLUMNS;
-use iolint::{check_topology, check_trace, parse_conf, LintConfig, TraceEvent, TraceLintOpts};
+use iolint::{
+    check_flow, check_topology, check_trace, effective_workload, parse_conf, ConfError, Diagnostic,
+    LintConfig, Report, TraceEvent, TraceLintOpts,
+};
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: iolint [--json|--table] [-A CODE] [-W CODE] [-D CODE] <topo|trace> <file>...";
+const USAGE: &str = "usage: iolint [--format text|table|json] [-A CODE] [-W CODE] [-D CODE] \
+                     [--storm N] [--duration S] <topo|analyze|trace> <file>...";
 
 enum Output {
     Text,
@@ -32,17 +47,41 @@ struct Cli {
     config: LintConfig,
     mode: String,
     files: Vec<String>,
+    storm: Option<f64>,
+    duration: Option<f64>,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut output = Output::Text;
     let mut config = LintConfig::new();
     let mut rest = Vec::new();
+    let mut storm = None;
+    let mut duration = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => output = Output::Json,
             "--table" => output = Output::Table,
+            "--format" => {
+                let f = it.next().ok_or("--format needs text|table|json")?;
+                output = match f.as_str() {
+                    "text" => Output::Text,
+                    "table" => Output::Table,
+                    "json" => Output::Json,
+                    other => return Err(format!("unknown format `{other}` (text|table|json)")),
+                };
+            }
+            "--storm" => {
+                let v = it.next().ok_or("--storm needs a multiplier")?;
+                storm = Some(v.parse::<f64>().map_err(|_| format!("bad --storm: {v}"))?);
+            }
+            "--duration" => {
+                let v = it.next().ok_or("--duration needs seconds")?;
+                duration = Some(
+                    v.parse::<f64>()
+                        .map_err(|_| format!("bad --duration: {v}"))?,
+                );
+            }
             "-A" | "--allow" | "-W" | "--warn" | "-D" | "--deny" => {
                 let code = it.next().ok_or_else(|| format!("{a} needs a lint code"))?;
                 let level = match a.as_str() {
@@ -60,7 +99,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         .split_first()
         .ok_or_else(|| USAGE.to_string())
         .map(|(m, f)| (m.clone(), f.to_vec()))?;
-    if mode != "topo" && mode != "trace" {
+    if mode != "topo" && mode != "trace" && mode != "analyze" {
         return Err(format!("unknown mode `{mode}`\n{USAGE}"));
     }
     if files.is_empty() {
@@ -71,6 +110,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         config,
         mode,
         files,
+        storm,
+        duration,
     })
 }
 
@@ -103,6 +144,15 @@ fn read_trace_csv(text: &str) -> Result<Vec<TraceEvent>, (usize, String)> {
     Ok(events)
 }
 
+/// A parse failure rendered through the normal diagnostic pipeline, so
+/// `--format json` consumers never have to scrape stderr.
+fn conf_error_report(e: &ConfError, config: &LintConfig) -> Report {
+    let d = Diagnostic::new(&iolint::diag::CONF001, "conf", e.msg.clone())
+        .with_line(e.line)
+        .with_help("fix the conf syntax; no other lint can run until it parses");
+    Report::new(vec![d], config)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
@@ -122,32 +172,57 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
-        let report = if cli.mode == "topo" {
-            match parse_conf(&text) {
+        let mut flow_rendering: Option<String> = None;
+        let report = match cli.mode.as_str() {
+            "topo" => match parse_conf(&text) {
                 Ok(spec) => check_topology(&spec, &cli.config),
-                Err(e) => {
-                    eprintln!("iolint: {file}: {e}");
-                    return ExitCode::from(2);
+                Err(e) => conf_error_report(&e, &cli.config),
+            },
+            "analyze" => match parse_conf(&text) {
+                Ok(spec) => {
+                    let mut w = effective_workload(&spec);
+                    if let Some(s) = cli.storm {
+                        w.storm = s.max(0.0);
+                    }
+                    if let Some(d) = cli.duration {
+                        w.duration_s = d.max(0.0);
+                    }
+                    let (report, flow) = check_flow(&spec, Some(&w), &cli.config);
+                    flow_rendering = Some(match cli.output {
+                        Output::Json => flow.render_json(),
+                        _ => flow.render_table(),
+                    });
+                    report
                 }
-            }
-        } else {
-            match read_trace_csv(&text) {
+                Err(e) => conf_error_report(&e, &cli.config),
+            },
+            _ => match read_trace_csv(&text) {
                 Ok(events) => check_trace(&events, &TraceLintOpts::default(), &cli.config),
                 Err((line, msg)) => {
                     eprintln!("iolint: {file}:{line}: {msg}");
                     return ExitCode::from(2);
                 }
-            }
+            },
         };
         any_error |= report.has_errors();
         match cli.output {
-            Output::Json => println!("{}", report.render_json()),
+            Output::Json => match flow_rendering {
+                // One object per file: {"flow": ..., "report": ...}.
+                Some(flow) => println!("{{\"flow\":{flow},\"report\":{}}}", report.render_json()),
+                None => println!("{}", report.render_json()),
+            },
             Output::Table => {
                 println!("== {file}");
+                if let Some(flow) = &flow_rendering {
+                    print!("{flow}");
+                }
                 print!("{}", report.render_table());
             }
             Output::Text => {
                 println!("== {file}");
+                if let Some(flow) = &flow_rendering {
+                    print!("{flow}");
+                }
                 print!("{}", report.render_text());
             }
         }

@@ -37,6 +37,7 @@ pub mod cost;
 pub mod message;
 pub mod pipeline;
 pub mod schema;
+pub mod workload;
 
 pub use connector::{ConnectorConfig, ConnectorStats, DarshanConnector, DeliveryMode, FormatMode};
 pub use cost::CostModel;
@@ -51,6 +52,7 @@ pub use schema::{
     column_id, darshan_schema, summary_column_id, summary_schema, DsosStreamStore, GapReport,
     COLUMNS, CONTAINER, SUMMARY_COLUMNS, SUMMARY_CONTAINER,
 };
+pub use workload::WorkloadSpec;
 
 /// The stream tag the connector publishes under ("the Darshan-LDMS
 /// Connector currently uses a single unique LDMS Stream tag",

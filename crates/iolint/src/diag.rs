@@ -159,6 +159,41 @@ lint!(
     "a hop's adaptive-sampling watermark sits at or beyond its queue capacity; drops begin before sampling can engage"
 );
 lint!(
+    FLOW001,
+    "FLOW001",
+    "predicted-unrecoverable-loss",
+    Error,
+    "the flow solver proves the declared workload must lose messages at this hop"
+);
+lint!(
+    FLOW002,
+    "FLOW002",
+    "accuracy-below-floor",
+    Error,
+    "the flow solver's worst-case accuracy bound falls below the declared accuracy floor"
+);
+lint!(
+    FLOW003,
+    "FLOW003",
+    "wal-overflow-under-crash-window",
+    Warning,
+    "the flow solver's WAL high-water bound reaches capacity inside a scheduled crash window"
+);
+lint!(
+    FLOW004,
+    "FLOW004",
+    "latency-budget-statically-violated",
+    Warning,
+    "the flow solver's end-to-end latency bound exceeds the declared latency budget"
+);
+lint!(
+    CONF001,
+    "CONF001",
+    "conf-parse-error",
+    Error,
+    "the conf file does not parse; no other lint can run"
+);
+lint!(
     TRC001,
     "TRC001",
     "unmatched-open",
@@ -226,7 +261,8 @@ lint!(
 /// pass, `TRC*` codes from the trace pass.
 pub const REGISTRY: &[LintCode] = &[
     TOP001, TOP002, TOP003, TOP004, TOP005, TOP006, TOP007, TOP008, TOP009, TOP010, TOP011, TOP012,
-    TOP013, TRC001, TRC002, TRC003, TRC004, TRC005, TRC006, TRC007, TRC008, TRC009,
+    TOP013, FLOW001, FLOW002, FLOW003, FLOW004, CONF001, TRC001, TRC002, TRC003, TRC004, TRC005,
+    TRC006, TRC007, TRC008, TRC009,
 ];
 
 /// Looks a lint up by code (`"TOP001"`, case-insensitive) or by name
@@ -250,6 +286,9 @@ pub struct Diagnostic {
     pub message: String,
     /// Optional remediation hint.
     pub help: Option<String>,
+    /// 1-based conf-file line the finding anchors to, when it came
+    /// from a parsed conf and the subject has a known declaration.
+    pub line: Option<usize>,
 }
 
 impl Diagnostic {
@@ -265,6 +304,7 @@ impl Diagnostic {
             subject: subject.into(),
             message: message.into(),
             help: None,
+            line: None,
         }
     }
 
@@ -279,6 +319,13 @@ impl Diagnostic {
     #[must_use]
     pub fn with_help(mut self, help: impl Into<String>) -> Self {
         self.help = Some(help.into());
+        self
+    }
+
+    /// Anchors the finding to a conf-file line (1-based).
+    #[must_use]
+    pub fn with_line(mut self, line: usize) -> Self {
+        self.line = Some(line);
         self
     }
 }
@@ -430,7 +477,14 @@ impl Report {
         let mut out = String::new();
         for d in &self.diags {
             let _ = writeln!(out, "{}[{}]: {}", d.severity, d.code.code, d.message);
-            let _ = writeln!(out, "  --> {}", d.subject);
+            match d.line {
+                Some(line) => {
+                    let _ = writeln!(out, "  --> {} (line {line})", d.subject);
+                }
+                None => {
+                    let _ = writeln!(out, "  --> {}", d.subject);
+                }
+            }
             if let Some(h) = &d.help {
                 let _ = writeln!(out, "  = help: {h}");
             }
@@ -477,6 +531,9 @@ impl Report {
             w.field_str("message", &d.message);
             if let Some(h) = &d.help {
                 w.field_str("help", h);
+            }
+            if let Some(line) = d.line {
+                w.field_uint("line", line as u64);
             }
             w.end_object();
         }

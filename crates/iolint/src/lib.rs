@@ -1,19 +1,31 @@
 //! `iolint` — a diagnostics framework for the Darshan-LDMS pipeline.
 //!
-//! Two passes, one report format:
+//! Three passes, one report format:
 //!
-//! * **Topology** (`TOP001`–`TOP010`): static validation of an
-//!   aggregation topology — forwarding cycles, orphan samplers,
-//!   unreachable stores, missing subscribers, queue-capacity and
-//!   retry-deadline feasibility against scheduled downtime, duplicate
-//!   producer names, and Table I schema coverage. Runs on a live
+//! * **Topology** (`TOP001`–`TOP013`): static validation of an
+//!   aggregation topology's *shape* — forwarding cycles, orphan
+//!   samplers, unreachable stores, missing subscribers, queue-capacity
+//!   and retry-deadline feasibility against scheduled downtime,
+//!   duplicate producer names, Table I schema coverage,
+//!   single-point-of-failure aggregators, WAL and sampling-watermark
+//!   sizing. Runs on a live
 //!   [`Pipeline`]/[`LdmsNetwork`](ldms_sim::daemon::LdmsNetwork)
 //!   *before* any message flows, or on a declarative conf file in CI.
-//! * **Trace** (`TRC001`–`TRC008`): linting of stored `darshan_data`
+//! * **Flow** (`FLOW001`–`FLOW004`): a whole-pipeline abstract
+//!   interpretation ([`analyze_flow`]) deriving sound per-hop
+//!   worst-case bounds — peak queue depth, spill volume, WAL
+//!   high-water, loss ceiling *and* guaranteed-loss floor,
+//!   summarization mass, end-to-end latency — under the conf's fault
+//!   script and workload envelope, with solver-backed lints for
+//!   provable loss, accuracy-floor breaches, crash-window WAL
+//!   overflow, and latency-budget violations. Conf parse failures
+//!   surface as `CONF001` with the offending line.
+//! * **Trace** (`TRC001`–`TRC009`): linting of stored `darshan_data`
 //!   rows — unmatched opens/closes, impossible or overlapping
 //!   durations, timestamp regressions, sequence gaps the delivery
-//!   ledger cannot explain, and the I/O anti-patterns (tiny unaligned
-//!   writes, rank stragglers) the paper diagnoses at run time.
+//!   ledger cannot explain, latency-budget breaches, and the I/O
+//!   anti-patterns (tiny unaligned writes, rank stragglers) the paper
+//!   diagnoses at run time.
 //!
 //! Diagnostics carry stable codes with rustc-style `allow`/`warn`/
 //! `deny` configuration ([`LintConfig`]) and render as plain text, a
@@ -41,11 +53,15 @@
 #![allow(clippy::too_many_lines)] // lint_topology/lint_trace are deliberately single linear sweeps
 
 pub mod diag;
+pub mod flow;
 pub mod topology;
 pub mod trace;
 
 pub use diag::{
     find_lint, Diagnostic, LintCode, LintConfig, LintLevel, Report, Severity, REGISTRY,
+};
+pub use flow::{
+    analyze_flow, effective_workload, lint_flow, soften_heuristics, FlowReport, HopBounds,
 };
 pub use topology::{
     lint_topology, parse_conf, ConfError, DaemonSpec, OutageKind, OutageSpec, OverloadSpec, Role,
@@ -76,6 +92,24 @@ pub fn check_pipeline_topology(
 ) -> Report {
     let spec = TopologySpec::from_pipeline(p, tag, faults);
     Report::new(lint_topology(&spec), config)
+}
+
+/// Whole-pipeline flow analysis: runs the abstract interpreter over
+/// the spec's workload envelope (or `workload`, when given), folds the
+/// solver-backed FLOW lints together with the topology pass — with the
+/// pre-solver heuristics (TOP005/TOP012/TOP013) downgraded to
+/// advisories that defer to the solver verdict — and returns both the
+/// configured [`Report`] and the bound table.
+pub fn check_flow(
+    spec: &TopologySpec,
+    workload: Option<&darshan_ldms_connector::WorkloadSpec>,
+    config: &LintConfig,
+) -> (Report, flow::FlowReport) {
+    let flow_report = analyze_flow(spec, workload);
+    let mut diags = lint_topology(spec);
+    soften_heuristics(&mut diags, &flow_report);
+    diags.extend(lint_flow(spec, &flow_report));
+    (Report::new(diags, config), flow_report)
 }
 
 /// Runs the trace pass over a slice of decoded events (no gap

@@ -31,6 +31,7 @@
 //! flap voltrino-head 10 20        # its upstream link down [10, 20)
 //! crash voltrino-head 100 130     # crash-stop: volatile state destroyed
 //! schema module uid ProducerName ...
+//! workload duration=120 start=0 rate=100 storm=1 accuracy-floor=0.9 latency-budget=30
 //! ```
 //!
 //! `daemon` starts a section; the indented attribute lines apply to
@@ -54,9 +55,18 @@
 //! hop's queue capacity — the queue overflows (or its deadline
 //! expires) before sampling can ever engage, so the run sheds
 //! messages instead of degrading accuracy.
+//!
+//! `workload duration=S [start=S rate=HZ storm=X accuracy-floor=F
+//! latency-budget=S]` declares the offered-load envelope the flow
+//! solver ([`crate::flow::analyze_flow`]) analyzes against: `rate`
+//! is the per-sampler default publish rate (a sampler's own `rate`
+//! wins), `storm` a uniform load multiplier, and the floor/budget
+//! keys arm the solver-backed `FLOW002`/`FLOW004` lints. Without the
+//! directive the solver assumes a default envelope stretched to cover
+//! every scheduled fault window.
 
 use crate::diag::{self, Diagnostic, Severity};
-use darshan_ldms_connector::{Pipeline, COLUMNS};
+use darshan_ldms_connector::{Pipeline, WorkloadSpec, COLUMNS};
 use iosim_time::{Epoch, SimDuration};
 use ldms_sim::daemon::{DaemonRole, LdmsNetwork};
 use ldms_sim::fault::{FaultScript, FaultSpec};
@@ -129,8 +139,13 @@ pub struct DaemonSpec {
     /// this. Conf-file only, like `rate_hz`.
     pub batch: Option<u64>,
     /// Overload-control ladder guarding the hop, when declared
-    /// (enables `TOP013`). Conf-file only, like `rate_hz`.
+    /// (enables `TOP013`). Populated from conf files *and*, since the
+    /// flow solver, from live networks via `Ldmsd::overload_config`.
     pub overload: Option<OverloadSpec>,
+    /// Conf line the daemon was declared on (1-based), when the spec
+    /// came from `parse_conf`. Lets diagnostics point back into the
+    /// file; `None` for specs lifted from live networks.
+    pub line: Option<usize>,
 }
 
 impl DaemonSpec {
@@ -148,6 +163,7 @@ impl DaemonSpec {
             rate_hz: None,
             batch: None,
             overload: None,
+            line: None,
         }
     }
 
@@ -192,6 +208,15 @@ pub struct TopologySpec {
     pub schema_columns: Option<Vec<String>>,
     /// Scheduled downtime windows (enables `TOP005` / `TOP009`).
     pub outages: Vec<OutageSpec>,
+    /// Daemons whose upstream link drops traffic *silently*
+    /// (probabilistic loss / drop-every faults). Unlike downtime
+    /// windows these consume retry attempts with pure backoff, so the
+    /// flow solver treats the whole offered load through such a hop
+    /// as at-risk.
+    pub lossy_links: Vec<String>,
+    /// Campaign envelope the flow solver evaluates the topology
+    /// against (`workload` conf directive / harness-supplied).
+    pub workload: Option<WorkloadSpec>,
 }
 
 impl TopologySpec {
@@ -202,6 +227,8 @@ impl TopologySpec {
             stream_tag: tag.to_string(),
             schema_columns: None,
             outages: Vec::new(),
+            lossy_links: Vec::new(),
+            workload: None,
         }
     }
 
@@ -235,7 +262,11 @@ impl TopologySpec {
                     subscribers: vec![tag.to_string(); n],
                     rate_hz: None,
                     batch: None,
-                    overload: None,
+                    overload: d.overload_config().map(|c| OverloadSpec {
+                        service_rate: c.service_rate,
+                        sample_watermark: c.sample_watermark,
+                    }),
+                    line: None,
                 }
             })
             .collect();
@@ -244,6 +275,8 @@ impl TopologySpec {
             stream_tag: tag.to_string(),
             schema_columns: None,
             outages: Vec::new(),
+            lossy_links: Vec::new(),
+            workload: None,
         };
         spec.absorb_faults(faults);
         spec
@@ -289,7 +322,18 @@ impl TopologySpec {
                     at,
                     restart,
                 } => (daemon, OutageKind::Crash, *at, *restart),
-                FaultSpec::LinkLossProb { .. } | FaultSpec::LinkDropEvery { .. } => continue,
+                FaultSpec::LinkLossProb { daemon, .. }
+                | FaultSpec::LinkDropEvery { daemon, .. } => {
+                    // No downtime window, but the hop can silently eat
+                    // any message: record it so the flow solver puts
+                    // the full offered load at risk there.
+                    if let Some(component) = self.resolve_alias(daemon) {
+                        if !self.lossy_links.contains(&component) {
+                            self.lossy_links.push(component);
+                        }
+                    }
+                    continue;
+                }
             };
             if let Some(component) = self.resolve_alias(name) {
                 self.outages.push(OutageSpec {
@@ -374,7 +418,12 @@ pub fn parse_conf(text: &str) -> Result<TopologySpec, ConfError> {
                     "l2" | "aggregator-l2" => Role::AggregatorL2,
                     r => return Err(err(format!("unknown role: {r}"))),
                 };
-                spec.daemons.push(DaemonSpec::new(name, role));
+                if spec.daemons.iter().any(|d| d.name == name) {
+                    return Err(err(format!("duplicate daemon name: {name}")));
+                }
+                let mut d = DaemonSpec::new(name, role);
+                d.line = Some(line_no);
+                spec.daemons.push(d);
                 current = Some(spec.daemons.len() - 1);
             }
             "upstream" | "standby" | "link" | "rate" | "batch" | "subscribe" | "queue" | "wal"
@@ -458,6 +507,9 @@ pub fn parse_conf(text: &str) -> Result<TopologySpec, ConfError> {
             "schema" => {
                 spec.schema_columns = Some(toks[1..].iter().map(|s| (*s).to_string()).collect());
             }
+            "workload" => {
+                spec.workload = Some(parse_workload(&toks[1..], line_no)?);
+            }
             other => return Err(err(format!("unknown directive: {other}"))),
         }
     }
@@ -485,6 +537,42 @@ fn resolve_after_parse(daemons: &[DaemonSpec], name: &str) -> Option<String> {
         .iter()
         .find(|d| d.role == role)
         .map(|d| d.name.clone())
+}
+
+fn parse_workload(kvs: &[&str], line: usize) -> Result<WorkloadSpec, ConfError> {
+    let mut w = WorkloadSpec::default();
+    for kv in kvs {
+        let (k, v) = kv.split_once('=').ok_or(ConfError {
+            line,
+            msg: format!("workload setting must be key=value: {kv}"),
+        })?;
+        match k {
+            "duration" => w.duration_s = parse_f64(v, line, "workload duration")?.max(0.0),
+            "start" => w.start_s = parse_f64(v, line, "workload start")?.max(0.0),
+            "storm" => w.storm = parse_f64(v, line, "workload storm")?.max(0.0),
+            "rate" => w.default_rate_hz = parse_f64(v, line, "workload rate")?.max(0.0),
+            "accuracy-floor" => {
+                let f = parse_f64(v, line, "workload accuracy-floor")?;
+                if !(0.0..=1.0).contains(&f) {
+                    return Err(ConfError {
+                        line,
+                        msg: format!("workload accuracy-floor must be in [0, 1]: {v}"),
+                    });
+                }
+                w.accuracy_floor = Some(f);
+            }
+            "latency-budget" => {
+                w.latency_budget_s = Some(parse_f64(v, line, "workload latency-budget")?.max(0.0));
+            }
+            other => {
+                return Err(ConfError {
+                    line,
+                    msg: format!("unknown workload setting: {other}"),
+                })
+            }
+        }
+    }
+    Ok(w)
 }
 
 fn parse_wal(kvs: &[&str], line: usize) -> Result<usize, ConfError> {
@@ -621,7 +709,7 @@ fn parse_queue(kvs: &[&str], line: usize) -> Result<QueueConfig, ConfError> {
 }
 
 /// Where a forwarding walk ends.
-enum WalkEnd {
+pub(crate) enum WalkEnd {
     /// Reached a daemon with no upstream.
     Terminal(usize),
     /// Re-entered a daemon already on the walk.
@@ -632,7 +720,7 @@ enum WalkEnd {
 
 /// Follows the upstream chain from `start`; returns every daemon index
 /// on the path (including `start`) plus how the walk ended.
-fn walk(
+pub(crate) fn walk(
     daemons: &[DaemonSpec],
     by_name: &HashMap<&str, usize>,
     start: usize,

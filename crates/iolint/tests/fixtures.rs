@@ -94,7 +94,29 @@ fn top006_deadline_infeasible() {
 
 #[test]
 fn top007_duplicate_daemon() {
-    assert_only(include_str!("fixtures/top007_duplicate.conf"), "TOP007");
+    // `parse_conf` now rejects duplicate names outright (CONF-level,
+    // with a line number), so the spec-level lint is exercised the way
+    // it fires in practice: on an IR assembled programmatically (e.g.
+    // lifted from a live network with colliding producer names).
+    use iolint::{DaemonSpec, Role, TopologySpec};
+    let mut spec = TopologySpec::new(DEFAULT_STREAM_TAG);
+    let mut s1 = DaemonSpec::new("nid00040", Role::Sampler);
+    s1.upstream = Some("shirley-agg".into());
+    let mut s2 = DaemonSpec::new("nid00040", Role::Sampler);
+    s2.upstream = Some("shirley-agg".into());
+    let mut agg = DaemonSpec::new("shirley-agg", Role::AggregatorL2);
+    agg.subscribers.push(DEFAULT_STREAM_TAG.into());
+    spec.daemons.extend([s1, s2, agg]);
+    let report = check_topology(&spec, &LintConfig::new());
+    let codes: Vec<&str> = report.codes().into_iter().collect();
+    assert_eq!(codes, vec!["TOP007"], "report:\n{}", report.render_text());
+
+    // And the conf route reports the duplicate as a parse error on the
+    // re-declaring line.
+    let err = parse_conf(include_str!("fixtures/top007_duplicate.conf"))
+        .expect_err("duplicate daemon name must not parse");
+    assert_eq!(err.line, 4);
+    assert!(err.msg.contains("duplicate daemon name"), "{}", err.msg);
 }
 
 #[test]

@@ -1,0 +1,148 @@
+//! Schema snapshot for the machine-readable output.
+//!
+//! `iolint --format json` is consumed by CI scripts and dashboards, so
+//! its shape is a public contract: this test pins the exact key sets
+//! of the report object, its diagnostic entries, and the flow solver's
+//! bound report. Growing the schema (new optional keys) is a deliberate
+//! act — update the snapshots here alongside the docs — and removing
+//! or renaming keys is a breaking change this test turns into a loud
+//! failure instead of a silent downstream parse error.
+
+use iolint::{check_flow, parse_conf, LintConfig};
+use iosim_util::json::{parse, JsonValue};
+
+/// A conf that exercises every optional field at once: a workload with
+/// floors and budgets (so those keys render), a WAL (so hop WAL bounds
+/// render), an outage (so loss onsets render), and a guaranteed-lossy
+/// best-effort sampler (so FLOW001 renders with a conf line).
+const CONF: &str = "\
+workload duration=10 start=100 rate=100 accuracy-floor=0.9 latency-budget=30
+daemon n1 sampler
+  upstream agg
+  queue capacity=8 attempts=1
+daemon agg l2
+  subscribe darshanConnector
+  wal capacity=4096
+outage agg 102 104
+";
+
+fn keys(v: &JsonValue) -> Vec<&str> {
+    v.as_object()
+        .expect("object")
+        .keys()
+        .map(String::as_str)
+        .collect()
+}
+
+#[test]
+fn report_json_schema_is_stable() {
+    let spec = parse_conf(CONF).unwrap();
+    let (report, _) = check_flow(&spec, None, &LintConfig::new());
+    let v = parse(&report.render_json()).expect("report JSON parses");
+
+    assert_eq!(keys(&v), ["diagnostics", "errors", "warnings"]);
+    let diags = v.get("diagnostics").unwrap().as_array().unwrap();
+    assert!(!diags.is_empty(), "the fixture must produce diagnostics");
+    for d in diags {
+        // Required keys, always present...
+        for k in ["code", "name", "severity", "subject", "message"] {
+            assert!(d.get(k).is_some(), "diagnostic missing `{k}`: {d}");
+        }
+        // ...and nothing outside the documented vocabulary.
+        for k in keys(d) {
+            assert!(
+                ["code", "name", "severity", "subject", "message", "help", "line"].contains(&k),
+                "undocumented diagnostic key `{k}`"
+            );
+        }
+        let sev = d.get("severity").unwrap().as_str().unwrap();
+        assert!(["error", "warning"].contains(&sev), "bad severity {sev}");
+    }
+    // The best-effort hop fires FLOW001, anchored at its conf line.
+    let flow001 = diags
+        .iter()
+        .find(|d| d.get("code").unwrap().as_str() == Some("FLOW001"))
+        .expect("fixture fires FLOW001");
+    assert_eq!(flow001.get("line").unwrap().as_u64(), Some(2));
+}
+
+#[test]
+fn flow_json_schema_is_stable() {
+    let spec = parse_conf(CONF).unwrap();
+    let (_, flow) = check_flow(&spec, None, &LintConfig::new());
+    let v = parse(&flow.render_json()).expect("flow JSON parses");
+
+    assert_eq!(keys(&v), ["hops", "network", "workload"]);
+
+    let w = v.get("workload").unwrap();
+    assert_eq!(
+        keys(w),
+        [
+            "accuracy_floor",
+            "duration_s",
+            "latency_budget_s",
+            "start_s",
+            "storm"
+        ]
+    );
+
+    let hops = v.get("hops").unwrap().as_array().unwrap();
+    assert!(!hops.is_empty());
+    for h in hops {
+        for k in [
+            "daemon",
+            "target",
+            "offered",
+            "rate_hz",
+            "peak_queue_frames",
+            "spill_ceiling",
+            "loss_ceiling",
+            "guaranteed_loss",
+            "summarized_ceiling",
+            "latency_s",
+        ] {
+            assert!(h.get(k).is_some(), "hop missing `{k}`: {h}");
+        }
+        for k in keys(h) {
+            assert!(
+                [
+                    "daemon",
+                    "target",
+                    "offered",
+                    "rate_hz",
+                    "peak_queue_frames",
+                    "spill_ceiling",
+                    "wal_high_water",
+                    "loss_ceiling",
+                    "guaranteed_loss",
+                    "loss_onset_s",
+                    "summarized_ceiling",
+                    "latency_s",
+                ]
+                .contains(&k),
+                "undocumented hop key `{k}`"
+            );
+        }
+    }
+    // The outage makes the sampler hop lose for sure: its optional
+    // onset key must render.
+    assert!(
+        hops.iter().any(|h| h.get("loss_onset_s").is_some()),
+        "fixture must produce a loss onset"
+    );
+
+    let n = v.get("network").unwrap();
+    assert_eq!(
+        keys(n),
+        [
+            "accuracy_floor",
+            "e2e_latency_s",
+            "guaranteed_loss",
+            "loss_ceiling",
+            "published",
+            "summarized_ceiling",
+            "verdict"
+        ]
+    );
+    assert!(n.get("published").unwrap().as_f64().unwrap() > 0.0);
+}

@@ -296,6 +296,13 @@ impl Ldmsd {
         self.overload_ctl().map(|c| c.stats())
     }
 
+    /// The overload policy guarding this hop, if one is attached.
+    /// Static analysis introspects the live ladder (service rate,
+    /// watermarks, window) instead of guessing from conf defaults.
+    pub fn overload_config(&self) -> Option<OverloadConfig> {
+        self.overload_ctl().map(|c| c.config().clone())
+    }
+
     /// Mirrors the overload controller's counters into the telemetry
     /// registry's gauges (no-op unless both are attached). Called at
     /// report/exposition points, not per admission.

@@ -132,6 +132,22 @@ impl QueueConfig {
     pub fn retries_enabled(&self) -> bool {
         self.max_attempts > 1
     }
+
+    /// Virtual time the retry schedule spans with zero jitter: the sum
+    /// of every backoff interval a message consumes before exhausting
+    /// its attempt budget, each clamped to `max_backoff`. Static
+    /// analysis scales this by `1 ± jitter/2` to bracket the seeded
+    /// schedules the queue actually draws.
+    pub fn backoff_coverage(&self) -> SimDuration {
+        let mut total = 0.0f64;
+        for attempt in 1..self.max_attempts {
+            let exp = attempt.saturating_sub(1).min(32);
+            let base =
+                self.base_backoff.as_secs_f64() * self.backoff_factor.max(1.0).powi(exp as i32);
+            total += base.min(self.max_backoff.as_secs_f64());
+        }
+        SimDuration::from_secs_f64(total)
+    }
 }
 
 impl Default for QueueConfig {

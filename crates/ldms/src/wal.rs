@@ -141,6 +141,10 @@ pub struct WalStats {
     /// Volatile completion marks reverted by crashes (each becomes a
     /// duplicate send the delivery path suppresses).
     pub reverted_completions: u64,
+    /// Most live (pending) records ever held at once — the log's
+    /// high-water mark, for sizing `capacity` against worst-case
+    /// static bounds.
+    pub high_water: u64,
 }
 
 /// A bounded, crash-consistent write-ahead log for one hop's retry
@@ -157,6 +161,7 @@ pub struct WriteAheadLog {
     replayed: AtomicU64,
     dropped_unsynced: AtomicU64,
     reverted_completions: AtomicU64,
+    high_water: AtomicU64,
 }
 
 impl WriteAheadLog {
@@ -172,6 +177,7 @@ impl WriteAheadLog {
             replayed: AtomicU64::new(0),
             dropped_unsynced: AtomicU64::new(0),
             reverted_completions: AtomicU64::new(0),
+            high_water: AtomicU64::new(0),
         }
     }
 
@@ -209,6 +215,8 @@ impl WriteAheadLog {
             completed: false,
         });
         self.appended.fetch_add(1, Ordering::Relaxed);
+        self.high_water
+            .fetch_max(inner.slots.len() as u64, Ordering::Relaxed);
         inner.appends_since_fsync += 1;
         if inner.appends_since_fsync >= self.config.fsync_every.max(1) {
             Self::fsync_locked(&mut inner, &self.fsyncs);
@@ -324,6 +332,7 @@ impl WriteAheadLog {
             replayed: self.replayed.load(Ordering::Relaxed),
             dropped_unsynced: self.dropped_unsynced.load(Ordering::Relaxed),
             reverted_completions: self.reverted_completions.load(Ordering::Relaxed),
+            high_water: self.high_water.load(Ordering::Relaxed),
         }
     }
 }
@@ -418,5 +427,6 @@ mod tests {
         assert_eq!(wal.stats().rejected_full, 1);
         wal.complete_durable(0);
         assert!(wal.append(&msg("c"), 1).is_some(), "space reclaimed");
+        assert_eq!(wal.stats().high_water, 2, "peak live records, not total");
     }
 }

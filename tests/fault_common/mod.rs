@@ -11,6 +11,7 @@ use repro_suite::dsos::Value;
 use repro_suite::ldms::batch::{encode_frame, FrameRecord};
 use repro_suite::ldms::{MsgFormat, SimRng, StreamMessage};
 use repro_suite::simtime::{Epoch, SimDuration};
+use repro_suite::telemetry::TelemetryConfig;
 use std::collections::HashSet;
 
 /// The stream tag scenarios publish under.
@@ -85,11 +86,11 @@ pub struct Outcome {
     pub balances: bool,
 }
 
-/// Runs a scenario to quiescence and returns the pipeline (for
-/// cause/hop-level queries) plus the reduced outcome.
-pub fn run_scenario(sc: &Scenario) -> (Pipeline, Outcome) {
+/// Assembles a scenario's pipeline, optionally with self-telemetry
+/// (tracing every message, so latency percentiles are exact).
+fn build_pipeline(sc: &Scenario, telemetry: bool) -> Pipeline {
     let nodes = node_names(sc.nodes);
-    let p = Pipeline::build_with(
+    Pipeline::build_with(
         &nodes,
         &PipelineOpts {
             dsosd_count: 1,
@@ -100,9 +101,15 @@ pub fn run_scenario(sc: &Scenario) -> (Pipeline, Outcome) {
             standby_l1: sc.standby,
             wal: sc.wal.clone(),
             overload: sc.overload.clone(),
+            telemetry: telemetry.then(TelemetryConfig::trace_all),
             ..PipelineOpts::default()
         },
-    );
+    )
+}
+
+/// Publishes the scenario workload one message per wire frame.
+fn publish_unbatched(p: &Pipeline, sc: &Scenario) -> u64 {
+    let nodes = node_names(sc.nodes);
     let base = base_epoch();
     let mut published = 0u64;
     for i in 0..sc.msgs_per_node {
@@ -117,8 +124,12 @@ pub fn run_scenario(sc: &Scenario) -> (Pipeline, Outcome) {
             published += 1;
         }
     }
-    p.settle(base + SimDuration::from_secs(sc.slack_s));
-    let outcome = Outcome {
+    published
+}
+
+/// Reduces a settled pipeline to the accounting numbers.
+fn reduce_outcome(p: &Pipeline, published: u64) -> Outcome {
+    Outcome {
         published,
         ledger_published: p.ledger().published(),
         stored: p.stored_events() as u64,
@@ -126,7 +137,16 @@ pub fn run_scenario(sc: &Scenario) -> (Pipeline, Outcome) {
         summarized: p.ledger().summarized(),
         missing: p.store().total_missing(),
         balances: p.ledger().balances(),
-    };
+    }
+}
+
+/// Runs a scenario to quiescence and returns the pipeline (for
+/// cause/hop-level queries) plus the reduced outcome.
+pub fn run_scenario(sc: &Scenario) -> (Pipeline, Outcome) {
+    let p = build_pipeline(sc, false);
+    let published = publish_unbatched(&p, sc);
+    p.settle(base_epoch() + SimDuration::from_secs(sc.slack_s));
+    let outcome = reduce_outcome(&p, published);
     (p, outcome)
 }
 
@@ -136,22 +156,33 @@ pub fn run_scenario(sc: &Scenario) -> (Pipeline, Outcome) {
 /// framing the connector produces. The outcome stays in *logical*
 /// messages: a dropped frame counts every record it carried.
 pub fn run_batched_scenario(sc: &Scenario, frame: usize) -> (Pipeline, Outcome) {
+    let p = build_pipeline(sc, false);
+    let published = publish_batched(&p, sc, frame);
+    p.settle(base_epoch() + SimDuration::from_secs(sc.slack_s));
+    let outcome = reduce_outcome(&p, published);
+    (p, outcome)
+}
+
+/// Runs a scenario with self-telemetry enabled (every message traced),
+/// batched when `frame` is given — for harnesses that gate observed
+/// queue depths, WAL high-water marks, and latency percentiles against
+/// static predictions.
+pub fn run_instrumented_scenario(sc: &Scenario, frame: Option<usize>) -> (Pipeline, Outcome) {
+    let p = build_pipeline(sc, true);
+    let published = match frame {
+        Some(f) => publish_batched(&p, sc, f),
+        None => publish_unbatched(&p, sc),
+    };
+    p.settle(base_epoch() + SimDuration::from_secs(sc.slack_s));
+    let outcome = reduce_outcome(&p, published);
+    (p, outcome)
+}
+
+/// Publishes the scenario workload coalesced into `frame`-record wire
+/// frames (the framing `run_batched_scenario` documents).
+fn publish_batched(p: &Pipeline, sc: &Scenario, frame: usize) -> u64 {
     assert!(frame >= 1);
     let nodes = node_names(sc.nodes);
-    let p = Pipeline::build_with(
-        &nodes,
-        &PipelineOpts {
-            dsosd_count: 1,
-            tag: TAG.to_string(),
-            attach_store: true,
-            queue: sc.queue.clone(),
-            faults: sc.script.clone(),
-            standby_l1: sc.standby,
-            wal: sc.wal.clone(),
-            overload: sc.overload.clone(),
-            ..PipelineOpts::default()
-        },
-    );
     let base = base_epoch();
     let mut published = 0u64;
     for (n_idx, name) in nodes.iter().enumerate() {
@@ -183,17 +214,7 @@ pub fn run_batched_scenario(sc: &Scenario, frame: usize) -> (Pipeline, Outcome) 
         }
         flush(&mut records, last_t);
     }
-    p.settle(base + SimDuration::from_secs(sc.slack_s));
-    let outcome = Outcome {
-        published,
-        ledger_published: p.ledger().published(),
-        stored: p.stored_events() as u64,
-        lost: p.ledger().total_lost(),
-        summarized: p.ledger().summarized(),
-        missing: p.store().total_missing(),
-        balances: p.ledger().balances(),
-    };
-    (p, outcome)
+    published
 }
 
 /// The end-to-end loss-accounting invariants every scenario must
