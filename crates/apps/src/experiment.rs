@@ -4,9 +4,10 @@ use crate::platform::{FsChoice, Platform};
 use crate::stack::DarshanStack;
 use crate::workloads::Workload;
 use darshan_ldms_connector::{
-    BatchConfig, ConnectorConfig, DarshanConnector, DeliveryMode, FaultScript, HeartbeatConfig,
-    LatencySummary, OverloadConfig, Pipeline, PipelineOpts, QueueConfig, RecoveryReport,
-    TelemetryConfig, WalConfig, DEFAULT_STREAM_TAG,
+    darshan_schema, BatchConfig, Completeness, ConnectorConfig, CsvImportReport, DarshanConnector,
+    DeliveryMode, FaultScript, HeartbeatConfig, LatencySummary, OverloadConfig, Pipeline,
+    PipelineOpts, QueueConfig, RecoveryReport, ReplicationConfig, TelemetryConfig, WalConfig,
+    CONTAINER, DEFAULT_STREAM_TAG,
 };
 use darshan_sim::log::write_log;
 use darshan_sim::runtime::JobMeta;
@@ -87,6 +88,17 @@ pub struct RunSpec {
     /// (`None` by default — storms degrade exactly as the paper's
     /// best-effort pipeline would).
     pub overload: Option<OverloadConfig>,
+    /// Replication factor for the DSOS cluster (`1` by default — the
+    /// paper's unreplicated deployment).
+    pub replicas: usize,
+    /// Write quorum for replicated ingest (`None` = majority of
+    /// `replicas`).
+    pub write_quorum: Option<usize>,
+    /// CSV rows (LDMS CSV-store format, one field per schema column)
+    /// imported into the event container before the run. Empty by
+    /// default; the per-reason import report lands in
+    /// [`RunResult::csv_import`].
+    pub csv_seed: Vec<Vec<String>>,
 }
 
 impl RunSpec {
@@ -111,6 +123,9 @@ impl RunSpec {
             telemetry: None,
             latency_budget_s: None,
             overload: None,
+            replicas: 1,
+            write_quorum: None,
+            csv_seed: Vec::new(),
         }
     }
 
@@ -204,6 +219,38 @@ impl RunSpec {
         self
     }
 
+    /// Sets the DSOS replication factor (majority write quorum unless
+    /// [`RunSpec::with_write_quorum`] overrides it).
+    pub fn with_replication(mut self, replicas: usize) -> Self {
+        self.replicas = replicas;
+        self
+    }
+
+    /// Sets the write quorum for replicated ingest.
+    pub fn with_write_quorum(mut self, quorum: usize) -> Self {
+        self.write_quorum = Some(quorum);
+        self
+    }
+
+    /// Seeds the event container from CSV rows before the run.
+    pub fn with_csv_seed(mut self, rows: Vec<Vec<String>>) -> Self {
+        self.csv_seed = rows;
+        self
+    }
+
+    /// The effective replication policy for the run's DSOS cluster.
+    pub fn replication(&self) -> ReplicationConfig {
+        let base = if self.replicas <= 1 {
+            ReplicationConfig::none()
+        } else {
+            ReplicationConfig::new(self.replicas)
+        };
+        match self.write_quorum {
+            Some(q) => base.with_quorum(q),
+            None => base,
+        }
+    }
+
     /// Sets the connector's frame-batching policy. No-op for
     /// Darshan-only baselines (they publish nothing).
     pub fn with_batch(mut self, batch: BatchConfig) -> Self {
@@ -280,6 +327,14 @@ pub struct RunResult {
     /// Hop-level latency digest over the sampled traces (empty unless
     /// the spec enabled telemetry).
     pub latency: LatencySummary,
+    /// Post-settle completeness report for the event container:
+    /// quorum-acked rows, rows provably unavailable under the fault
+    /// schedule, per-shard liveness (`None` for baselines and unstored
+    /// runs).
+    pub completeness: Option<Completeness>,
+    /// Per-reason accounting for the pre-run CSV seed import (`None`
+    /// unless the spec carried `csv_seed` rows).
+    pub csv_import: Option<CsvImportReport>,
 }
 
 /// Runs one job to completion through the full stack.
@@ -301,10 +356,22 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
                 wal: spec.wal.clone(),
                 telemetry: spec.telemetry,
                 overload: spec.overload.clone(),
+                replication: spec.replication(),
             },
         ))
     } else {
         None
+    };
+
+    // Seed the event container from CSV rows (the LDMS CSV-store
+    // import path) before any stream message flows.
+    let csv_import = match pipeline.as_ref() {
+        Some(p) if !spec.csv_seed.is_empty() => Some(p.cluster().import_csv_rows(
+            CONTAINER,
+            &darshan_schema(),
+            &spec.csv_seed,
+        )),
+        _ => None,
     };
 
     // Pre-flight: statically validate the topology (including the
@@ -384,15 +451,21 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
     // minute of virtual time past job end, abandoning (and attributing)
     // whatever cannot be delivered by then. After this the delivery
     // ledger balances exactly. A no-op for fault-free best-effort runs.
+    let horizon =
+        spec.epoch_base + SimDuration::from_secs_f64(runtime_s) + SimDuration::from_secs(60);
     let (messages_lost, messages_summarized, accuracy) =
         pipeline.as_ref().map_or((0, 0, 1.0), |p| {
-            let horizon = spec.epoch_base
-                + SimDuration::from_secs_f64(runtime_s)
-                + SimDuration::from_secs(60);
             p.settle(horizon);
             let ledger = p.ledger();
             (ledger.total_lost(), ledger.summarized(), ledger.accuracy())
         });
+
+    // Post-settle completeness: what fraction of the quorum-acked rows
+    // a degraded query can still prove reachable.
+    let completeness = match pipeline.as_ref() {
+        Some(p) if spec.store => Some(p.store_completeness(horizon)),
+        _ => None,
+    };
 
     // Distill the sampled traces into a per-run latency digest before
     // linting, so the budget check sees the settled pipeline.
@@ -459,6 +532,8 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
         trace_report,
         recovery,
         latency,
+        completeness,
+        csv_import,
     }
 }
 
@@ -657,6 +732,87 @@ mod tests {
         );
         assert_eq!(deferred.messages_lost, 0);
         assert!(deferred.pipeline.as_ref().unwrap().ledger().balances());
+    }
+
+    #[test]
+    fn replicated_run_stores_once_and_reports_complete() {
+        let app = MpiIoTest::tiny(false);
+        let plain = run_job(
+            &app,
+            &RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default()).with_store(true),
+        );
+        let repl = run_job(
+            &app,
+            &RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+                .with_store(true)
+                .with_replication(2),
+        );
+        // R=2 dedups at query time: same logical rows as the seed run.
+        assert_eq!(
+            repl.pipeline.as_ref().unwrap().stored_events(),
+            plain.pipeline.as_ref().unwrap().stored_events()
+        );
+        let c = repl.completeness.as_ref().unwrap();
+        assert!(c.is_complete(), "fault-free run must be complete: {c:?}");
+        assert_eq!(c.acked_rows, repl.messages);
+        assert_eq!(
+            plain.completeness.as_ref().unwrap().acked_rows,
+            plain.messages
+        );
+    }
+
+    #[test]
+    fn dsosd_crash_with_replication_loses_no_acked_rows() {
+        let app = MpiIoTest::tiny(false);
+        let crash_at = Epoch::from_secs(1_650_000_000);
+        let spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+            .with_store(true)
+            .with_replication(2)
+            .with_write_quorum(1)
+            .with_faults(
+                FaultScript::new()
+                    .crash_dsosd("dsosd-0", crash_at + SimDuration::from_millis(1))
+                    .restart_dsosd("dsosd-0", crash_at + SimDuration::from_secs(30)),
+            );
+        let r = run_job(&app, &spec);
+        let p = r.pipeline.as_ref().unwrap();
+        let c = r.completeness.as_ref().unwrap();
+        assert!(c.is_complete(), "R=2 must survive one dsosd crash: {c:?}");
+        assert_eq!(c.acked_rows, r.messages);
+        assert_eq!(p.stored_events() as u64, r.messages);
+        assert_eq!(p.ledger().store_acked(), r.messages);
+    }
+
+    #[test]
+    fn csv_seed_import_reports_per_reason_skips() {
+        let app = MpiIoTest::tiny(false);
+        let schema = darshan_schema();
+        // One parseable row, one arity miss, one parse failure (uid
+        // column is not a u64).
+        let mut good: Vec<String> = Vec::new();
+        for (_, ty) in darshan_ldms_connector::COLUMNS {
+            good.push(match ty {
+                dsos_sim::Type::Str => "x".to_string(),
+                dsos_sim::Type::F64 => "0.5".to_string(),
+                _ => "7".to_string(),
+            });
+        }
+        assert_eq!(good.len(), schema.attrs().len());
+        let mut bad_parse = good.clone();
+        bad_parse[1] = "not-a-u64".to_string();
+        let spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+            .with_store(true)
+            .with_csv_seed(vec![good, vec!["short".to_string()], bad_parse]);
+        let r = run_job(&app, &spec);
+        let report = r.csv_import.as_ref().unwrap();
+        assert_eq!(report.imported, 1);
+        assert_eq!(report.skipped_arity, 1);
+        assert_eq!(report.skipped_parse, 1);
+        assert_eq!(report.rejected, 0);
+        assert_eq!(
+            r.pipeline.as_ref().unwrap().stored_events() as u64,
+            r.messages + 1
+        );
     }
 
     #[test]

@@ -20,6 +20,13 @@
 //!   Passes only if the ledger balances exactly, nothing is silently
 //!   dropped, the sampler actually degraded into sketches, and every
 //!   metadata (open/close) event was delivered individually.
+//! - `crash-dsosd`: a storage backend (`dsosd-0`) crash-stops mid-run
+//!   and restarts 20 virtual seconds later. With `--replicas 2` the
+//!   drill passes only if the completeness report proves zero
+//!   acknowledged-row loss, zero duplicates, and the anti-entropy pass
+//!   actually rebuilt rows; with `--replicas 1` it passes only if the
+//!   provably-unavailable mass exactly balances the ledger's
+//!   acknowledged count.
 //!
 //! The drill emits a recovery report (WAL replays, failover latency in
 //! virtual time, suppressed duplicates) and the ledger accounting.
@@ -40,13 +47,14 @@ use iosim_util::JsonWriter;
 use ldms_sim::SimRng;
 use std::process::ExitCode;
 
-const USAGE: &str =
-    "usage: chaos [--json] [--seed N] <crash-compute|crash-aggregator|crash-store|flapping-link|storm>";
+const USAGE: &str = "usage: chaos [--json] [--seed N] [--replicas R] \
+     <crash-compute|crash-aggregator|crash-store|crash-dsosd|flapping-link|storm>";
 
-const SCENARIOS: [&str; 5] = [
+const SCENARIOS: [&str; 6] = [
     "crash-compute",
     "crash-aggregator",
     "crash-store",
+    "crash-dsosd",
     "flapping-link",
     "storm",
 ];
@@ -54,12 +62,14 @@ const SCENARIOS: [&str; 5] = [
 struct Cli {
     json: bool,
     seed: u64,
+    replicas: usize,
     scenario: String,
 }
 
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut json = false;
     let mut seed = 0u64;
+    let mut replicas = 2usize;
     let mut scenario: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -68,6 +78,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed needs a value")?;
                 seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--replicas" => {
+                let v = it.next().ok_or("--replicas needs a value")?;
+                replicas = v
+                    .parse()
+                    .ok()
+                    .filter(|&r| r >= 1)
+                    .ok_or(format!("bad replicas `{v}` (want >= 1)"))?;
             }
             // `--chaos <scenario>` is accepted as an alias for the
             // positional form, so `repro-bench --chaos crash-store`
@@ -85,6 +103,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     Ok(Cli {
         json,
         seed,
+        replicas,
         scenario,
     })
 }
@@ -277,6 +296,141 @@ fn storm_drill(cli: &Cli) -> ExitCode {
     }
 }
 
+/// The `crash-dsosd` drill: HACC-IO against a 4-backend DSOS cluster
+/// with `--replicas` copies per row (write quorum 1), `dsosd-0`
+/// crash-stopping at a seed-derived mid-run instant and restarting 20
+/// virtual seconds later. The LDMS tier stays fault-free so every
+/// discrepancy is attributable to the storage tier.
+fn crash_dsosd_drill(cli: &Cli) -> ExitCode {
+    let app = HaccIo::tiny();
+    let base_spec = || {
+        let mut s = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+            .with_store(true)
+            .with_replication(cli.replicas)
+            .with_write_quorum(1)
+            .with_telemetry(TelemetryConfig::metrics_only());
+        s.dsosd = 4;
+        s
+    };
+    // Probe run: fault-free runtime places the crash window mid-run.
+    let probe = run_job(&app, &base_spec());
+    let mut rng = SimRng::new(cli.seed ^ 0xD505_D0D0);
+    let epoch = base_spec().epoch_base;
+    let crash_at =
+        epoch + SimDuration::from_secs_f64(probe.runtime_s * (0.2 + 0.4 * rng.next_f64()));
+    let restart_at = crash_at + SimDuration::from_secs(20);
+    let faults = FaultScript::new()
+        .crash_dsosd("dsosd-0", crash_at)
+        .restart_dsosd("dsosd-0", restart_at);
+
+    let r = run_job(&app, &base_spec().with_faults(faults));
+    let p = r.pipeline.as_ref().expect("connector run has a pipeline");
+    let c = r
+        .completeness
+        .as_ref()
+        .expect("stored run has completeness");
+    let stored = p.stored_events() as u64;
+    let acked = p.ledger().store_acked();
+    let rebuilt = p.cluster().rebuild_count();
+    let balanced = p.ledger().balances();
+
+    let mut failures: Vec<String> = Vec::new();
+    if !balanced {
+        failures.push("delivery ledger does not balance".to_string());
+    }
+    if c.acked_rows != acked {
+        failures.push(format!(
+            "completeness acked {} != ledger store_acked {acked}",
+            c.acked_rows
+        ));
+    }
+    if stored + c.unavailable != c.acked_rows {
+        failures.push(format!(
+            "accounting hole: stored {stored} + unavailable {} != acked {}",
+            c.unavailable, c.acked_rows
+        ));
+    }
+    if cli.replicas >= 2 {
+        // One crash against R >= 2: the report must prove zero
+        // acknowledged-row loss, every published row queryable exactly
+        // once, and the anti-entropy pass must actually have rebuilt.
+        if !c.is_complete() {
+            failures.push(format!(
+                "R={} must survive one dsosd crash, but {} acked row(s) are unavailable",
+                cli.replicas, c.unavailable
+            ));
+        }
+        if c.acked_rows != r.messages {
+            failures.push(format!(
+                "every published row must be quorum-acked: acked {} != published {}",
+                c.acked_rows, r.messages
+            ));
+        }
+        if stored != r.messages {
+            failures.push(format!(
+                "post-recovery query must return every row exactly once: stored {stored}, \
+                 published {}",
+                r.messages
+            ));
+        }
+        if rebuilt == 0 {
+            failures.push("anti-entropy rebuilt nothing; the crash window missed the run".into());
+        }
+    } else {
+        // Unreplicated: the crashed backend's pre-crash mass must be
+        // reported as provably unavailable — no silent loss.
+        if c.unavailable == 0 {
+            failures
+                .push("R=1 with a mid-run dsosd crash must report unavailable mass".to_string());
+        }
+        if rebuilt != 0 {
+            failures.push(format!(
+                "nothing can be rebuilt without a peer replica, yet rebuild_rows={rebuilt}"
+            ));
+        }
+    }
+
+    if cli.json {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.field_str("scenario", "crash-dsosd");
+        w.field_uint("seed", cli.seed);
+        w.field_uint("replicas", cli.replicas as u64);
+        w.field_uint("published", r.messages);
+        w.field_uint("stored", stored);
+        w.field_uint("acked", c.acked_rows);
+        w.field_uint("unavailable", c.unavailable);
+        w.field_uint("dead_daemons", c.dead_daemons as u64);
+        w.field_uint("duplicates_suppressed", c.duplicates_suppressed);
+        w.field_uint("read_repairs", p.cluster().read_repair_count());
+        w.field_uint("rebuild_rows", rebuilt);
+        w.field_uint("balanced", u64::from(balanced));
+        w.field_uint("passed", u64::from(failures.is_empty()));
+        w.end_object();
+        println!("{}", w.as_str());
+    } else {
+        println!(
+            "== chaos drill: crash-dsosd (seed {}, R={})",
+            cli.seed, cli.replicas
+        );
+        println!(
+            "published={} stored={} acked={} unavailable={} rebuild_rows={rebuilt} balanced={balanced}",
+            r.messages, stored, c.acked_rows, c.unavailable
+        );
+        println!("ledger: {}", p.ledger().summary());
+    }
+
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\ncrash-dsosd drill FAILED:");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        ExitCode::from(1)
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cli = match parse_args(&args) {
@@ -289,6 +443,9 @@ fn main() -> ExitCode {
 
     if cli.scenario == "storm" {
         return storm_drill(&cli);
+    }
+    if cli.scenario == "crash-dsosd" {
+        return crash_dsosd_drill(&cli);
     }
 
     let app = HaccIo::tiny();

@@ -41,6 +41,7 @@ pub mod workload;
 
 pub use connector::{ConnectorConfig, ConnectorStats, DarshanConnector, DeliveryMode, FormatMode};
 pub use cost::CostModel;
+pub use dsos_sim::{Completeness, CsvImportReport, ReplicationConfig, ShardHealth, StoreError};
 pub use iosim_telemetry::{CrashDump, LatencySummary, Telemetry, TelemetryConfig};
 pub use ldms_sim::{
     BatchConfig, DeliveryLedger, FaultScript, FaultSpec, HeartbeatConfig, LossCause, LossRecord,

@@ -8,12 +8,12 @@
 use crate::connector::{ConnectorConfig, DarshanConnector};
 use crate::schema::{DsosStreamStore, CONTAINER};
 use darshan_sim::runtime::JobMeta;
-use dsos_sim::{DsosCluster, Value};
+use dsos_sim::{Completeness, DsosCluster, ReplicationConfig, Value};
 use iosim_telemetry::{Telemetry, TelemetryConfig};
 use iosim_time::Epoch;
 use ldms_sim::{
-    DeliveryLedger, FaultScript, HeartbeatConfig, LdmsNetwork, NetworkOpts, OverloadConfig,
-    QueueConfig, RecoveryReport, WalConfig,
+    DeliveryLedger, FaultScript, FaultSpec, HeartbeatConfig, LdmsNetwork, NetworkOpts,
+    OverloadConfig, QueueConfig, RecoveryReport, WalConfig,
 };
 use std::sync::Arc;
 
@@ -49,6 +49,10 @@ pub struct PipelineOpts {
     /// accuracy-bounded adaptive sampling under message storms. `None`
     /// (the default) keeps the delivery path byte-identical.
     pub overload: Option<OverloadConfig>,
+    /// Replication policy for the DSOS cluster: R copies per row,
+    /// acknowledged at a write quorum. The default (R=1, W=1) is the
+    /// seed behaviour.
+    pub replication: ReplicationConfig,
 }
 
 impl Default for PipelineOpts {
@@ -64,6 +68,7 @@ impl Default for PipelineOpts {
             wal: None,
             telemetry: None,
             overload: None,
+            replication: ReplicationConfig::none(),
         }
     }
 }
@@ -124,10 +129,28 @@ impl Pipeline {
             },
         ));
         network.apply_faults(&opts.faults);
-        let cluster = DsosCluster::new(opts.dsosd_count);
+        let cluster = DsosCluster::new_replicated(opts.dsosd_count, opts.replication)
+            .unwrap_or_else(|e| panic!("invalid pipeline replication policy: {e}"));
+        for spec in opts.faults.specs() {
+            match spec {
+                FaultSpec::CrashDsosd { daemon, at } => {
+                    if let Some(i) = cluster.resolve_daemon(daemon) {
+                        cluster.crash_dsosd(i, *at);
+                    }
+                }
+                FaultSpec::RestartDsosd { daemon, at } => {
+                    if let Some(i) = cluster.resolve_daemon(daemon) {
+                        cluster.restart_dsosd(i, *at);
+                    }
+                }
+                _ => {}
+            }
+        }
         let store = DsosStreamStore::new(cluster.clone());
+        store.attach_ledger(network.ledger().clone());
         if let Some(tel) = &telemetry {
             store.attach_telemetry(tel);
+            cluster.attach_telemetry(tel);
         }
         if opts.attach_store {
             network.l2().subscribe(&opts.tag, store.clone());
@@ -171,8 +194,21 @@ impl Pipeline {
     /// whatever is still parked. Afterwards the ledger balances:
     /// `published == delivered + total_lost`. Returns the number of
     /// abandoned messages.
+    ///
+    /// Also runs the DSOS anti-entropy pass: every scripted `dsosd`
+    /// restart up to `horizon` rebuilds the returning daemon's shards
+    /// from live peers, so post-settle queries see the recovered store.
     pub fn settle(&self, horizon: Epoch) -> usize {
-        self.network.settle(horizon)
+        let abandoned = self.network.settle(horizon);
+        self.cluster.recover(horizon);
+        abandoned
+    }
+
+    /// Completeness report for the event container as of `at`:
+    /// quorum-acked rows, rows provably unavailable given the fault
+    /// schedule, and per-shard liveness.
+    pub fn store_completeness(&self, at: Epoch) -> Completeness {
+        self.cluster.completeness(CONTAINER, at)
     }
 
     /// Builds the connector instance for one rank.

@@ -9,7 +9,7 @@
 use dsos_sim::{DsosCluster, Schema, Type, Value};
 use iosim_util::json::{self, JsonValue};
 use ldms_sim::store::field_to_string;
-use ldms_sim::{DeliveryKey, StreamMessage, StreamSink};
+use ldms_sim::{DeliveryKey, DeliveryLedger, StreamMessage, StreamSink};
 use parking_lot::Mutex;
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -246,6 +246,11 @@ pub struct DsosStreamStore {
     seen: Mutex<HashSet<DeliveryKey>>,
     /// Registered `ingest_dedup_hits` counter, when telemetry is on.
     dedup_hits: Mutex<Option<Arc<iosim_telemetry::Counter>>>,
+    /// Rows acknowledged at the cluster's write quorum.
+    quorum_acked: AtomicU64,
+    /// Delivery ledger for acknowledged-at-quorum accounting, when the
+    /// store is wired into a pipeline.
+    ledger: Mutex<Option<Arc<DeliveryLedger>>>,
 }
 
 impl DsosStreamStore {
@@ -265,6 +270,8 @@ impl DsosStreamStore {
             seqs: Mutex::new(HashMap::new()),
             seen: Mutex::new(HashSet::new()),
             dedup_hits: Mutex::new(None),
+            quorum_acked: AtomicU64::new(0),
+            ledger: Mutex::new(None),
         })
     }
 
@@ -273,6 +280,29 @@ impl DsosStreamStore {
     /// next to the daemons' families.
     pub fn attach_telemetry(&self, hub: &Arc<iosim_telemetry::Telemetry>) {
         *self.dedup_hits.lock() = Some(hub.registry().counter("ingest_dedup_hits", "dsos-store"));
+    }
+
+    /// Wires the network's delivery ledger in, so every row the cluster
+    /// acknowledges at its write quorum lands in the ledger's
+    /// `store_acked` column (the storage tier's extension of the
+    /// conservation law).
+    pub fn attach_ledger(&self, ledger: Arc<DeliveryLedger>) {
+        *self.ledger.lock() = Some(ledger);
+    }
+
+    /// Rows acknowledged at the cluster's write quorum.
+    pub fn quorum_acked(&self) -> u64 {
+        self.quorum_acked.load(Ordering::Relaxed)
+    }
+
+    fn record_acked(&self, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.quorum_acked.fetch_add(n, Ordering::Relaxed);
+        if let Some(ledger) = self.ledger.lock().as_ref() {
+            ledger.record_store_acked_n(n);
+        }
     }
 
     /// Rows successfully ingested.
@@ -416,11 +446,15 @@ impl DsosStreamStore {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return;
         };
-        let accepted = self.cluster.ingest_batch(SUMMARY_CONTAINER, vec![obj]) as u64;
-        if accepted == 0 {
+        let ack = self
+            .cluster
+            .ingest_batch_at(SUMMARY_CONTAINER, vec![obj], msg.recv_time)
+            .unwrap_or_default();
+        if ack.accepted == 0 {
             self.rejected.fetch_add(1, Ordering::Relaxed);
             return;
         }
+        self.record_acked(ack.quorum_acked);
         self.summaries_ingested.fetch_add(1, Ordering::Relaxed);
         self.summary_events
             .fetch_add(msg.weight(), Ordering::Relaxed);
@@ -458,7 +492,15 @@ impl StreamSink for DsosStreamStore {
             self.rejected.fetch_add(bad_rows, Ordering::Relaxed);
         }
         let total = objs.len() as u64;
-        let accepted = self.cluster.ingest_batch(CONTAINER, objs) as u64;
+        // Rows are written at the message's arrival instant so the
+        // cluster's fault schedule knows which replicas were up; every
+        // row that reaches the write quorum extends the ledger.
+        let ack = self
+            .cluster
+            .ingest_batch_at(CONTAINER, objs, msg.recv_time)
+            .unwrap_or_default();
+        let accepted = ack.accepted as u64;
+        self.record_acked(ack.quorum_acked);
         self.ingested.fetch_add(accepted, Ordering::Relaxed);
         self.rejected.fetch_add(total - accepted, Ordering::Relaxed);
     }

@@ -10,17 +10,25 @@
 //! * [`value`] — typed attribute values with a total order;
 //! * [`schema`] — schema definition and object construction/validation;
 //! * [`store`] — one `dsosd`: partitions, objects, joint indices;
-//! * [`cluster`] — the client API: round-robin ingest across daemons,
-//!   parallel query + k-way merge, CSV import/export.
+//! * [`replication`] — shard maps, crash schedules, write quorums, and
+//!   exact completeness accounting for degraded queries;
+//! * [`cluster`] — the client API: hash-sharded replicated ingest,
+//!   failure-aware parallel query + k-way merge with replica dedup,
+//!   anti-entropy recovery, CSV import/export.
 
 #![forbid(unsafe_code)]
 
 pub mod cluster;
+pub mod replication;
 pub mod schema;
 pub mod store;
 pub mod value;
 
 pub use cluster::DsosCluster;
+pub use replication::{
+    BatchAck, Completeness, CsvImportReport, IngestAck, ReplicationConfig, ShardHealth, ShardMap,
+    StoreError,
+};
 pub use schema::{AttrDef, Schema};
 pub use store::Dsosd;
 pub use value::{Type, Value};

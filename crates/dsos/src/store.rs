@@ -1,5 +1,6 @@
 //! One `dsosd` storage daemon: containers, partitions, joint indices.
 
+use crate::replication::NO_RID;
 use crate::schema::{IndexDef, Schema, SchemaError};
 use crate::value::Value;
 use parking_lot::RwLock;
@@ -12,12 +13,19 @@ type ObjLoc = (usize, usize);
 /// An index: ordered composite key → object locations.
 type IndexMap = BTreeMap<Vec<Value>, Vec<ObjLoc>>;
 
+/// A fetched row tagged for replica dedup: `(index key, cluster row
+/// id, object values)`.
+pub type TaggedRow = (Vec<Value>, u64, Vec<Value>);
+
 /// A named storage partition (DSOS rotates partitions for retention;
-/// queries span all of them).
+/// queries span all of them). `rids` parallels `objects`: the
+/// cluster-global row id each object was replicated under, or
+/// [`NO_RID`] for direct inserts.
 #[derive(Debug, Default)]
 struct Partition {
     name: String,
     objects: Vec<Vec<Value>>,
+    rids: Vec<u64>,
 }
 
 /// One container shard on one daemon.
@@ -27,6 +35,9 @@ pub struct ContainerShard {
     /// index name → ordered key → object locations (insertion order
     /// preserved within equal keys).
     indices: RwLock<HashMap<String, IndexMap>>,
+    /// Cluster row id → location, for anti-entropy rebuild and read
+    /// repair (direct [`NO_RID`] inserts are not tracked).
+    by_rid: RwLock<HashMap<u64, ObjLoc>>,
 }
 
 impl ContainerShard {
@@ -41,8 +52,10 @@ impl ContainerShard {
             partitions: RwLock::new(vec![Partition {
                 name: "default".to_string(),
                 objects: Vec::new(),
+                rids: Vec::new(),
             }]),
             indices: RwLock::new(indices),
+            by_rid: RwLock::new(HashMap::new()),
         }
     }
 
@@ -56,6 +69,7 @@ impl ContainerShard {
         self.partitions.write().push(Partition {
             name: name.to_string(),
             objects: Vec::new(),
+            rids: Vec::new(),
         });
     }
 
@@ -76,6 +90,12 @@ impl ContainerShard {
     /// Inserts an object: validates, appends to the active partition,
     /// and updates every joint index.
     pub fn insert(&self, obj: Vec<Value>) -> Result<(), SchemaError> {
+        self.insert_tagged(NO_RID, obj)
+    }
+
+    /// Inserts an object under a cluster-global row id so replicated
+    /// queries can deduplicate copies and anti-entropy can locate rows.
+    pub fn insert_tagged(&self, rid: u64, obj: Vec<Value>) -> Result<(), SchemaError> {
         self.schema.validate(&obj)?;
         let mut parts = self.partitions.write();
         let pidx = parts.len() - 1;
@@ -91,12 +111,36 @@ impl ContainerShard {
                 .push((pidx, off));
         }
         parts[pidx].objects.push(obj);
+        parts[pidx].rids.push(rid);
+        if rid != NO_RID {
+            self.by_rid.write().insert(rid, (pidx, off));
+        }
         Ok(())
     }
 
     fn fetch(&self, loc: ObjLoc) -> Vec<Value> {
         let parts = self.partitions.read();
         parts[loc.0].objects[loc.1].clone()
+    }
+
+    fn fetch_tagged(&self, loc: ObjLoc) -> (u64, Vec<Value>) {
+        let parts = self.partitions.read();
+        (
+            parts[loc.0].rids[loc.1],
+            parts[loc.0].objects[loc.1].clone(),
+        )
+    }
+
+    /// Looks up a row by its cluster-global row id (anti-entropy /
+    /// read-repair source path).
+    pub fn fetch_by_rid(&self, rid: u64) -> Option<Vec<Value>> {
+        let loc = *self.by_rid.read().get(&rid)?;
+        Some(self.fetch(loc))
+    }
+
+    /// Whether this shard physically holds a row id.
+    pub fn has_rid(&self, rid: u64) -> bool {
+        self.by_rid.read().contains_key(&rid)
     }
 
     /// Iterates objects whose index key starts with `prefix`, in key
@@ -106,6 +150,17 @@ impl ContainerShard {
         index: &str,
         prefix: &[Value],
     ) -> Option<Vec<(Vec<Value>, Vec<Value>)>> {
+        Some(
+            self.query_prefix_tagged(index, prefix)?
+                .into_iter()
+                .map(|(key, _, obj)| (key, obj))
+                .collect(),
+        )
+    }
+
+    /// Like [`query_prefix`](Self::query_prefix), keeping each row's
+    /// cluster row id for replica dedup.
+    pub fn query_prefix_tagged(&self, index: &str, prefix: &[Value]) -> Option<Vec<TaggedRow>> {
         let indices = self.indices.read();
         let idx = indices.get(index)?;
         let mut out = Vec::new();
@@ -119,7 +174,8 @@ impl ContainerShard {
                 break;
             }
             for &loc in locs {
-                out.push((key.clone(), self.fetch(loc)));
+                let (rid, obj) = self.fetch_tagged(loc);
+                out.push((key.clone(), rid, obj));
             }
         }
         Some(out)
@@ -132,12 +188,31 @@ impl ContainerShard {
         from: &[Value],
         to: &[Value],
     ) -> Option<Vec<(Vec<Value>, Vec<Value>)>> {
+        Some(
+            self.query_range_tagged(index, from, to)?
+                .into_iter()
+                .map(|(key, _, obj)| (key, obj))
+                .collect(),
+        )
+    }
+
+    /// Like [`query_range`](Self::query_range), keeping row ids.
+    pub fn query_range_tagged(
+        &self,
+        index: &str,
+        from: &[Value],
+        to: &[Value],
+    ) -> Option<Vec<TaggedRow>> {
         let indices = self.indices.read();
         let idx = indices.get(index)?;
         let mut out = Vec::new();
+        if from >= to {
+            return Some(out); // degenerate or empty range
+        }
         for (key, locs) in idx.range(from.to_vec()..to.to_vec()) {
             for &loc in locs {
-                out.push((key.clone(), self.fetch(loc)));
+                let (rid, obj) = self.fetch_tagged(loc);
+                out.push((key.clone(), rid, obj));
             }
         }
         Some(out)

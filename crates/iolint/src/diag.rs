@@ -159,6 +159,13 @@ lint!(
     "a hop's adaptive-sampling watermark sits at or beyond its queue capacity; drops begin before sampling can engage"
 );
 lint!(
+    TOP014,
+    "TOP014",
+    "replication-overwhelmed",
+    Error,
+    "the fault script crashes at least as many dsosd daemons concurrently as the store keeps replicas; acknowledged rows can be lost"
+);
+lint!(
     FLOW001,
     "FLOW001",
     "predicted-unrecoverable-loss",
@@ -261,8 +268,8 @@ lint!(
 /// pass, `TRC*` codes from the trace pass.
 pub const REGISTRY: &[LintCode] = &[
     TOP001, TOP002, TOP003, TOP004, TOP005, TOP006, TOP007, TOP008, TOP009, TOP010, TOP011, TOP012,
-    TOP013, FLOW001, FLOW002, FLOW003, FLOW004, CONF001, TRC001, TRC002, TRC003, TRC004, TRC005,
-    TRC006, TRC007, TRC008, TRC009,
+    TOP013, TOP014, FLOW001, FLOW002, FLOW003, FLOW004, CONF001, TRC001, TRC002, TRC003, TRC004,
+    TRC005, TRC006, TRC007, TRC008, TRC009,
 ];
 
 /// Looks a lint up by code (`"TOP001"`, case-insensitive) or by name

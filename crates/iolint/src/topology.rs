@@ -32,6 +32,9 @@
 //! crash voltrino-head 100 130     # crash-stop: volatile state destroyed
 //! schema module uid ProducerName ...
 //! workload duration=120 start=0 rate=100 storm=1 accuracy-floor=0.9 latency-budget=30
+//!
+//! dsosd n=4 replicas=2 quorum=1   # storage tier: 4 dsosd, R=2, W=1
+//! crash-dsosd dsosd-0 100 130     # dsosd-0 down [100, 130) virtual secs
 //! ```
 //!
 //! `daemon` starts a section; the indented attribute lines apply to
@@ -64,6 +67,15 @@
 //! keys arm the solver-backed `FLOW002`/`FLOW004` lints. Without the
 //! directive the solver assumes a default envelope stretched to cover
 //! every scheduled fault window.
+//!
+//! `dsosd n=N [replicas=R quorum=W]` declares the storage tier behind
+//! the terminal daemon: `n` backend `dsosd` daemons, each row stored
+//! on `replicas` of them (default 1) and acknowledged at write quorum
+//! `quorum` (default the majority of `replicas`). `crash-dsosd
+//! <name> <from_s> <until_s>` schedules a dsosd crash-stop window;
+//! `TOP014` fires when the script takes down at least `replicas`
+//! dsosd daemons concurrently, because then some shard can lose every
+//! copy of an acknowledged row.
 
 use crate::diag::{self, Diagnostic, Severity};
 use darshan_ldms_connector::{Pipeline, WorkloadSpec, COLUMNS};
@@ -184,6 +196,35 @@ pub enum OutageKind {
     Crash,
 }
 
+/// The storage tier behind the terminal daemon: `dsosd` backend
+/// count and replication policy (`dsosd` conf directive / lifted from
+/// a live [`dsos_sim::DsosCluster`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSpec {
+    /// Backend `dsosd` daemon count.
+    pub dsosd: usize,
+    /// Copies kept per row.
+    pub replicas: usize,
+    /// Copies required before a row counts as acknowledged.
+    pub write_quorum: usize,
+    /// Conf line of the `dsosd` directive, when parsed.
+    pub line: Option<usize>,
+}
+
+/// One scheduled `dsosd` downtime window `[from, until)` in virtual
+/// time (`crash-dsosd` conf directive / `CrashDsosd`+`RestartDsosd`
+/// fault pairs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DsosdOutage {
+    /// The `dsosd` daemon name (e.g. `dsosd-0`).
+    pub daemon: String,
+    /// Crash instant.
+    pub from: Epoch,
+    /// Restart instant (`Epoch::from_nanos(u64::MAX)` when the script
+    /// never restarts the daemon).
+    pub until: Epoch,
+}
+
 /// One scheduled downtime window `[from, until)` in virtual time.
 #[derive(Debug, Clone)]
 pub struct OutageSpec {
@@ -217,6 +258,11 @@ pub struct TopologySpec {
     /// Campaign envelope the flow solver evaluates the topology
     /// against (`workload` conf directive / harness-supplied).
     pub workload: Option<WorkloadSpec>,
+    /// Storage tier behind the terminal daemon, when declared
+    /// (enables `TOP014`).
+    pub store: Option<StoreSpec>,
+    /// Scheduled `dsosd` downtime windows (enables `TOP014`).
+    pub dsosd_outages: Vec<DsosdOutage>,
 }
 
 impl TopologySpec {
@@ -229,6 +275,8 @@ impl TopologySpec {
             outages: Vec::new(),
             lossy_links: Vec::new(),
             workload: None,
+            store: None,
+            dsosd_outages: Vec::new(),
         }
     }
 
@@ -277,6 +325,8 @@ impl TopologySpec {
             outages: Vec::new(),
             lossy_links: Vec::new(),
             workload: None,
+            store: None,
+            dsosd_outages: Vec::new(),
         };
         spec.absorb_faults(faults);
         spec
@@ -295,6 +345,13 @@ impl TopologySpec {
                 .map(|a| a.name.clone())
                 .collect(),
         );
+        let repl = p.cluster().replication();
+        spec.store = Some(StoreSpec {
+            dsosd: p.cluster().daemon_count(),
+            replicas: repl.replicas,
+            write_quorum: repl.write_quorum,
+            line: None,
+        });
         spec
     }
 
@@ -305,6 +362,36 @@ impl TopologySpec {
     /// carry no window and are ignored here (the delivery ledger, not
     /// the topology linter, accounts for them).
     pub fn absorb_faults(&mut self, faults: &FaultScript) {
+        // Pair every dsosd crash with the earliest scripted restart of
+        // the same daemon after it; unpaired crashes stay down forever.
+        let mut dsosd_crashes: Vec<(&str, Epoch)> = Vec::new();
+        let mut dsosd_restarts: Vec<(&str, Epoch)> = Vec::new();
+        for f in faults.specs() {
+            match f {
+                FaultSpec::CrashDsosd { daemon, at } => dsosd_crashes.push((daemon, *at)),
+                FaultSpec::RestartDsosd { daemon, at } => dsosd_restarts.push((daemon, *at)),
+                _ => {}
+            }
+        }
+        dsosd_crashes.sort_by_key(|&(_, at)| at);
+        dsosd_restarts.sort_by_key(|&(_, at)| at);
+        let mut restart_used = vec![false; dsosd_restarts.len()];
+        for (daemon, from) in dsosd_crashes {
+            let until = dsosd_restarts
+                .iter()
+                .enumerate()
+                .find(|(i, &(d, at))| !restart_used[*i] && d == daemon && at > from)
+                .map_or(Epoch::from_nanos(u64::MAX), |(i, &(_, at))| {
+                    restart_used[i] = true;
+                    at
+                });
+            self.dsosd_outages.push(DsosdOutage {
+                daemon: daemon.to_string(),
+                from,
+                until,
+            });
+        }
+
         for f in faults.specs() {
             let (name, kind, from, until) = match f {
                 FaultSpec::DaemonOutage {
@@ -322,6 +409,9 @@ impl TopologySpec {
                     at,
                     restart,
                 } => (daemon, OutageKind::Crash, *at, *restart),
+                // Storage-tier faults were paired into dsosd windows
+                // above; they touch no LDMS hop.
+                FaultSpec::CrashDsosd { .. } | FaultSpec::RestartDsosd { .. } => continue,
                 FaultSpec::LinkLossProb { daemon, .. }
                 | FaultSpec::LinkDropEvery { daemon, .. } => {
                     // No downtime window, but the hop can silently eat
@@ -483,6 +573,20 @@ pub fn parse_conf(text: &str) -> Result<TopologySpec, ConfError> {
                     _ => unreachable!("outer match arm"),
                 }
             }
+            "dsosd" => {
+                spec.store = Some(parse_dsosd(&toks[1..], line_no)?);
+            }
+            "crash-dsosd" => {
+                let (name, from, until) = match toks.as_slice() {
+                    [_, name, from, until] => (*name, *from, *until),
+                    _ => return Err(err("usage: crash-dsosd <daemon> <from_s> <until_s>".into())),
+                };
+                spec.dsosd_outages.push(DsosdOutage {
+                    daemon: name.to_string(),
+                    from: epoch_from_secs_f64(parse_f64(from, line_no, "from")?),
+                    until: epoch_from_secs_f64(parse_f64(until, line_no, "until")?),
+                });
+            }
             "outage" | "flap" | "crash" => {
                 let (name, from, until) = match toks.as_slice() {
                     [_, name, from, until] => (*name, *from, *until),
@@ -573,6 +677,65 @@ fn parse_workload(kvs: &[&str], line: usize) -> Result<WorkloadSpec, ConfError> 
         }
     }
     Ok(w)
+}
+
+fn parse_dsosd(kvs: &[&str], line: usize) -> Result<StoreSpec, ConfError> {
+    let mut n: Option<usize> = None;
+    let mut replicas: usize = 1;
+    let mut quorum: Option<usize> = None;
+    for kv in kvs {
+        let (k, v) = kv.split_once('=').ok_or(ConfError {
+            line,
+            msg: format!("dsosd setting must be key=value: {kv}"),
+        })?;
+        let parsed = v.parse::<usize>().ok().filter(|&x| x >= 1);
+        match k {
+            "n" => {
+                n = Some(parsed.ok_or(ConfError {
+                    line,
+                    msg: format!("bad dsosd n (want >= 1): {v}"),
+                })?);
+            }
+            "replicas" => {
+                replicas = parsed.ok_or(ConfError {
+                    line,
+                    msg: format!("bad dsosd replicas (want >= 1): {v}"),
+                })?;
+            }
+            "quorum" => {
+                quorum = Some(parsed.ok_or(ConfError {
+                    line,
+                    msg: format!("bad dsosd quorum (want >= 1): {v}"),
+                })?);
+            }
+            other => {
+                return Err(ConfError {
+                    line,
+                    msg: format!("unknown dsosd setting: {other}"),
+                })
+            }
+        }
+    }
+    let dsosd = n.ok_or(ConfError {
+        line,
+        msg: "dsosd needs n=<count>".into(),
+    })?;
+    let write_quorum = quorum.unwrap_or(replicas / 2 + 1);
+    if replicas > dsosd || write_quorum > replicas {
+        return Err(ConfError {
+            line,
+            msg: format!(
+                "dsosd policy must satisfy 1 <= quorum <= replicas <= n \
+                 (got n={dsosd} replicas={replicas} quorum={write_quorum})"
+            ),
+        });
+    }
+    Ok(StoreSpec {
+        dsosd,
+        replicas,
+        write_quorum,
+        line: Some(line),
+    })
 }
 
 fn parse_wal(kvs: &[&str], line: usize) -> Result<usize, ConfError> {
@@ -1170,6 +1333,57 @@ pub fn lint_topology(spec: &TopologySpec) -> Vec<Diagnostic> {
         }
     }
 
+    // TOP014 — replication overwhelmed: at some instant the script
+    // has at least `replicas` dsosd daemons down at once, so a shard
+    // whose replica set is exactly the downed daemons has no live
+    // copy of its acknowledged rows. Windows are half-open, so a
+    // restart at the same instant as another daemon's crash does not
+    // overlap it. Without a `dsosd` declaration the store is assumed
+    // unreplicated (replicas = 1), matching the live default.
+    if !spec.dsosd_outages.is_empty() {
+        let replicas = spec.store.map_or(1, |s| s.replicas);
+        // Sweep window endpoints; ends sort before starts at equal
+        // instants (half-open windows touch without overlapping).
+        let mut events: Vec<(Epoch, i32)> = Vec::new();
+        for o in &spec.dsosd_outages {
+            if o.until <= o.from {
+                continue;
+            }
+            events.push((o.from, 1));
+            events.push((o.until, -1));
+        }
+        events.sort_by_key(|&(t, delta)| (t, delta));
+        let (mut down, mut peak) = (0i32, 0i32);
+        for (_, delta) in events {
+            down += delta;
+            peak = peak.max(down);
+        }
+        if usize::try_from(peak).unwrap_or(0) >= replicas {
+            let policy = match spec.store {
+                Some(s) => format!(
+                    "{} dsosd daemon(s), {} replica(s) per row, write quorum {}",
+                    s.dsosd, s.replicas, s.write_quorum
+                ),
+                None => "an undeclared (unreplicated) storage tier".to_string(),
+            };
+            diags.push(
+                Diagnostic::new(
+                    &diag::TOP014,
+                    "storage tier".to_string(),
+                    format!(
+                        "the fault script takes down {peak} dsosd daemon(s) concurrently but the \
+                         store keeps only {replicas} replica(s) per row ({policy}): a shard placed \
+                         on exactly the downed daemons loses every copy of its acknowledged rows",
+                    ),
+                )
+                .with_help(
+                    "raise `dsosd replicas=` above the worst concurrent crash count, or stagger \
+                     the crash windows so a live replica always remains",
+                ),
+            );
+        }
+    }
+
     // TOP008 — Table I schema coverage.
     if let Some(cols) = &spec.schema_columns {
         let expected: Vec<&str> = COLUMNS.iter().map(|&(n, _)| n).collect();
@@ -1462,6 +1676,70 @@ daemon store l2
         // The sampler's best-effort hop rides out the crash: TOP009.
         let codes: Vec<&str> = lint_topology(&spec).iter().map(|d| d.code.code).collect();
         assert!(codes.contains(&"TOP009"), "{codes:?}");
+    }
+
+    #[test]
+    fn dsosd_directive_parses_and_validates() {
+        let spec = parse_conf("dsosd n=4 replicas=2 quorum=1\n").unwrap();
+        let s = spec.store.unwrap();
+        assert_eq!((s.dsosd, s.replicas, s.write_quorum), (4, 2, 1));
+        // Majority quorum by default.
+        let s = parse_conf("dsosd n=4 replicas=3\n").unwrap().store.unwrap();
+        assert_eq!(s.write_quorum, 2);
+        assert!(parse_conf("dsosd replicas=2\n").is_err(), "n is mandatory");
+        assert!(parse_conf("dsosd n=2 replicas=3\n").is_err());
+        assert!(parse_conf("dsosd n=4 replicas=2 quorum=3\n").is_err());
+        assert!(parse_conf("dsosd n=0\n").is_err());
+    }
+
+    #[test]
+    fn concurrent_dsosd_crashes_reaching_the_replica_count_fire_top014() {
+        let base = format!("{PAPER}\ndsosd n=4 replicas=2 quorum=1\n");
+        // One crash at a time: a live replica always remains.
+        let spec = parse_conf(&format!(
+            "{base}crash-dsosd dsosd-0 100 130\ncrash-dsosd dsosd-1 130 160\n"
+        ))
+        .unwrap();
+        let codes: Vec<&str> = lint_topology(&spec).iter().map(|d| d.code.code).collect();
+        assert!(
+            !codes.contains(&"TOP014"),
+            "staggered half-open windows never overlap: {codes:?}"
+        );
+        // Two overlapping crashes reach R=2: some shard can lose both
+        // of its copies.
+        let spec = parse_conf(&format!(
+            "{base}crash-dsosd dsosd-0 100 130\ncrash-dsosd dsosd-1 120 160\n"
+        ))
+        .unwrap();
+        let diags = lint_topology(&spec);
+        let hit = diags.iter().find(|d| d.code.code == "TOP014").unwrap();
+        assert!(hit.message.contains("2 dsosd daemon(s) concurrently"));
+    }
+
+    #[test]
+    fn unreplicated_store_fires_top014_on_any_dsosd_crash() {
+        let spec = parse_conf(&format!("{PAPER}\ncrash-dsosd dsosd-0 100 130\n")).unwrap();
+        let codes: Vec<&str> = lint_topology(&spec).iter().map(|d| d.code.code).collect();
+        assert!(codes.contains(&"TOP014"), "{codes:?}");
+    }
+
+    #[test]
+    fn dsosd_fault_specs_become_paired_windows() {
+        let net = LdmsNetwork::build(&["nid0".into()]);
+        net.l2()
+            .subscribe("darshanConnector", ldms_sim::stream::BufferSink::new());
+        let faults = FaultScript::new()
+            .crash_dsosd("dsosd-0", Epoch::from_secs(100))
+            .restart_dsosd("dsosd-0", Epoch::from_secs(130))
+            .crash_dsosd("dsosd-1", Epoch::from_secs(200));
+        let spec = TopologySpec::from_network(&net, "darshanConnector", &faults);
+        assert_eq!(spec.dsosd_outages.len(), 2);
+        assert_eq!(spec.dsosd_outages[0].daemon, "dsosd-0");
+        assert_eq!(spec.dsosd_outages[0].until, Epoch::from_secs(130));
+        // The unpaired crash stays down forever.
+        assert_eq!(spec.dsosd_outages[1].until, Epoch::from_nanos(u64::MAX));
+        // dsosd faults never become LDMS-hop outages.
+        assert!(spec.outages.is_empty());
     }
 
     #[test]

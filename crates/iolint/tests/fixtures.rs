@@ -154,6 +154,17 @@ fn top013_sampling_unreachable() {
 }
 
 #[test]
+fn top014_replication_overwhelmed() {
+    assert_only(include_str!("fixtures/top014_replication.conf"), "TOP014");
+}
+
+#[test]
+fn top014_staggered_windows_are_clean() {
+    let report = report_for(include_str!("fixtures/top014_replication_clean.conf"));
+    assert!(report.is_clean(), "report:\n{}", report.render_text());
+}
+
+#[test]
 fn lint_config_can_silence_a_fixture() {
     let spec = parse_conf(include_str!("fixtures/top004_no_subscriber.conf")).unwrap();
     let cfg = LintConfig::new().allow("TOP004");

@@ -1606,6 +1606,10 @@ impl LdmsNetwork {
                     .resolve(daemon)
                     .map(|d| d.schedule_crash(*at, *restart))
                     .is_some(),
+                // Storage-tier faults target the DSOS cluster behind
+                // the terminal store, not the transport network; the
+                // pipeline layer routes them there.
+                FaultSpec::CrashDsosd { .. } | FaultSpec::RestartDsosd { .. } => false,
             };
             if ok {
                 applied += 1;

@@ -226,6 +226,24 @@ pub enum FaultSpec {
         /// Restart instant (must be after `at`).
         restart: Epoch,
     },
+    /// Crash-stop a DSOS storage daemon at `at`: its volatile replica
+    /// state is destroyed and it answers no queries until a scripted
+    /// [`FaultSpec::RestartDsosd`]. Handled by the DSOS cluster, not
+    /// the LDMS transport network.
+    CrashDsosd {
+        /// Storage daemon name (`"dsosd-0"`) or bare index (`"0"`).
+        daemon: String,
+        /// Crash instant.
+        at: Epoch,
+    },
+    /// Restart a crashed DSOS storage daemon at `at`; the cluster's
+    /// anti-entropy pass rebuilds the returning replica from peers.
+    RestartDsosd {
+        /// Storage daemon name (`"dsosd-0"`) or bare index (`"0"`).
+        daemon: String,
+        /// Restart instant.
+        at: Epoch,
+    },
 }
 
 /// A declarative chaos schedule: an ordered list of faults to apply to
@@ -288,6 +306,26 @@ impl FaultScript {
             daemon: daemon.to_string(),
             at,
             restart,
+        });
+        self
+    }
+
+    /// Adds a DSOS storage-daemon crash (volatile replica state is
+    /// destroyed at `at`).
+    pub fn crash_dsosd(mut self, daemon: &str, at: Epoch) -> Self {
+        self.specs.push(FaultSpec::CrashDsosd {
+            daemon: daemon.to_string(),
+            at,
+        });
+        self
+    }
+
+    /// Adds a DSOS storage-daemon restart (anti-entropy rebuild at
+    /// `at`).
+    pub fn restart_dsosd(mut self, daemon: &str, at: Epoch) -> Self {
+        self.specs.push(FaultSpec::RestartDsosd {
+            daemon: daemon.to_string(),
+            at,
         });
         self
     }

@@ -110,6 +110,10 @@ pub struct DeliveryLedger {
     duplicates: AtomicU64,
     recovered: AtomicU64,
     summarized: AtomicU64,
+    /// Rows the terminal DSOS store acknowledged at its write quorum —
+    /// the storage tier's extension of the conservation law: only
+    /// quorum-acked rows are covered by the replication loss guarantee.
+    store_acked: AtomicU64,
 }
 
 impl DeliveryLedger {
@@ -268,6 +272,21 @@ impl DeliveryLedger {
         self.summarized.load(Ordering::Relaxed)
     }
 
+    /// Counts `n` rows acknowledged at the DSOS write quorum (called
+    /// by the terminal store after replicated ingest).
+    pub fn record_store_acked_n(&self, n: u64) {
+        self.store_acked.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Rows the terminal DSOS store acknowledged at its write quorum.
+    /// Orthogonal to `balances()`: a delivered message whose row missed
+    /// the quorum is still delivered — it is just not covered by the
+    /// replication guarantee, and a degraded query's `Completeness`
+    /// report balances against this figure.
+    pub fn store_acked(&self) -> u64 {
+        self.store_acked.load(Ordering::Relaxed)
+    }
+
     /// True when every published message is accounted for — holds at
     /// any quiescent instant (no messages parked in retry queues).
     pub fn balances(&self) -> bool {
@@ -323,6 +342,10 @@ impl DeliveryLedger {
         }
         if dup > 0 {
             s.push_str(&format!(" duplicates={dup}"));
+        }
+        let acked = self.store_acked();
+        if acked > 0 {
+            s.push_str(&format!(" store_acked={acked}"));
         }
         s
     }

@@ -12,11 +12,15 @@ use repro_suite::ldms::{LdmsNetwork, Ldmsd, StreamMessage, TransportLink};
 use repro_suite::simtime::Epoch;
 
 fn connector_msg(ts: f64) -> StreamMessage {
+    connector_msg_rank(ts, 0)
+}
+
+fn connector_msg_rank(ts: f64, rank: u32) -> StreamMessage {
     StreamMessage::new(
         DEFAULT_STREAM_TAG,
         MsgFormat::Json,
         format!(
-            r#"{{"uid":1,"exe":"N/A","file":"N/A","job_id":9,"rank":0,"ProducerName":"nid00040",
+            r#"{{"uid":1,"exe":"N/A","file":"N/A","job_id":9,"rank":{rank},"ProducerName":"nid00040",
                "record_id":7,"module":"POSIX","type":"MOD","max_byte":99,"switches":0,
                "flushes":-1,"cnt":1,"op":"write",
                "seg":[{{"data_set":"N/A","pt_sel":-1,"irreg_hslab":-1,"reg_hslab":-1,
@@ -106,16 +110,21 @@ fn dsos_parallel_query_totals_match_ingest_across_daemons() {
     cluster.create_container("darshan", &schema);
     let store = DsosStreamStore::new(cluster.clone());
     for i in 0..30 {
-        store.deliver(&connector_msg(1_650_000_000.0 + i as f64));
+        // Rows shard by (job, rank): ten ranks spread the 30 rows
+        // across the three backends.
+        store.deliver(&connector_msg_rank(1_650_000_000.0 + i as f64, i % 10));
     }
     // Rows spread across all daemons...
     for d in 0..3 {
         assert!(cluster.daemon(d).object_count() > 0);
     }
-    // ...and the merged query sees all of them in time order.
+    // ...and the merged query sees all of them in (rank, time) order.
     let rows = cluster.query_prefix("darshan", "job_rank_time", &[Value::U64(9)]);
     assert_eq!(rows.len(), 30);
     let ts_col = 23; // seg_timestamp
-    let times: Vec<f64> = rows.iter().map(|r| r[ts_col].as_f64().unwrap()).collect();
-    assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    let keys: Vec<(u64, f64)> = rows
+        .iter()
+        .map(|r| (r[5].as_u64().unwrap(), r[ts_col].as_f64().unwrap()))
+        .collect();
+    assert!(keys.windows(2).all(|w| w[0] <= w[1]));
 }

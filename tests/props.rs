@@ -5,7 +5,7 @@ mod fault_common;
 
 use proptest::prelude::*;
 use repro_suite::connector::{FaultScript, QueueConfig, WalConfig};
-use repro_suite::dsos::{DsosCluster, Schema, Type, Value};
+use repro_suite::dsos::{DsosCluster, ReplicationConfig, Schema, Type, Value};
 use repro_suite::ldms::batch::{decode_frame, encode_frame, is_frame_payload, FrameRecord};
 use repro_suite::ldms::store::json_to_rows;
 use repro_suite::simtime::{Clock, Epoch, SimDuration};
@@ -139,6 +139,102 @@ proptest! {
             .map(|r| (r[1].as_u64().unwrap(), r[2].as_f64().unwrap()))
             .collect();
         prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    // --- replicated DSOS durability -------------------------------------
+
+    #[test]
+    fn quorum_acked_rows_survive_up_to_r_minus_1_dsosd_crashes(
+        n in 3usize..6,
+        extra in 0usize..2,
+        w_draw in 0usize..3,
+        rows in prop::collection::vec((1u64..5, 0u64..8, 0u64..2_000), 1..60),
+        windows in prop::collection::vec((0usize..6, 0u64..2_000, 1u64..400), 0..6),
+    ) {
+        // Random dsosd crash/restart scripts constrained to at most
+        // R−1 daemons concurrently down (the tentpole's durability
+        // envelope). Every quorum-acked row must come back from the
+        // post-recovery full query exactly once, and the completeness
+        // report must prove it: zero unavailable mass, acked count
+        // matching the ingest-side quorum acks, replay idempotent.
+        let r = (2 + extra).min(n);
+        let w = 1 + w_draw.min(r - 1);
+        let base = Epoch::from_secs(1_650_000_000);
+        let cluster = DsosCluster::new_replicated(
+            n,
+            ReplicationConfig::new(r).with_quorum(w),
+        ).unwrap();
+        let schema = Schema::builder("t")
+            .attr("job", Type::U64)
+            .attr("rank", Type::U64)
+            .attr("ts", Type::F64)
+            .index("jrt", &["job", "rank", "ts"])
+            .build()
+            .unwrap();
+        cluster.create_container("t", &schema);
+
+        // Admit candidate windows in start order, rejecting any that
+        // would push the concurrently-down count to R. Touching
+        // windows (one ends exactly as another starts) count as
+        // concurrent: a replica that dies at the same instant a peer
+        // restarts cannot serve as that peer's rebuild source.
+        let mut sorted: Vec<(usize, u64, u64)> = windows
+            .iter()
+            .map(|&(d, from, dur)| (d % n, from, from + dur))
+            .collect();
+        sorted.sort_by_key(|&(_, from, until)| (from, until));
+        let mut active: Vec<(usize, u64)> = Vec::new();
+        for (d, from, until) in sorted {
+            active.retain(|&(_, u)| u >= from);
+            if active.len() >= r - 1 || active.iter().any(|&(ad, _)| ad == d) {
+                continue;
+            }
+            cluster.crash_dsosd(d, base + SimDuration::from_millis(from));
+            cluster.restart_dsosd(d, base + SimDuration::from_millis(until));
+            active.push((d, until));
+        }
+
+        // Unique ts per row makes "exactly once" checkable by key.
+        let mut acked: Vec<bool> = Vec::with_capacity(rows.len());
+        for (k, &(job, rank, at_ms)) in rows.iter().enumerate() {
+            let ack = cluster.ingest_at(
+                "t",
+                vec![
+                    Value::U64(job),
+                    Value::U64(rank),
+                    Value::F64(k as f64 * 0.5),
+                ],
+                base + SimDuration::from_millis(at_ms),
+            ).unwrap();
+            acked.push(ack.quorum);
+        }
+
+        let end = base + SimDuration::from_secs(86_400);
+        cluster.recover(end);
+        let (out, c) = cluster.query_prefix_at("t", "jrt", &[], end);
+
+        let mut seen = vec![0usize; rows.len()];
+        for row in &out {
+            let k = (row[2].as_f64().unwrap() / 0.5).round() as usize;
+            prop_assert!(k < rows.len(), "query invented a row: {row:?}");
+            seen[k] += 1;
+        }
+        for (k, &was_acked) in acked.iter().enumerate() {
+            prop_assert!(seen[k] <= 1, "row {} returned {} times", k, seen[k]);
+            if was_acked {
+                prop_assert_eq!(
+                    seen[k], 1,
+                    "quorum-acked row {} lost (R={}, W={}, n={})", k, r, w, n
+                );
+            }
+        }
+        let acked_total = acked.iter().filter(|&&a| a).count() as u64;
+        prop_assert_eq!(c.acked_rows, acked_total);
+        prop_assert_eq!(c.unavailable, 0);
+        prop_assert!(c.is_complete(), "post-recovery report must be total: {c:?}");
+        prop_assert_eq!(c.rows_returned, out.len());
+        // Anti-entropy replay is idempotent: a second pass is a no-op.
+        prop_assert_eq!(cluster.recover(end), 0);
     }
 
     // --- Darshan log round trip -----------------------------------------
