@@ -136,6 +136,48 @@ pub fn job_mean_durations(df: &DataFrame, op: &str) -> Vec<(u64, f64)> {
         .collect()
 }
 
+/// One job flagged by [`anomalous_jobs`]: its mean operation duration
+/// sits a robust z-score away from the fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobAnomaly {
+    /// Flagged job id.
+    pub job: u64,
+    /// The job's mean duration of the operation (seconds).
+    pub mean_dur: f64,
+    /// Fleet median of the per-job means (seconds).
+    pub fleet_median: f64,
+    /// Robust z-score of the job against the fleet.
+    pub z: f64,
+}
+
+/// Flags jobs whose per-job mean duration of `op` is a robust outlier
+/// against the fleet (z ≥ `min_z` over median/MAD) — the post-run
+/// twin of the online detector's fleet-baseline duration alert, and
+/// the automatic version of the paper's Figure 7 reading ("job 2's
+/// reads average 6.75 s against a 0.05 s fleet mean").
+pub fn anomalous_jobs(df: &DataFrame, op: &str, min_z: f64) -> Vec<JobAnomaly> {
+    use iosim_util::stats::{mad, median, robust_z};
+    let per_job = job_mean_durations(df, op);
+    let means: Vec<f64> = per_job.iter().map(|&(_, m)| m).collect();
+    let (Some(fleet_median), Some(fleet_mad)) = (median(&means), mad(&means)) else {
+        return Vec::new();
+    };
+    let mut out: Vec<JobAnomaly> = per_job
+        .into_iter()
+        .filter_map(|(job, mean_dur)| {
+            let z = robust_z(mean_dur, fleet_median, fleet_mad);
+            (z >= min_z).then_some(JobAnomaly {
+                job,
+                mean_dur,
+                fleet_median,
+                z,
+            })
+        })
+        .collect();
+    out.sort_by(|a, b| b.z.total_cmp(&a.z).then_with(|| a.job.cmp(&b.job)));
+    out
+}
+
 /// Figure 8: one point per operation — (seconds into the job, duration,
 /// op) — revealing the application's temporal I/O pattern.
 #[derive(Debug, Clone, PartialEq)]
@@ -363,6 +405,28 @@ mod tests {
         let read = occ.iter().find(|o| o.op == "read").unwrap();
         assert!((read.mean - 1.0).abs() < 1e-12);
         assert_eq!(read.ci95, 0.0); // identical counts → zero CI
+    }
+
+    #[test]
+    fn anomalous_jobs_flags_the_figure7_read_outlier() {
+        // Three calm jobs read at ~0.05 s; job 302 reads at 6.75 s —
+        // the Figures 7–9 signature.
+        let mut rows = Vec::new();
+        for (job, dur) in [(300, 0.050), (301, 0.052), (302, 6.75), (303, 0.048)] {
+            for i in 0..4u64 {
+                rows.push((job, i % 2, "n1", "read", dur, 1024, 100.0 + i as f64));
+                rows.push((job, i % 2, "n1", "write", 0.1, 1024, 90.0 + i as f64));
+            }
+        }
+        let df = frame(rows);
+        let hits = anomalous_jobs(&df, "read", 6.0);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].job, 302);
+        assert!((hits[0].mean_dur - 6.75).abs() < 1e-12);
+        assert!(hits[0].z > 6.0);
+        assert!(hits[0].fleet_median < 0.06);
+        // Writes are uniform: nothing flagged.
+        assert!(anomalous_jobs(&df, "write", 6.0).is_empty());
     }
 
     #[test]

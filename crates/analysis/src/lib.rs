@@ -14,7 +14,11 @@
 //!   of operations within a job (Fig 8), and the Grafana-style
 //!   byte/operation timeline (Fig 9);
 //! * [`dashboard`] — deterministic text rendering of those series (the
-//!   Grafana panel analogue) plus CSV export for external plotting.
+//!   Grafana panel analogue) plus CSV export for external plotting;
+//! * [`online`] — the run-time half of "run time diagnosis": a
+//!   streaming anomaly-detection engine (rolling robust statistics,
+//!   phase segmentation, straggler and duration-outlier alerts) fed
+//!   off-path from the live ingest stream.
 
 #![forbid(unsafe_code)]
 
@@ -22,6 +26,10 @@ pub mod dashboard;
 pub mod figures;
 pub mod frame;
 pub mod grafana;
+pub mod online;
 
 pub use frame::DataFrame;
 pub use grafana::{Dashboard, Panel};
+pub use online::{
+    AnomalyKind, DetectionConfig, DetectionSeverity, DiagnosticEvent, OnlineDetector, OnlineEvent,
+};

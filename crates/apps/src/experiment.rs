@@ -99,6 +99,10 @@ pub struct RunSpec {
     /// default; the per-reason import report lands in
     /// [`RunResult::csv_import`].
     pub csv_seed: Vec<Vec<String>>,
+    /// Online anomaly detection over the live ingest stream (`None`
+    /// by default — the run is byte-identical to an untapped one;
+    /// detections land in [`RunResult::detections`]).
+    pub detection: Option<hpcws_sim::DetectionConfig>,
 }
 
 impl RunSpec {
@@ -126,6 +130,7 @@ impl RunSpec {
             replicas: 1,
             write_quorum: None,
             csv_seed: Vec::new(),
+            detection: None,
         }
     }
 
@@ -238,6 +243,12 @@ impl RunSpec {
         self
     }
 
+    /// Enables online anomaly detection with the given thresholds.
+    pub fn with_detection(mut self, cfg: hpcws_sim::DetectionConfig) -> Self {
+        self.detection = Some(cfg);
+        self
+    }
+
     /// The effective replication policy for the run's DSOS cluster.
     pub fn replication(&self) -> ReplicationConfig {
         let base = if self.replicas <= 1 {
@@ -335,6 +346,11 @@ pub struct RunResult {
     /// Per-reason accounting for the pre-run CSV seed import (`None`
     /// unless the spec carried `csv_seed` rows).
     pub csv_import: Option<CsvImportReport>,
+    /// Online detections over the run's ingest stream, sorted by
+    /// onset (empty unless the spec enabled detection; the same
+    /// findings ride in [`RunResult::trace_report`] as
+    /// `TRC010`–`TRC012`).
+    pub detections: Vec<hpcws_sim::DiagnosticEvent>,
 }
 
 /// Runs one job to completion through the full stack.
@@ -361,6 +377,18 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
         ))
     } else {
         None
+    };
+
+    // Run-time detection taps the store's terminal ingest path
+    // off-path: the observer only reads row batches, so the storage
+    // path is byte-identical whether or not the tap is attached.
+    let detector_tap = match (pipeline.as_ref(), &spec.detection) {
+        (Some(p), Some(cfg)) => {
+            let tap = crate::detect::DetectorTap::new(cfg.clone());
+            p.store().attach_observer(tap.clone());
+            Some(tap)
+        }
+        _ => None,
     };
 
     // Seed the event container from CSV rows (the LDMS CSV-store
@@ -475,6 +503,13 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
         .map(|t| t.latency_summary())
         .unwrap_or_default();
 
+    // Replay the tapped ingest stream through the online detector:
+    // the settled pipeline has delivered everything it ever will, so
+    // the virtual-time sort is total and the detections deterministic.
+    let detections = detector_tap
+        .as_ref()
+        .map_or_else(Vec::new, |t| t.finalize().1);
+
     // Post-run: lint the stored trace, reconciling sequence gaps
     // against the delivery ledger. Only meaningful with a store.
     let mut trace_report = match pipeline.as_ref() {
@@ -490,6 +525,9 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
             budget_s,
             &LintConfig::new(),
         ));
+    }
+    if !detections.is_empty() {
+        trace_report.merge(iolint::check_detections(&detections, &LintConfig::new()));
     }
 
     let mut per_rank = per_rank.into_inner();
@@ -534,6 +572,7 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
         latency,
         completeness,
         csv_import,
+        detections,
     }
 }
 

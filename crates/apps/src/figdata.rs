@@ -97,7 +97,18 @@ pub fn mpi_io_figure_runs(jobs: u32, scale_down: bool) -> FigureRuns {
         MpiIoTest::paper_config(FsChoice::Lustre, false)
     };
     let writes_end = estimate_write_phase_s(&app);
+    // Online detection rides along on every figure job. Windows are
+    // sized to one write burst (the app writes one block per rank per
+    // iteration, ~10 bursts across the write phase), so ~5 calm
+    // windows warm the baseline before job 2's storm at 55% of the
+    // phase; the 1.3x outlier floor sits between calm jitter and the
+    // storm's x1.5 write slowdown — calm jobs stay silent, job 2
+    // alarms with its onset at the regime shift.
+    let detection = hpcws_sim::DetectionConfig::default()
+        .with_window_s((writes_end / 10.0).max(0.05))
+        .with_outlier_factor(1.3);
     run_figure_jobs(&app, FsChoice::Lustre, jobs, move |job_index, spec| {
+        let spec = spec.with_detection(detection.clone());
         if job_index == 2 {
             let t0 = spec.epoch_base;
             // One storm from 55% of the write phase through the end of
@@ -205,6 +216,57 @@ mod tests {
         assert!(
             job2 > normal * 10.0,
             "job 2 reads must be anomalous: {job2} vs {normal}"
+        );
+    }
+
+    #[test]
+    fn online_detector_flags_job2_live_with_onset_in_the_storm_window() {
+        let runs = mpi_io_figure_runs(4, true);
+        // Calm jobs raise no alarm at all.
+        for (i, r) in runs.results.iter().enumerate() {
+            if runs.job_ids[i] != 302 {
+                assert!(
+                    r.detections.is_empty(),
+                    "job {} must stay silent: {:?}",
+                    runs.job_ids[i],
+                    r.detections
+                );
+            }
+        }
+        // Job 302's write slowdown is caught in flight...
+        let anomalous = &runs.results[2];
+        let hit = anomalous
+            .detections
+            .iter()
+            .find(|d| d.kind == hpcws_sim::AnomalyKind::DurationOutlier && d.op == "write")
+            .expect("job 302's write slowdown must be detected");
+        assert_eq!(hit.job_id, 302);
+        // ...with an onset inside the injected storm window (up to one
+        // statistics window of quantization on the leading edge).
+        let app = {
+            let mut a = MpiIoTest::tiny(false);
+            a.iterations = 10;
+            a.nodes = 2;
+            a.ranks_per_node = 4;
+            a.block = 4 * 1024 * 1024;
+            a
+        };
+        let writes_end = estimate_write_phase_s(&app);
+        let window_s = (writes_end / 10.0).max(0.05);
+        let t0 = 1_655_300_000.0 + 2.0 * 7_200.0;
+        let storm_start = t0 + writes_end * 0.55;
+        let storm_end = t0 + writes_end * 8.0 + 120.0;
+        assert!(
+            hit.onset >= storm_start - window_s && hit.onset <= storm_end,
+            "onset {} outside storm [{storm_start}, {storm_end}] (window {window_s})",
+            hit.onset
+        );
+        assert!(hit.observed > hit.baseline);
+        // The same findings ride the lint report as TRC011.
+        assert!(
+            anomalous.trace_report.codes().contains("TRC011"),
+            "{}",
+            anomalous.trace_report.render_text()
         );
     }
 }

@@ -17,10 +17,13 @@
 //! * [`table2`] — the Table II campaigns (5 repetitions × {Darshan,
 //!   Darshan-LDMS Connector} per configuration);
 //! * [`figdata`] — runs the figure experiments and extracts analysis
-//!   dataframes from DSOS.
+//!   dataframes from DSOS;
+//! * [`detect`] — taps the store's ingest stream off-path and replays
+//!   it through the online anomaly detector at settle.
 
 #![forbid(unsafe_code)]
 
+pub mod detect;
 pub mod experiment;
 pub mod figdata;
 pub mod platform;
@@ -28,6 +31,7 @@ pub mod stack;
 pub mod table2;
 pub mod workloads;
 
+pub use detect::DetectorTap;
 pub use experiment::{run_job, Instrumentation, RunResult, RunSpec};
 pub use platform::{FsChoice, Platform};
 pub use workloads::Workload;

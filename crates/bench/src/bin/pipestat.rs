@@ -13,7 +13,13 @@
 //! * a **per-hop latency table** from the sampled span log — publish,
 //!   forward, park, retry, WAL-replay, and ingest hop latencies plus
 //!   the end-to-end publish→ingest distribution (p50/p95/max in
-//!   virtual milliseconds).
+//!   virtual milliseconds);
+//! * an **online-detection report**: the Figure 7–9 campaign rerun
+//!   with the streaming anomaly detector riding every job (live and
+//!   fleet-level findings), plus exact precision/recall of the
+//!   detector against the labeled scenario corpus — exported as the
+//!   `detection_*` families in the JSON snapshot and gated by the CI
+//!   `detect` job.
 //!
 //! Emits `BENCH_pipestat.json` (one registry + latency snapshot per
 //! workload, via the hub's JSON exporter) and `BENCH_pipestat.prom`
@@ -26,13 +32,17 @@ use darshan_ldms_connector::{
     DeliveryMode, FaultScript, OverloadConfig, Pipeline, QueueConfig, TelemetryConfig,
     WorkloadSpec, DEFAULT_STREAM_TAG,
 };
+use hpcws_sim::online::{OnlineDetector, OnlineEvent};
+use hpcws_sim::{AnomalyKind, DetectionConfig, DiagnosticEvent};
 use iolint::{analyze_flow, FlowReport, Role, TopologySpec};
+use iosim_apps::detect::row_to_event;
 use iosim_apps::experiment::{run_job, Instrumentation, RunSpec};
 use iosim_apps::platform::FsChoice;
 use iosim_apps::workloads::{HaccIo, Hmmer, MpiIoTest, Sw4, Workload};
 use iosim_telemetry::{HistogramSnapshot, HopKind, LatencySummary, Metric};
 use iosim_util::table::TextTable;
 use repro_bench::HarnessOpts;
+use repro_suite::scenario;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
@@ -356,6 +366,218 @@ fn main() {
         );
         let _ = writeln!(json, "      \"snapshot\": {}", tel.render_json());
         let _ = writeln!(json, "    }}{}", if wi + 1 < apps.len() { "," } else { "" });
+    }
+    json.push_str("  ],\n");
+
+    // Online anomaly detection: the Figure 7–9 MPI-IO campaign with
+    // live detection riding every job (job 2 carries the injected
+    // congestion anomaly), a fleet-level replay over all stored rows,
+    // and the labeled scenario corpus scored for exact precision and
+    // recall. The CI `detect` job gates on this section: calm jobs
+    // must stay silent, job 302 must alarm live with TRC011 and at
+    // fleet level on its reads, and the corpus quality gates
+    // (precision ≥ 0.9, recall ≥ 0.8 per class) must hold.
+    println!("\n== online anomaly detection (Figure 7-9 campaign) ==");
+    let runs = iosim_apps::figdata::mpi_io_figure_runs(4, opts.quick);
+    let mut live: Vec<DiagnosticEvent> = Vec::new();
+    for (i, r) in runs.results.iter().enumerate() {
+        let job = runs.job_ids[i];
+        if job == 302 {
+            let write_hit = r
+                .detections
+                .iter()
+                .any(|d| d.kind == AnomalyKind::DurationOutlier && d.op == "write");
+            if !write_hit {
+                failures.push("detection: job 302's write slowdown was not flagged live".into());
+            }
+            if !r.trace_report.codes().contains("TRC011") {
+                failures.push("detection: TRC011 missing from job 302's trace report".into());
+            }
+        } else if !r.detections.is_empty() {
+            failures.push(format!(
+                "detection: calm job {job} raised {} false alarms",
+                r.detections.len()
+            ));
+        }
+        live.extend(r.detections.iter().cloned());
+    }
+
+    // Fleet replay: one detector across all four jobs' stored rows.
+    // Cross-job baselines catch what no single run can — job 302's
+    // reads are uniformly slow, invisible to its own history but an
+    // extreme outlier against the fleet's cached reads. Window sizing
+    // is tuned to the quick campaign's timescales, so the pass (and
+    // its gate) runs in quick mode only.
+    let fleet: Vec<DiagnosticEvent> = if opts.quick {
+        let mut events: Vec<OnlineEvent> = Vec::new();
+        for (&job_id, r) in runs.job_ids.iter().zip(&runs.results) {
+            let p = r.pipeline.as_ref().expect("figure runs store events");
+            events.extend(
+                p.events_of_job(job_id)
+                    .iter()
+                    .filter_map(|r| row_to_event(r)),
+            );
+        }
+        events.sort_by(|a, b| {
+            a.end
+                .total_cmp(&b.end)
+                .then_with(|| a.job_id.cmp(&b.job_id))
+                .then_with(|| a.rank.cmp(&b.rank))
+                .then_with(|| a.op.cmp(&b.op))
+                .then_with(|| a.file.cmp(&b.file))
+                .then_with(|| a.len.cmp(&b.len))
+                .then_with(|| a.off.cmp(&b.off))
+        });
+        let cfg = DetectionConfig {
+            baseline_min_windows: 2,
+            ..DetectionConfig::default().with_window_s(0.05)
+        };
+        let mut det = OnlineDetector::new(cfg);
+        for e in &events {
+            det.observe(e);
+        }
+        let fleet = det.finish();
+        if !fleet
+            .iter()
+            .any(|d| d.job_id == 302 && d.kind == AnomalyKind::DurationOutlier && d.op == "read")
+        {
+            failures.push("detection: fleet pass missed job 302's read anomaly".into());
+        }
+        if fleet.iter().any(|d| d.job_id != 302) {
+            failures.push("detection: fleet pass flagged a calm job".into());
+        }
+        fleet
+    } else {
+        Vec::new()
+    };
+
+    let mut det_table = TextTable::new(vec![
+        "source",
+        "kind",
+        "severity",
+        "job",
+        "rank",
+        "op",
+        "onset (s)",
+        "detected (s)",
+        "observed (s)",
+        "baseline (s)",
+    ]);
+    for (src, d) in live
+        .iter()
+        .map(|d| ("live", d))
+        .chain(fleet.iter().map(|d| ("fleet", d)))
+    {
+        det_table.row(vec![
+            src.to_string(),
+            d.kind.to_string(),
+            d.severity.as_str().to_string(),
+            d.job_id.to_string(),
+            d.rank.map_or_else(|| "-".to_string(), |r| r.to_string()),
+            d.op.clone(),
+            format!("{:.3}", d.onset),
+            format!("{:.3}", d.detected_at),
+            format!("{:.6}", d.observed),
+            format!("{:.6}", d.baseline),
+        ]);
+    }
+    println!("{}", det_table.render());
+
+    println!("== detection quality vs labeled scenario corpus (seeds 1/7/42) ==");
+    let mut quality: BTreeMap<scenario::AnomalyClass, scenario::ClassQuality> = BTreeMap::new();
+    for seed in [1u64, 7, 42] {
+        for sc in scenario::corpus(seed) {
+            let mut det = OnlineDetector::new(DetectionConfig::default());
+            for e in &sc.events {
+                det.observe(e);
+            }
+            let dets = det.finish();
+            if sc.class == scenario::AnomalyClass::CalmControl {
+                if !dets.is_empty() {
+                    failures.push(format!(
+                        "detection: calm control (seed {seed}) raised {} false alarms",
+                        dets.len()
+                    ));
+                }
+                continue;
+            }
+            for (class, q) in scenario::evaluate(&dets, &sc.labels, 10.0) {
+                quality.entry(class).or_default().absorb(q);
+            }
+        }
+    }
+    let mut quality_table = TextTable::new(vec![
+        "class",
+        "tp",
+        "fp",
+        "fn",
+        "precision",
+        "recall",
+        "gate",
+    ]);
+    for (class, q) in &quality {
+        let ok = q.precision() >= 0.9 && q.recall() >= 0.8;
+        if !ok {
+            failures.push(format!(
+                "detection: {} precision {:.3} / recall {:.3} below the 0.9/0.8 gates",
+                class.as_str(),
+                q.precision(),
+                q.recall()
+            ));
+        }
+        quality_table.row(vec![
+            class.as_str().to_string(),
+            q.true_positives.to_string(),
+            q.false_positives.to_string(),
+            q.false_negatives.to_string(),
+            format!("{:.3}", q.precision()),
+            format!("{:.3}", q.recall()),
+            (if ok { "pass" } else { "FAIL" }).to_string(),
+        ]);
+    }
+    println!("{}", quality_table.render());
+
+    let json_det = |d: &DiagnosticEvent| {
+        format!(
+            "{{\"kind\": \"{}\", \"severity\": \"{}\", \"job\": {}, \"rank\": {}, \"op\": \"{}\", \
+             \"onset_s\": {:.3}, \"detected_s\": {:.3}, \"observed_s\": {:.6}, \"baseline_s\": {:.6}}}",
+            d.kind,
+            d.severity.as_str(),
+            d.job_id,
+            d.rank.map_or_else(|| "null".to_string(), |r| r.to_string()),
+            d.op,
+            d.onset,
+            d.detected_at,
+            d.observed,
+            d.baseline
+        )
+    };
+    for (key, dets) in [("detection_live", &live), ("detection_fleet", &fleet)] {
+        let _ = writeln!(json, "  \"{key}\": [");
+        for (i, d) in dets.iter().enumerate() {
+            let _ = writeln!(
+                json,
+                "    {}{}",
+                json_det(d),
+                if i + 1 < dets.len() { "," } else { "" }
+            );
+        }
+        json.push_str("  ],\n");
+    }
+    json.push_str("  \"detection_quality\": [\n");
+    for (i, (class, q)) in quality.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"class\": \"{}\", \"true_positives\": {}, \"false_positives\": {}, \
+             \"false_negatives\": {}, \"precision\": {:.4}, \"recall\": {:.4}}}{}",
+            class.as_str(),
+            q.true_positives,
+            q.false_positives,
+            q.false_negatives,
+            q.precision(),
+            q.recall(),
+            if i + 1 < quality.len() { "," } else { "" }
+        );
     }
     json.push_str("  ],\n");
 

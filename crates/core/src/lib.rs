@@ -51,7 +51,7 @@ pub use ldms_sim::{
 pub use pipeline::{Pipeline, PipelineOpts};
 pub use schema::{
     column_id, darshan_schema, summary_column_id, summary_schema, DsosStreamStore, GapReport,
-    COLUMNS, CONTAINER, SUMMARY_COLUMNS, SUMMARY_CONTAINER,
+    IngestObserver, COLUMNS, CONTAINER, SUMMARY_COLUMNS, SUMMARY_CONTAINER,
 };
 pub use workload::WorkloadSpec;
 

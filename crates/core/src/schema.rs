@@ -214,6 +214,20 @@ struct SeqTrack {
     max_seq: u64,
 }
 
+/// An off-path observer of the store's terminal ingest stream.
+///
+/// Implementors see every parsed `darshan_data` row batch at the
+/// instant it is handed to the cluster, *before* ingest — read-only,
+/// outside the storage path, so attaching one cannot change what the
+/// cluster stores, acknowledges, or ledgers (the online anomaly
+/// detector taps the pipeline through this, like telemetry taps the
+/// daemons). Rows are in [`COLUMNS`] order.
+pub trait IngestObserver: Send + Sync {
+    /// Called once per delivered stream message with its typed rows
+    /// and the message's arrival instant.
+    fn on_rows(&self, rows: &[Vec<Value>], recv_time: iosim_time::Epoch);
+}
+
 /// One publisher's gap-tracking identity: `(producer, job_id, rank)`.
 /// The producer is shared via `Arc` — it arrives as `Arc<str>` on the
 /// message, so keying avoids a per-message allocation.
@@ -251,6 +265,9 @@ pub struct DsosStreamStore {
     /// Delivery ledger for acknowledged-at-quorum accounting, when the
     /// store is wired into a pipeline.
     ledger: Mutex<Option<Arc<DeliveryLedger>>>,
+    /// Off-path observer of parsed row batches, when run-time
+    /// detection (or any other tap) is on.
+    observer: Mutex<Option<Arc<dyn IngestObserver>>>,
 }
 
 impl DsosStreamStore {
@@ -272,6 +289,7 @@ impl DsosStreamStore {
             dedup_hits: Mutex::new(None),
             quorum_acked: AtomicU64::new(0),
             ledger: Mutex::new(None),
+            observer: Mutex::new(None),
         })
     }
 
@@ -288,6 +306,14 @@ impl DsosStreamStore {
     /// conservation law).
     pub fn attach_ledger(&self, ledger: Arc<DeliveryLedger>) {
         *self.ledger.lock() = Some(ledger);
+    }
+
+    /// Attaches an off-path [`IngestObserver`] that sees every parsed
+    /// row batch before it is handed to the cluster. Purely
+    /// observational: rows, acknowledgements, and ledger accounting
+    /// are byte-identical with and without an observer attached.
+    pub fn attach_observer(&self, observer: Arc<dyn IngestObserver>) {
+        *self.observer.lock() = Some(observer);
     }
 
     /// Rows acknowledged at the cluster's write quorum.
@@ -492,6 +518,12 @@ impl StreamSink for DsosStreamStore {
             self.rejected.fetch_add(bad_rows, Ordering::Relaxed);
         }
         let total = objs.len() as u64;
+        // The observer peeks at the batch before it moves into the
+        // cluster; storage behavior is independent of the peek.
+        let obs = self.observer.lock().clone();
+        if let Some(obs) = obs {
+            obs.on_rows(&objs, msg.recv_time);
+        }
         // Rows are written at the message's arrival instant so the
         // cluster's fault schedule knows which replicas were up; every
         // row that reaches the write quorum extends the ledger.
@@ -556,6 +588,40 @@ mod tests {
             rows[0][column_id("seg_timestamp")],
             Value::F64(1650000000.25)
         );
+    }
+
+    #[test]
+    fn observer_sees_parsed_rows_without_changing_ingest() {
+        struct Tap {
+            rows: Mutex<Vec<Vec<Value>>>,
+            batches: AtomicU64,
+        }
+        impl IngestObserver for Tap {
+            fn on_rows(&self, rows: &[Vec<Value>], _recv_time: iosim_time::Epoch) {
+                self.rows.lock().extend(rows.iter().cloned());
+                self.batches.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let cluster = DsosCluster::new(2);
+        let store = DsosStreamStore::new(cluster.clone());
+        let tap = Arc::new(Tap {
+            rows: Mutex::new(Vec::new()),
+            batches: AtomicU64::new(0),
+        });
+        store.attach_observer(tap.clone());
+        deliver(&store, MSG);
+        deliver(&store, "{broken"); // never parses → never observed
+        assert_eq!(tap.batches.load(Ordering::Relaxed), 1);
+        let seen = tap.rows.lock();
+        assert_eq!(seen.len(), 1);
+        // Rows arrive in COLUMNS order, identical to what is stored.
+        assert_eq!(seen[0][column_id("op")], Value::Str("write".into()));
+        assert_eq!(seen[0][column_id("seg_dur")], Value::F64(0.005));
+        let stored = cluster.query_prefix(CONTAINER, "job_rank_time", &[Value::U64(7)]);
+        assert_eq!(stored, *seen);
+        // Ingest accounting is unchanged by the tap.
+        assert_eq!(store.ingested(), 1);
+        assert_eq!(store.rejected(), 1);
     }
 
     #[test]

@@ -263,13 +263,34 @@ lint!(
     Warning,
     "sampled end-to-end p95 pipeline latency exceeds the configured budget"
 );
+lint!(
+    TRC010,
+    "TRC010",
+    "straggler-rank-live",
+    Warning,
+    "the online detector flagged a rank whose cumulative I/O time dwarfs the job median"
+);
+lint!(
+    TRC011,
+    "TRC011",
+    "duration-outlier",
+    Warning,
+    "the online detector flagged an operation whose window median broke from its rolling baseline"
+);
+lint!(
+    TRC012,
+    "TRC012",
+    "phase-anomaly",
+    Warning,
+    "the online detector flagged an I/O phase degenerating into tiny unaligned writes"
+);
 
 /// Every lint, in code order. `TOP*` codes come from the topology
 /// pass, `TRC*` codes from the trace pass.
 pub const REGISTRY: &[LintCode] = &[
     TOP001, TOP002, TOP003, TOP004, TOP005, TOP006, TOP007, TOP008, TOP009, TOP010, TOP011, TOP012,
     TOP013, TOP014, FLOW001, FLOW002, FLOW003, FLOW004, CONF001, TRC001, TRC002, TRC003, TRC004,
-    TRC005, TRC006, TRC007, TRC008, TRC009,
+    TRC005, TRC006, TRC007, TRC008, TRC009, TRC010, TRC011, TRC012,
 ];
 
 /// Looks a lint up by code (`"TOP001"`, case-insensitive) or by name

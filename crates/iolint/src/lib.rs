@@ -20,12 +20,14 @@
 //!   provable loss, accuracy-floor breaches, crash-window WAL
 //!   overflow, and latency-budget violations. Conf parse failures
 //!   surface as `CONF001` with the offending line.
-//! * **Trace** (`TRC001`–`TRC009`): linting of stored `darshan_data`
+//! * **Trace** (`TRC001`–`TRC012`): linting of stored `darshan_data`
 //!   rows — unmatched opens/closes, impossible or overlapping
 //!   durations, timestamp regressions, sequence gaps the delivery
-//!   ledger cannot explain, latency-budget breaches, and the I/O
+//!   ledger cannot explain, latency-budget breaches, the I/O
 //!   anti-patterns (tiny unaligned writes, rank stragglers) the paper
-//!   diagnoses at run time.
+//!   diagnoses at run time, and the online detector's live findings
+//!   (`TRC010`–`TRC012`: straggler ranks, duration outliers, phase
+//!   anomalies) folded into the same report.
 //!
 //! Diagnostics carry stable codes with rustc-style `allow`/`warn`/
 //! `deny` configuration ([`LintConfig`]) and render as plain text, a
@@ -68,8 +70,8 @@ pub use topology::{
     TopologySpec,
 };
 pub use trace::{
-    events_from_cluster, lint_gaps, lint_latency_budget, lint_trace, LossBudget, TraceEvent,
-    TraceLintOpts,
+    events_from_cluster, lint_detections, lint_gaps, lint_latency_budget, lint_trace, LossBudget,
+    TraceEvent, TraceLintOpts,
 };
 
 use darshan_ldms_connector::Pipeline;
@@ -131,4 +133,11 @@ pub fn check_pipeline_trace(p: &Pipeline, opts: &TraceLintOpts, config: &LintCon
 /// plain numbers, compared against a budget in virtual seconds.
 pub fn check_latency_budget(p95_s: f64, traces: u64, budget_s: f64, config: &LintConfig) -> Report {
     Report::new(trace::lint_latency_budget(p95_s, traces, budget_s), config)
+}
+
+/// Folds a run's online detections (`TRC010`–`TRC012`) into a
+/// configured [`Report`], so live anomaly alerts render, merge, and
+/// gate exactly like every other lint.
+pub fn check_detections(detections: &[hpcws_sim::DiagnosticEvent], config: &LintConfig) -> Report {
+    Report::new(trace::lint_detections(detections), config)
 }

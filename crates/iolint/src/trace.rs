@@ -469,6 +469,45 @@ pub fn lint_latency_budget(p95_s: f64, traces: u64, budget_s: f64) -> Vec<Diagno
     )]
 }
 
+/// `TRC010`–`TRC012` — folds the online detector's emissions into the
+/// lint report, so live detection and post-run linting tell one story.
+/// Each [`hpcws_sim::DiagnosticEvent`] maps to the code of its anomaly
+/// class: straggler ranks to `TRC010`, duration outliers to `TRC011`,
+/// phase anomalies to `TRC012`.
+pub fn lint_detections(detections: &[hpcws_sim::DiagnosticEvent]) -> Vec<Diagnostic> {
+    use hpcws_sim::online::{AnomalyKind, DetectionSeverity};
+    detections
+        .iter()
+        .map(|d| {
+            let code = match d.kind {
+                AnomalyKind::StragglerRank => &diag::TRC010,
+                AnomalyKind::DurationOutlier => &diag::TRC011,
+                AnomalyKind::PhaseAnomaly => &diag::TRC012,
+            };
+            let subject = match d.rank {
+                Some(rank) => format!("job {} rank {rank}", d.job_id),
+                None => format!("job {}", d.job_id),
+            };
+            let sev = match d.severity {
+                DetectionSeverity::Warning => "",
+                DetectionSeverity::Critical => " [critical]",
+            };
+            Diagnostic::new(
+                code,
+                subject,
+                format!(
+                    "{}{sev}: {} (onset t={:.3}s, detected t={:.3}s)",
+                    d.kind, d.evidence, d.onset, d.detected_at
+                ),
+            )
+            .with_help(
+                "inspect the flagged window in the stored trace; the onset instant bounds \
+                 where the regime shifted",
+            )
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -600,5 +639,40 @@ mod tests {
         assert!(d.message.contains("0.500000s budget"));
         assert!(d.message.contains("64 traced messages"));
         assert!(d.help.is_some());
+    }
+
+    #[test]
+    fn online_detections_map_to_trc010_trc011_trc012() {
+        use hpcws_sim::online::{AnomalyKind, DetectionSeverity, DiagnosticEvent};
+        let det = |kind, rank| DiagnosticEvent {
+            kind,
+            severity: DetectionSeverity::Critical,
+            job_id: 302,
+            rank,
+            op: "read".to_string(),
+            onset: 250.0,
+            detected_at: 260.0,
+            observed: 6.75,
+            baseline: 0.05,
+            evidence: "reads 6.75s vs fleet 0.05s".to_string(),
+        };
+        let diags = lint_detections(&[
+            det(AnomalyKind::StragglerRank, Some(3)),
+            det(AnomalyKind::DurationOutlier, None),
+            det(AnomalyKind::PhaseAnomaly, Some(1)),
+        ]);
+        assert_eq!(diags.len(), 3);
+        assert_eq!(diags[0].code.code, "TRC010");
+        assert_eq!(diags[0].subject, "job 302 rank 3");
+        assert_eq!(diags[1].code.code, "TRC011");
+        assert_eq!(diags[1].subject, "job 302");
+        assert_eq!(diags[2].code.code, "TRC012");
+        for d in &diags {
+            assert_eq!(d.severity, crate::Severity::Warning, "advisory default");
+            assert!(d.message.contains("onset t=250.000s"), "{}", d.message);
+            assert!(d.message.contains("[critical]"));
+            assert!(d.help.is_some());
+        }
+        assert!(lint_detections(&[]).is_empty());
     }
 }

@@ -8,6 +8,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod scenario;
+
 pub use darshan_ldms_connector as connector;
 pub use darshan_sim as darshan;
 pub use dsos_sim as dsos;

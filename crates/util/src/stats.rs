@@ -113,6 +113,93 @@ pub fn median(sample: &[f64]) -> Option<f64> {
     })
 }
 
+/// Median absolute deviation of a sample (unscaled); `None` when
+/// empty. The robust spread estimator the run-time anomaly detector
+/// and the figure analyses share: unlike the standard deviation, one
+/// wild outlier (the very thing being hunted) barely moves it.
+pub fn mad(sample: &[f64]) -> Option<f64> {
+    let m = median(sample)?;
+    let dev: Vec<f64> = sample.iter().map(|x| (x - m).abs()).collect();
+    median(&dev)
+}
+
+/// Consistency constant making `1.4826 × MAD` estimate the standard
+/// deviation of normally distributed data, so robust z-scores read on
+/// the familiar sigma scale.
+pub const MAD_SIGMA: f64 = 1.4826;
+
+/// Robust z-score of `x` against a `(median, mad)` baseline:
+/// `(x - median) / (MAD_SIGMA * mad)`. A degenerate baseline
+/// (`mad == 0`, e.g. a perfectly regular workload) returns `0.0` when
+/// `x` equals the median and `f64::INFINITY` (signed) otherwise — any
+/// deviation from a spread-free baseline is infinitely surprising.
+pub fn robust_z(x: f64, median: f64, mad: f64) -> f64 {
+    let d = x - median;
+    if mad > 0.0 {
+        d / (MAD_SIGMA * mad)
+    } else if d == 0.0 {
+        0.0
+    } else {
+        d.signum() * f64::INFINITY
+    }
+}
+
+/// A detected level shift in a series: the series behaves like
+/// `before` up to (excluding) `index` and like `after` from `index`
+/// on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChangePoint {
+    /// First index of the post-shift regime.
+    pub index: usize,
+    /// Median of the pre-shift segment.
+    pub before: f64,
+    /// Median of the post-shift segment.
+    pub after: f64,
+    /// Robust z-score of the shift: `|after - before|` over the
+    /// pre-shift segment's scaled MAD.
+    pub score: f64,
+}
+
+/// Scans a series for a single level shift (the "slowdown after
+/// 250 s" onset) by a least-absolute-deviation two-segment fit: every
+/// split with at least `min_segment` points on each side is costed by
+/// the summed absolute deviation of each segment around its own
+/// median, and the cheapest split (earliest on ties) is the candidate
+/// regime boundary. The candidate is returned only when the
+/// segment-median jump scores at least `min_score` robust-z units
+/// against the pre-shift spread — jitter without a shift fits one
+/// regime about as well as two and never clears the score floor.
+pub fn change_point(series: &[f64], min_segment: usize, min_score: f64) -> Option<ChangePoint> {
+    let min_segment = min_segment.max(1);
+    if series.len() < 2 * min_segment {
+        return None;
+    }
+    let sad = |seg: &[f64]| -> f64 {
+        let m = median(seg).expect("non-empty segment");
+        seg.iter().map(|x| (x - m).abs()).sum()
+    };
+    let mut best: Option<(f64, usize)> = None;
+    for k in min_segment..=(series.len() - min_segment) {
+        let (head, tail) = series.split_at(k);
+        let cost = sad(head) + sad(tail);
+        if best.is_none_or(|(c, _)| cost < c) {
+            best = Some((cost, k));
+        }
+    }
+    let (_, k) = best.expect("at least one valid split");
+    let (head, tail) = series.split_at(k);
+    let before = median(head).expect("non-empty head");
+    let after = median(tail).expect("non-empty tail");
+    let spread = mad(head).expect("non-empty head");
+    let score = robust_z(after, before, spread).abs();
+    (score >= min_score).then_some(ChangePoint {
+        index: k,
+        before,
+        after,
+        score,
+    })
+}
+
 /// Pearson correlation coefficient of two equal-length samples;
 /// `None` when shorter than 2 or degenerate (zero variance). Used by
 /// the I/O-vs-system-telemetry correlation analysis.
@@ -258,6 +345,64 @@ mod tests {
         assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
         assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
         assert_eq!(median(&[]), None);
+    }
+
+    #[test]
+    fn mad_matches_hand_computation() {
+        // median = 3, |dev| = [2,1,0,1,2] → median = 1.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 5.0]), Some(1.0));
+        // median = 2.5, |dev| = [1.5,0.5,0.5,1.5] → median = 1.0.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0]), Some(1.0));
+        // One wild outlier barely moves it: median = 3, |dev| =
+        // [2,1,0,1,997] → median = 1.
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 1000.0]), Some(1.0));
+        assert_eq!(mad(&[]), None);
+        assert_eq!(mad(&[7.0]), Some(0.0));
+    }
+
+    #[test]
+    fn robust_z_scales_and_degenerates() {
+        // (5 - 3) / (1.4826 * 1) ≈ 1.349.
+        let z = robust_z(5.0, 3.0, 1.0);
+        assert!((z - 2.0 / MAD_SIGMA).abs() < 1e-12);
+        assert!(robust_z(1.0, 3.0, 1.0) < 0.0);
+        // Spread-free baseline: equality is unremarkable, any
+        // deviation is infinitely surprising.
+        assert_eq!(robust_z(3.0, 3.0, 0.0), 0.0);
+        assert_eq!(robust_z(9.0, 3.0, 0.0), f64::INFINITY);
+        assert_eq!(robust_z(-9.0, 3.0, 0.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn change_point_finds_the_level_shift() {
+        // Five quiet points, then five slow ones: the shift lands at
+        // index 5 with before=1.0, after=6.0.
+        let series = [1.0, 1.1, 0.9, 1.0, 1.05, 6.0, 6.1, 5.9, 6.0, 6.2];
+        let cp = change_point(&series, 2, 3.0).expect("shift detected");
+        assert_eq!(cp.index, 5);
+        assert!((cp.before - 1.0).abs() < 1e-9);
+        assert!((cp.after - 6.0).abs() < 1e-9);
+        assert!(cp.score > 3.0);
+    }
+
+    #[test]
+    fn change_point_ignores_flat_and_short_series() {
+        assert_eq!(change_point(&[1.0, 1.0, 1.0, 1.0, 1.0, 1.0], 2, 3.0), None);
+        // Too short for two min-length segments.
+        assert_eq!(change_point(&[1.0, 9.0, 9.0], 2, 3.0), None);
+        // Jittery but shift-free series stays below the score floor.
+        let series = [1.0, 1.2, 0.8, 1.1, 0.9, 1.0, 1.15, 0.85];
+        assert_eq!(change_point(&series, 2, 6.0), None);
+    }
+
+    #[test]
+    fn change_point_on_spread_free_prefix_is_infinitely_scored() {
+        // A perfectly regular prefix (MAD 0) followed by a jump: the
+        // earliest explaining split wins despite the infinite tie.
+        let series = [2.0, 2.0, 2.0, 2.0, 8.0, 8.0, 8.0];
+        let cp = change_point(&series, 2, 3.0).unwrap();
+        assert_eq!(cp.index, 4);
+        assert_eq!(cp.score, f64::INFINITY);
     }
 
     #[test]

@@ -1,0 +1,314 @@
+//! Differential harness for the online detection engine.
+//!
+//! Detection is pure observation: the `DetectorTap` hangs off the
+//! terminal store's ingest observer and must never perturb what the
+//! pipeline produces. Whether a run carries no detector at all or a
+//! full default-config detector, the terminal must store the
+//! byte-identical set of DSOS rows, the delivery ledger must read the
+//! same, and crash recovery must behave the same. These tests pin
+//! that down by running the same logical workload detector-off and
+//! detector-on — calm, under daemon outages, and under crash-stop
+//! faults with a durable WAL — in both unbatched and batched framing,
+//! and diffing everything the pipeline produced.
+
+mod fault_common;
+
+use fault_common::{base_epoch, node_names, TAG};
+use repro_suite::apps::experiment::{run_job, Instrumentation, RunSpec};
+use repro_suite::apps::platform::FsChoice;
+use repro_suite::apps::workloads::MpiIoTest;
+use repro_suite::apps::DetectorTap;
+use repro_suite::connector::{
+    BatchConfig, ConnectorConfig, FaultScript, Pipeline, PipelineOpts, QueueConfig, RecoveryReport,
+    WalConfig,
+};
+use repro_suite::darshan::hooks::{EventSink, IoEvent};
+use repro_suite::darshan::runtime::JobMeta;
+use repro_suite::darshan::{ModuleId, OpKind};
+use repro_suite::hpcws::DetectionConfig;
+use repro_suite::simtime::{Clock, SimDuration};
+use std::sync::Arc;
+
+const JOB_ID: u64 = 7;
+
+/// Everything the pipeline *produced* (as opposed to *observed*),
+/// reduced to exactly comparable form.
+#[derive(Debug, Clone, PartialEq)]
+struct Snap {
+    rows: Vec<String>,
+    published: u64,
+    delivered: u64,
+    lost: u64,
+    duplicates: u64,
+    stored: u64,
+    missing: u64,
+    balanced: bool,
+    recovery: RecoveryReport,
+}
+
+fn snapshot(p: &Pipeline) -> Snap {
+    let mut rows: Vec<String> = p
+        .events_of_job(JOB_ID)
+        .iter()
+        .map(|row| format!("{row:?}"))
+        .collect();
+    rows.sort();
+    Snap {
+        rows,
+        published: p.ledger().published(),
+        delivered: p.ledger().delivered(),
+        lost: p.ledger().total_lost(),
+        duplicates: p.ledger().duplicates(),
+        stored: p.stored_events() as u64,
+        missing: p.store().total_missing(),
+        balanced: p.ledger().balances(),
+        recovery: p.recovery_report(),
+    }
+}
+
+#[derive(Clone)]
+struct Scn {
+    nodes: u64,
+    events_per_rank: u64,
+    queue: QueueConfig,
+    script: FaultScript,
+    wal: Option<WalConfig>,
+    slack_s: u64,
+}
+
+fn io_event(rank: u32, record_id: u64, op: OpKind, clock: &mut Clock) -> IoEvent {
+    let start = clock.time_pair();
+    clock.advance(SimDuration::from_micros(100));
+    IoEvent {
+        module: ModuleId::Posix,
+        op,
+        file: "/scratch/det.dat".into(),
+        record_id,
+        rank,
+        len: 4096,
+        offset: 4096 * record_id as i64,
+        start,
+        end: clock.time_pair(),
+        dur: 1e-4,
+        cnt: 1,
+        switches: 0,
+        flushes: -1,
+        max_byte: 4095,
+        hdf5: None,
+    }
+}
+
+/// Runs one scenario through the production path (Darshan hook →
+/// connector → pipeline), optionally with a detector tapped onto the
+/// terminal store, returning the snapshot plus the tap.
+fn run_with(sc: &Scn, detect: bool, batch: BatchConfig) -> (Snap, Option<Arc<DetectorTap>>) {
+    let nodes = node_names(sc.nodes);
+    let p = Pipeline::build_with(
+        &nodes,
+        &PipelineOpts {
+            dsosd_count: 1,
+            tag: TAG.to_string(),
+            attach_store: true,
+            queue: sc.queue.clone(),
+            faults: sc.script.clone(),
+            wal: sc.wal.clone(),
+            ..PipelineOpts::default()
+        },
+    );
+    let tap = if detect {
+        let tap = DetectorTap::new(DetectionConfig::default());
+        p.store().attach_observer(tap.clone());
+        Some(tap)
+    } else {
+        None
+    };
+    let job = JobMeta::new(JOB_ID, 99_066, "/apps/det", sc.nodes as u32);
+    let cfg = ConnectorConfig {
+        batch,
+        ..ConnectorConfig::default()
+    };
+    for (i, name) in nodes.iter().enumerate() {
+        let conn = p.connector_for_rank(cfg.clone(), job.clone(), name.clone());
+        let mut clock = Clock::new(base_epoch() + SimDuration::from_micros(i as u64));
+        for e in 0..sc.events_per_rank {
+            let op = match e {
+                0 => OpKind::Open,
+                n if n == sc.events_per_rank - 1 => OpKind::Close,
+                _ => OpKind::Write,
+            };
+            let ev = io_event(i as u32, e, op, &mut clock);
+            conn.on_event(&ev, &mut clock);
+        }
+        conn.flush();
+    }
+    p.settle(base_epoch() + SimDuration::from_secs(sc.slack_s));
+    (snapshot(&p), tap)
+}
+
+fn shape(seed: u64) -> (u64, u64, usize) {
+    let nodes = 2 + seed % 2;
+    let events = 10 + (seed * 7) % 17;
+    let frame = 2 + (seed % 5) as usize;
+    (nodes, events, frame)
+}
+
+/// Diffs detector-on against the detector-off reference, in both
+/// unbatched and batched framings, and checks the tap saw exactly the
+/// stored rows (observation after dedup: retries and WAL replays must
+/// not double-count).
+fn assert_equivalent(seed: u64, sc: &Scn) -> Snap {
+    let (_, _, frame) = shape(seed);
+    let mut base: Option<Snap> = None;
+    for (framing, batch) in [
+        ("unbatched", BatchConfig::disabled()),
+        ("batched", BatchConfig::frames_of(frame)),
+    ] {
+        let (off, no_tap) = run_with(sc, false, batch.clone());
+        assert!(no_tap.is_none());
+        let (on, tap) = run_with(sc, true, batch);
+        assert_eq!(
+            on, off,
+            "seed {seed}: {framing} detector-on diverged from detector-off"
+        );
+        let tap = tap.expect("detector-on run keeps its tap");
+        assert_eq!(
+            tap.buffered() as u64,
+            on.stored,
+            "seed {seed}: {framing} tap must observe exactly the stored rows"
+        );
+        // A calm synthetic stream (constant 100 µs durations, aligned
+        // 4 KiB writes, < 4 ranks) must not invent anomalies.
+        let (_, detections) = tap.finalize();
+        assert!(
+            detections.is_empty(),
+            "seed {seed}: {framing} spurious detections: {detections:?}"
+        );
+        if base.is_none() {
+            base = Some(off);
+        }
+    }
+    base.expect("at least one framing ran")
+}
+
+#[test]
+fn calm_runs_are_identical_with_and_without_detection() {
+    for seed in [3u64, 11, 29] {
+        let (nodes, events_per_rank, _) = shape(seed);
+        let sc = Scn {
+            nodes,
+            events_per_rank,
+            queue: QueueConfig::default(),
+            script: FaultScript::new(),
+            wal: None,
+            slack_s: 60,
+        };
+        let base = assert_equivalent(seed, &sc);
+        assert_eq!(base.published, nodes * events_per_rank);
+        assert_eq!(base.stored, base.published);
+        assert!(base.balanced);
+    }
+}
+
+#[test]
+fn outages_with_reliable_queues_are_identical_with_and_without_detection() {
+    for seed in [5u64, 17, 23] {
+        let (nodes, events_per_rank, _) = shape(seed);
+        let sc = Scn {
+            nodes,
+            events_per_rank,
+            queue: QueueConfig::reliable(),
+            script: FaultScript::new().daemon_outage(
+                "l1",
+                base_epoch() + SimDuration::from_millis(2),
+                base_epoch() + SimDuration::from_millis(40),
+            ),
+            wal: None,
+            slack_s: 120,
+        };
+        let base = assert_equivalent(seed, &sc);
+        assert_eq!(base.lost, 0, "seed {seed}: reliable retry must re-deliver");
+        assert_eq!(base.stored, nodes * events_per_rank);
+        assert!(base.balanced);
+    }
+}
+
+#[test]
+fn crashes_with_durable_wal_are_identical_with_and_without_detection() {
+    for seed in [7u64, 13, 31] {
+        let (nodes, events_per_rank, _) = shape(seed);
+        let sc = Scn {
+            nodes,
+            events_per_rank,
+            queue: QueueConfig::reliable(),
+            script: FaultScript::new().crash(
+                "l1",
+                base_epoch() + SimDuration::from_millis(3),
+                base_epoch() + SimDuration::from_millis(50),
+            ),
+            wal: Some(WalConfig::durable()),
+            slack_s: 120,
+        };
+        let base = assert_equivalent(seed, &sc);
+        assert_eq!(base.lost, 0, "seed {seed}: durable WAL loses nothing");
+        assert_eq!(base.stored, nodes * events_per_rank);
+        assert!(base.balanced);
+        assert_eq!(base.recovery.crashes, 1);
+    }
+}
+
+/// Workload-level equivalence through the full application stack: the
+/// same MPI job stores the identical rows with and without
+/// `RunSpec::with_detection`, across seeds. The calm tiny workload
+/// raises no detections and therefore no TRC010–TRC012 lints.
+#[test]
+fn workload_runs_match_with_and_without_detection() {
+    for seed in [7u64, 11, 23] {
+        let app = MpiIoTest::tiny(false);
+        let base_spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+            .with_store(true)
+            .with_seed(seed);
+        let mut reference: Option<(u64, Vec<String>)> = None;
+        for (label, spec) in [
+            ("detector-off", base_spec.clone()),
+            (
+                "detector-on",
+                base_spec.clone().with_detection(DetectionConfig::default()),
+            ),
+        ] {
+            let r = run_job(&app, &spec);
+            let p = r.pipeline.as_ref().expect("connector run has a pipeline");
+            assert_eq!(r.messages_lost, 0, "seed {seed}: {label} lost messages");
+            assert!(p.ledger().balances(), "seed {seed}: {label} unbalanced");
+            let mut rows: Vec<String> = p
+                .events_of_job(spec.job_id)
+                .iter()
+                .map(|row| format!("{row:?}"))
+                .collect();
+            rows.sort();
+            match &reference {
+                None => {
+                    assert!(r.detections.is_empty(), "seed {seed}: off-mode detections");
+                    reference = Some((r.messages, rows));
+                }
+                Some((ref_messages, ref_rows)) => {
+                    assert_eq!(r.messages, *ref_messages, "seed {seed}: publish count");
+                    assert_eq!(
+                        &rows, ref_rows,
+                        "seed {seed}: {label} stored different rows"
+                    );
+                    assert!(
+                        r.detections.is_empty(),
+                        "seed {seed}: calm tiny workload must stay silent: {:?}",
+                        r.detections
+                    );
+                    for code in ["TRC010", "TRC011", "TRC012"] {
+                        assert!(
+                            !r.trace_report.codes().contains(code),
+                            "seed {seed}: {label} raised {code} on a calm run"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
