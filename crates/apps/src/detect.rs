@@ -16,8 +16,11 @@
 use darshan_ldms_connector::{column_id, IngestObserver};
 use dsos_sim::Value;
 use hpcws_sim::online::{DetectionConfig, DiagnosticEvent, OnlineDetector, OnlineEvent};
+use iosim_telemetry::{DetectionRecord, DiagHub, HubEventKind};
 use iosim_time::Epoch;
 use parking_lot::Mutex;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Decodes one `darshan_data` row (in `COLUMNS` order) into the
@@ -90,6 +93,323 @@ impl IngestObserver for DetectorTap {
     }
 }
 
+/// The canonical event order the settle-replay oracle uses: virtual
+/// end time first, then the full field tuple as a tie-break, so the
+/// order is total and independent of arrival interleaving.
+pub fn event_cmp(a: &OnlineEvent, b: &OnlineEvent) -> Ordering {
+    a.end
+        .total_cmp(&b.end)
+        .then_with(|| a.job_id.cmp(&b.job_id))
+        .then_with(|| a.rank.cmp(&b.rank))
+        .then_with(|| a.op.cmp(&b.op))
+        .then_with(|| a.file.cmp(&b.file))
+        .then_with(|| a.len.cmp(&b.len))
+        .then_with(|| a.off.cmp(&b.off))
+}
+
+/// One detection as emitted on the live stream: the finding itself
+/// plus when (in virtual time) the hub emitted it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LiveDetection {
+    /// The detector finding.
+    pub event: DiagnosticEvent,
+    /// Virtual instant the finding was emitted (an ingest instant for
+    /// in-run emissions; the settle horizon otherwise).
+    pub emitted_s: f64,
+    /// `true` when emitted while ingest was still flowing.
+    pub in_run: bool,
+}
+
+/// Everything [`LiveDetectorTap::finalize`] produces.
+pub struct LiveFinalize {
+    /// The settle-replay oracle engine (for phase queries).
+    pub detector: OnlineDetector,
+    /// The oracle's detections — the run's canonical detection set,
+    /// identical to what [`DetectorTap::finalize`] would return.
+    pub detections: Vec<DiagnosticEvent>,
+    /// The live stream: the same detection set, each finding stamped
+    /// with its emit instant.
+    pub live: Vec<LiveDetection>,
+}
+
+struct LiveState {
+    /// Every decoded event, in arrival order (the oracle's input).
+    log: Vec<OnlineEvent>,
+    /// Events not yet fed to the streaming engine.
+    pending: Vec<OnlineEvent>,
+    /// Per-rank maximum `end` seen so far.
+    watermark: BTreeMap<u64, f64>,
+    /// The streaming engine fed in-run.
+    engine: OnlineDetector,
+    /// Engine detections already surfaced on the live stream.
+    emitted: usize,
+    /// The largest event (by [`event_cmp`]) fed to the engine.
+    last_fed: Option<OnlineEvent>,
+    /// Set when an arrival sorted below an already-fed event: per-rank
+    /// order broke (retries or WAL replay), so live feeding stops and
+    /// the oracle's output becomes the stream.
+    reordered: bool,
+    /// Live emissions so far.
+    live: Vec<LiveDetection>,
+}
+
+/// The in-run detection tap: the same off-path [`IngestObserver`] hook
+/// as [`DetectorTap`], but with **streaming window closure** — events
+/// are fed to the engine *during* the run, as soon as the per-rank
+/// watermark frontier passes them, and detections publish to the live
+/// diagnosis hub at the ingest instant that triggered them.
+///
+/// # Parity with the settle-replay oracle
+///
+/// Arrival order across ranks is nondeterministic (OS threads), so the
+/// tap holds a reorder buffer: an event is fed only once every
+/// expected rank's watermark has passed its `end` (all events that
+/// could still sort before it have necessarily arrived), and each
+/// drained batch is fed in [`event_cmp`] order. The fed sequence is
+/// therefore exactly a prefix of the oracle's fully-sorted replay, and
+/// feeding the sorted remainder at [`LiveDetectorTap::finalize`]
+/// reproduces the oracle's detection set bit-for-bit.
+///
+/// If per-rank order itself breaks (a retry or WAL replay delivered a
+/// row after a later-stamped row of the same rank), the prefix
+/// property can no longer be guaranteed; the tap detects the violation
+/// at arrival, stops live feeding, and reconciles against the oracle
+/// at finalize — in-run emissions that match the oracle keep their
+/// emit instants, everything else lands at the settle horizon. The
+/// parity contract (live set == oracle set) holds unconditionally;
+/// only *when* each finding surfaced degrades.
+pub struct LiveDetectorTap {
+    cfg: DetectionConfig,
+    expected_ranks: u64,
+    hub: Option<Arc<DiagHub>>,
+    state: Mutex<LiveState>,
+}
+
+/// Source label for detector events on the hub.
+const DETECTOR_SOURCE: &str = "detector";
+
+fn detection_record(d: &DiagnosticEvent, in_run: bool) -> DetectionRecord {
+    DetectionRecord {
+        kind: d.kind.as_str().to_string(),
+        severity: d.severity.as_str().to_string(),
+        job_id: d.job_id,
+        rank: d.rank,
+        op: d.op.clone(),
+        onset_s: d.onset,
+        detected_s: d.detected_at,
+        in_run,
+    }
+}
+
+impl LiveDetectorTap {
+    /// Creates a live tap. `expected_ranks` is the job's rank count —
+    /// the watermark frontier only advances once every rank has
+    /// reported at least one event. `hub` (optional) receives a
+    /// `Detection` event at each emission.
+    pub fn new(cfg: DetectionConfig, expected_ranks: u64, hub: Option<Arc<DiagHub>>) -> Arc<Self> {
+        Arc::new(Self {
+            cfg: cfg.clone(),
+            expected_ranks: expected_ranks.max(1),
+            hub,
+            state: Mutex::new(LiveState {
+                log: Vec::new(),
+                pending: Vec::new(),
+                watermark: BTreeMap::new(),
+                engine: OnlineDetector::new(cfg),
+                emitted: 0,
+                last_fed: None,
+                reordered: false,
+                live: Vec::new(),
+            }),
+        })
+    }
+
+    /// Events buffered so far (fed or pending).
+    pub fn buffered(&self) -> usize {
+        self.state.lock().log.len()
+    }
+
+    /// True when a per-rank order violation forced the tap off the
+    /// streaming path.
+    pub fn reordered(&self) -> bool {
+        self.state.lock().reordered
+    }
+
+    /// Live detections emitted so far (in-run emissions only until
+    /// finalize).
+    pub fn live_so_far(&self) -> Vec<LiveDetection> {
+        self.state.lock().live.clone()
+    }
+
+    /// Offers one event to the tap at ingest instant `recv_time`:
+    /// buffers it for the oracle, advances the rank watermark, and
+    /// feeds every pending event the frontier has passed to the
+    /// streaming engine (in canonical order), emitting any detections
+    /// the engine produced.
+    pub fn offer(&self, event: OnlineEvent, recv_time: Epoch) {
+        let mut st = self.state.lock();
+        st.log.push(event.clone());
+        if !st.reordered {
+            if let Some(last) = &st.last_fed {
+                if event_cmp(&event, last) == Ordering::Less {
+                    // The event sorts before something already fed:
+                    // the streamed prefix is no longer a prefix of the
+                    // oracle's replay. Fall back to settle emission.
+                    st.reordered = true;
+                }
+            }
+        }
+        st.watermark
+            .entry(event.rank)
+            .and_modify(|w| *w = w.max(event.end))
+            .or_insert(event.end);
+        st.pending.push(event);
+        if st.reordered || (st.watermark.len() as u64) < self.expected_ranks {
+            return;
+        }
+        let frontier = st
+            .watermark
+            .values()
+            .fold(f64::INFINITY, |acc, &w| acc.min(w));
+        let (mut due, keep): (Vec<OnlineEvent>, Vec<OnlineEvent>) =
+            st.pending.drain(..).partition(|e| e.end < frontier);
+        st.pending = keep;
+        if due.is_empty() {
+            return;
+        }
+        due.sort_by(event_cmp);
+        for e in &due {
+            st.engine.observe(e);
+        }
+        st.last_fed = due.pop();
+        let emitted_s = recv_time.as_secs_f64();
+        let new: Vec<DiagnosticEvent> = st.engine.detections()[st.emitted..].to_vec();
+        st.emitted += new.len();
+        for d in new {
+            if let Some(hub) = &self.hub {
+                hub.publish(
+                    DETECTOR_SOURCE,
+                    recv_time,
+                    HubEventKind::Detection(detection_record(&d, true)),
+                );
+            }
+            st.live.push(LiveDetection {
+                event: d,
+                emitted_s,
+                in_run: true,
+            });
+        }
+    }
+
+    /// Closes the stream at the settle `horizon`: replays the full
+    /// buffered log through a fresh oracle engine (the differential
+    /// oracle stays on), feeds the streaming engine its remainder, and
+    /// returns the canonical detections together with the reconciled
+    /// live stream. Every finding not already emitted in-run is
+    /// emitted at the horizon.
+    pub fn finalize(&self, horizon: Epoch) -> LiveFinalize {
+        let mut st = self.state.lock();
+        let horizon_s = horizon.as_secs_f64();
+
+        // The oracle: sort everything, replay, finish.
+        let mut sorted = st.log.clone();
+        sorted.sort_by(event_cmp);
+        let mut oracle = OnlineDetector::new(self.cfg.clone());
+        for e in &sorted {
+            oracle.observe(e);
+        }
+        let detections = oracle.finish();
+
+        let live = if st.reordered {
+            // Reconcile: oracle findings that were already emitted
+            // in-run keep their instants; the rest land now. In-run
+            // emissions the oracle does not confirm are dropped from
+            // the stream (their hub records remain, marked in_run, as
+            // provisional).
+            let inrun = std::mem::take(&mut st.live);
+            let mut pool = inrun;
+            let mut live = Vec::with_capacity(detections.len());
+            for d in &detections {
+                if let Some(i) = pool.iter().position(|l| &l.event == d) {
+                    live.push(pool.swap_remove(i));
+                } else {
+                    self.publish_final(d, horizon);
+                    live.push(LiveDetection {
+                        event: d.clone(),
+                        emitted_s: horizon_s,
+                        in_run: false,
+                    });
+                }
+            }
+            live
+        } else {
+            // Feed the sorted remainder: fed prefix + remainder is
+            // exactly the oracle's input sequence.
+            let mut rest = std::mem::take(&mut st.pending);
+            rest.sort_by(event_cmp);
+            for e in &rest {
+                st.engine.observe(e);
+            }
+            let mut live = std::mem::take(&mut st.live);
+            let tail: Vec<DiagnosticEvent> = st.engine.detections()[st.emitted..].to_vec();
+            st.emitted += tail.len();
+            for d in tail {
+                self.publish_final(&d, horizon);
+                live.push(LiveDetection {
+                    event: d,
+                    emitted_s: horizon_s,
+                    in_run: false,
+                });
+            }
+            // finish() may close still-open windows and emit more.
+            let finished = st.engine.finish();
+            let mut seen: Vec<&DiagnosticEvent> = live.iter().map(|l| &l.event).collect();
+            let mut extra = Vec::new();
+            for d in &finished {
+                if let Some(i) = seen.iter().position(|e| *e == d) {
+                    seen.swap_remove(i);
+                } else {
+                    extra.push(d.clone());
+                }
+            }
+            for d in extra {
+                self.publish_final(&d, horizon);
+                live.push(LiveDetection {
+                    event: d,
+                    emitted_s: horizon_s,
+                    in_run: false,
+                });
+            }
+            live
+        };
+        LiveFinalize {
+            detector: oracle,
+            detections,
+            live,
+        }
+    }
+
+    fn publish_final(&self, d: &DiagnosticEvent, horizon: Epoch) {
+        if let Some(hub) = &self.hub {
+            hub.publish(
+                DETECTOR_SOURCE,
+                horizon,
+                HubEventKind::Detection(detection_record(d, false)),
+            );
+        }
+    }
+}
+
+impl IngestObserver for LiveDetectorTap {
+    fn on_rows(&self, rows: &[Vec<Value>], recv_time: Epoch) {
+        for row in rows {
+            if let Some(ev) = row_to_event(row) {
+                self.offer(ev, recv_time);
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -141,5 +461,176 @@ mod tests {
         bad[column_id("seg_dur")] = Value::Str("N/A".to_string());
         tap.on_rows(&[bad, row(1, 0, "write", 0.1, 100.5)], Epoch::from_secs(1));
         assert_eq!(tap.buffered(), 1);
+    }
+
+    fn ev(job: u64, rank: u64, op: &str, dur: f64, end: f64) -> OnlineEvent {
+        OnlineEvent {
+            job_id: job,
+            rank,
+            producer: format!("nid{rank:05}"),
+            op: op.to_string(),
+            file: "/scratch/o.dat".to_string(),
+            len: 1 << 20,
+            off: 0,
+            dur,
+            end,
+        }
+    }
+
+    /// A two-rank workload with a clear duration outlier on rank 0:
+    /// three calm baseline windows, then a window of 10 s writes.
+    /// Returns per-rank event streams, each in virtual-time order.
+    fn outlier_workload() -> Vec<Vec<OnlineEvent>> {
+        let mut ranks = vec![Vec::new(), Vec::new()];
+        for w in 0..6 {
+            for i in 0..4 {
+                let t = 100.0 + 10.0 * f64::from(w) + 2.0 * f64::from(i);
+                let slow = (3..5).contains(&w);
+                ranks[0].push(ev(7, 0, "write", if slow { 10.0 } else { 0.1 }, t));
+                ranks[1].push(ev(7, 1, "write", 0.1, t + 0.5));
+            }
+        }
+        ranks
+    }
+
+    #[test]
+    fn live_tap_matches_settle_replay_under_cross_rank_interleaving() {
+        let ranks = outlier_workload();
+        // Oracle: plain settle-replay over all events.
+        let mut all: Vec<OnlineEvent> = ranks.iter().flatten().cloned().collect();
+        all.sort_by(event_cmp);
+        let mut oracle = OnlineDetector::new(DetectionConfig::default());
+        for e in &all {
+            oracle.observe(e);
+        }
+        let want = oracle.finish();
+        assert!(!want.is_empty(), "workload must produce detections");
+
+        // Live: deliver rank streams interleaved with skew (rank 1
+        // runs several events ahead), in-order per rank.
+        let tap = LiveDetectorTap::new(DetectionConfig::default(), 2, None);
+        let mut idx = [0usize, 0usize];
+        let mut clock = 0u64;
+        while idx[0] < ranks[0].len() || idx[1] < ranks[1].len() {
+            // Alternate 1 event from rank 0 with 2 from rank 1.
+            for (r, burst) in [(0usize, 1usize), (1, 2)] {
+                for _ in 0..burst {
+                    if idx[r] < ranks[r].len() {
+                        clock += 1;
+                        tap.offer(ranks[r][idx[r]].clone(), Epoch::from_secs(clock));
+                        idx[r] += 1;
+                    }
+                }
+            }
+        }
+        assert!(!tap.reordered(), "per-rank order was preserved");
+        let horizon = Epoch::from_secs(10_000);
+        let out = tap.finalize(horizon);
+        assert_eq!(out.detections, want, "oracle path is unchanged");
+        let live_events: Vec<&DiagnosticEvent> = out.live.iter().map(|l| &l.event).collect();
+        let want_refs: Vec<&DiagnosticEvent> = want.iter().collect();
+        for w in &want_refs {
+            assert!(live_events.contains(w), "live stream is missing {w:?}");
+        }
+        assert_eq!(
+            live_events.len(),
+            want_refs.len(),
+            "no spurious live detections"
+        );
+        assert!(
+            out.live.iter().any(|l| l.in_run),
+            "the outlier should surface while ingest is still flowing"
+        );
+        for l in &out.live {
+            assert!(
+                l.emitted_s <= horizon.as_secs_f64(),
+                "no emission after the settle horizon"
+            );
+            if l.in_run {
+                assert!(l.emitted_s < horizon.as_secs_f64());
+            }
+        }
+    }
+
+    #[test]
+    fn per_rank_reorder_falls_back_to_settle_with_exact_parity() {
+        let ranks = outlier_workload();
+        let tap = LiveDetectorTap::new(DetectionConfig::default(), 2, None);
+        // Lockstep interleave so the frontier advances and events are
+        // fed live...
+        let mut seq = 0u64;
+        for pair in ranks[0].iter().zip(ranks[1].iter()) {
+            for e in [pair.0, pair.1] {
+                seq += 1;
+                tap.offer(e.clone(), Epoch::from_secs(seq));
+            }
+        }
+        assert!(!tap.reordered());
+        // ...then a WAL-replay straggler arrives with an `end` far
+        // below the frontier: its slot in the canonical order has
+        // already been consumed.
+        tap.offer(ev(7, 0, "write", 0.1, 101.3), Epoch::from_secs(seq + 1));
+        assert!(tap.reordered(), "the straggler must trip the order guard");
+        let horizon = Epoch::from_secs(10_000);
+        let out = tap.finalize(horizon);
+        // Parity is unconditional: the live stream equals the oracle.
+        let live_events: Vec<DiagnosticEvent> = out.live.iter().map(|l| l.event.clone()).collect();
+        assert_eq!(live_events, out.detections);
+        assert!(!out.detections.is_empty());
+    }
+
+    #[test]
+    fn live_tap_observer_matches_plain_tap_on_rows() {
+        let plain = DetectorTap::new(DetectionConfig::default());
+        let live = LiveDetectorTap::new(DetectionConfig::default(), 1, None);
+        let rows: Vec<Vec<Value>> = (0..40)
+            .map(|i| {
+                let w = i / 8;
+                let dur = if w == 3 { 8.0 } else { 0.05 };
+                row(3, 0, "write", dur, 200.0 + 1.25 * f64::from(i))
+            })
+            .collect();
+        for chunk in rows.chunks(5) {
+            plain.on_rows(chunk, Epoch::from_secs(9));
+            live.on_rows(chunk, Epoch::from_secs(9));
+        }
+        let (_, want) = plain.finalize();
+        let out = live.finalize(Epoch::from_secs(10_000));
+        assert_eq!(out.detections, want);
+        let live_events: Vec<DiagnosticEvent> = out.live.iter().map(|l| l.event.clone()).collect();
+        assert_eq!(live_events.len(), want.len());
+        for w in &want {
+            assert!(live_events.contains(w));
+        }
+    }
+
+    #[test]
+    fn live_detections_publish_to_the_hub() {
+        use iosim_telemetry::{HubConfig, HubEvent};
+        let hub = DiagHub::new(HubConfig::default());
+        let ranks = outlier_workload();
+        let tap = LiveDetectorTap::new(DetectionConfig::default(), 2, Some(hub.clone()));
+        let mut seq = 0u64;
+        for pair in ranks[0].iter().zip(ranks[1].iter()) {
+            for e in [pair.0, pair.1] {
+                seq += 1;
+                tap.offer(e.clone(), Epoch::from_secs(seq));
+            }
+        }
+        let out = tap.finalize(Epoch::from_secs(10_000));
+        let hub_detections: Vec<HubEvent> = hub
+            .events()
+            .into_iter()
+            .filter(|e| matches!(e.kind, HubEventKind::Detection(_)))
+            .collect();
+        assert_eq!(hub_detections.len(), out.live.len());
+        for e in &hub_detections {
+            assert_eq!(e.source, "detector");
+        }
+        let in_run_on_hub = hub_detections
+            .iter()
+            .filter(|e| matches!(&e.kind, HubEventKind::Detection(d) if d.in_run))
+            .count();
+        assert_eq!(in_run_on_hub, out.live.iter().filter(|l| l.in_run).count());
     }
 }

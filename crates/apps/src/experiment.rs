@@ -101,8 +101,16 @@ pub struct RunSpec {
     pub csv_seed: Vec<Vec<String>>,
     /// Online anomaly detection over the live ingest stream (`None`
     /// by default — the run is byte-identical to an untapped one;
-    /// detections land in [`RunResult::detections`]).
+    /// detections land in [`RunResult::detections`]). When the spec
+    /// also enables the diagnosis hub (`telemetry` with a `hub`
+    /// policy), detection runs *streaming* — findings publish to the
+    /// hub in-run and [`RunResult::live_detections`] carries their
+    /// emit instants.
     pub detection: Option<hpcws_sim::DetectionConfig>,
+    /// Advisory budget (virtual seconds) from an anomaly's ground
+    /// onset to its live emission; a live-detection run exceeding it
+    /// draws the `TRC013` lint warning. Ignored without `detection`.
+    pub detection_alert_budget_s: Option<f64>,
 }
 
 impl RunSpec {
@@ -131,6 +139,7 @@ impl RunSpec {
             write_quorum: None,
             csv_seed: Vec::new(),
             detection: None,
+            detection_alert_budget_s: None,
         }
     }
 
@@ -249,6 +258,12 @@ impl RunSpec {
         self
     }
 
+    /// Sets the advisory onset-to-emission alert budget (`TRC013`).
+    pub fn with_detection_alert_budget(mut self, budget_s: f64) -> Self {
+        self.detection_alert_budget_s = Some(budget_s);
+        self
+    }
+
     /// The effective replication policy for the run's DSOS cluster.
     pub fn replication(&self) -> ReplicationConfig {
         let base = if self.replicas <= 1 {
@@ -349,8 +364,13 @@ pub struct RunResult {
     /// Online detections over the run's ingest stream, sorted by
     /// onset (empty unless the spec enabled detection; the same
     /// findings ride in [`RunResult::trace_report`] as
-    /// `TRC010`–`TRC012`).
+    /// `TRC010`–`TRC012`). Always the settle-replay oracle's output,
+    /// whether or not detection ran streaming.
     pub detections: Vec<hpcws_sim::DiagnosticEvent>,
+    /// The live stream: the same detection set with per-finding emit
+    /// instants (empty unless both detection and the diagnosis hub
+    /// were enabled). Contains exactly the events of `detections`.
+    pub live_detections: Vec<crate::detect::LiveDetection>,
 }
 
 /// Runs one job to completion through the full stack.
@@ -381,12 +401,29 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
 
     // Run-time detection taps the store's terminal ingest path
     // off-path: the observer only reads row batches, so the storage
-    // path is byte-identical whether or not the tap is attached.
+    // path is byte-identical whether or not the tap is attached. With
+    // the diagnosis hub enabled the tap runs streaming — windows close
+    // in-run behind the per-rank watermark frontier and findings
+    // publish to the hub at their ingest instants; without it, events
+    // buffer for settle-replay. Either way the canonical detection set
+    // is the settle-replay oracle's.
+    enum DetectTap {
+        Settle(std::sync::Arc<crate::detect::DetectorTap>),
+        Live(std::sync::Arc<crate::detect::LiveDetectorTap>),
+    }
     let detector_tap = match (pipeline.as_ref(), &spec.detection) {
         (Some(p), Some(cfg)) => {
-            let tap = crate::detect::DetectorTap::new(cfg.clone());
-            p.store().attach_observer(tap.clone());
-            Some(tap)
+            let hub = p.telemetry().and_then(|t| t.diag()).cloned();
+            if spec.telemetry.as_ref().is_some_and(|t| t.hub.is_some()) {
+                let tap =
+                    crate::detect::LiveDetectorTap::new(cfg.clone(), u64::from(app.ranks()), hub);
+                p.store().attach_observer(tap.clone());
+                Some(DetectTap::Live(tap))
+            } else {
+                let tap = crate::detect::DetectorTap::new(cfg.clone());
+                p.store().attach_observer(tap.clone());
+                Some(DetectTap::Settle(tap))
+            }
         }
         _ => None,
     };
@@ -506,9 +543,16 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
     // Replay the tapped ingest stream through the online detector:
     // the settled pipeline has delivered everything it ever will, so
     // the virtual-time sort is total and the detections deterministic.
-    let detections = detector_tap
-        .as_ref()
-        .map_or_else(Vec::new, |t| t.finalize().1);
+    // The live tap additionally yields the emit-instant stream (the
+    // oracle replay stays on as a differential check inside it).
+    let (detections, live_detections) = match &detector_tap {
+        None => (Vec::new(), Vec::new()),
+        Some(DetectTap::Settle(t)) => (t.finalize().1, Vec::new()),
+        Some(DetectTap::Live(t)) => {
+            let out = t.finalize(horizon);
+            (out.detections, out.live)
+        }
+    };
 
     // Post-run: lint the stored trace, reconciling sequence gaps
     // against the delivery ledger. Only meaningful with a store.
@@ -528,6 +572,27 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
     }
     if !detections.is_empty() {
         trace_report.merge(iolint::check_detections(&detections, &LintConfig::new()));
+    }
+    if let Some(budget_s) = spec.detection_alert_budget_s {
+        let latencies: Vec<(String, f64)> = live_detections
+            .iter()
+            .map(|l| {
+                (
+                    format!(
+                        "{} job {} {}",
+                        l.event.kind.as_str(),
+                        l.event.job_id,
+                        l.event.op
+                    ),
+                    l.emitted_s - l.event.onset,
+                )
+            })
+            .collect();
+        trace_report.merge(iolint::check_detection_latency(
+            &latencies,
+            budget_s,
+            &LintConfig::new(),
+        ));
     }
 
     let mut per_rank = per_rank.into_inner();
@@ -573,6 +638,7 @@ pub fn run_job(app: &dyn Workload, spec: &RunSpec) -> RunResult {
         completeness,
         csv_import,
         detections,
+        live_detections,
     }
 }
 

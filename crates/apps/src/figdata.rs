@@ -131,7 +131,7 @@ pub fn mpi_io_figure_runs(jobs: u32, scale_down: bool) -> FigureRuns {
 /// bandwidth under the many-clients penalty. The analysis reads actual
 /// timestamps from DSOS, so the placement only needs to land in the
 /// right regime.
-fn estimate_write_phase_s(app: &MpiIoTest) -> f64 {
+pub fn estimate_write_phase_s(app: &MpiIoTest) -> f64 {
     let total_bytes = app.block as f64 * f64::from(app.ranks()) * f64::from(app.iterations);
     let p = crate::platform::voltrino_lustre_params();
     let mut bw = p.ost_bw * f64::from(p.ost_count.min(p.stripe_count * app.ranks()));

@@ -19,7 +19,12 @@
 //!   fleet-level findings), plus exact precision/recall of the
 //!   detector against the labeled scenario corpus — exported as the
 //!   `detection_*` families in the JSON snapshot and gated by the CI
-//!   `detect` job.
+//!   `detect` job;
+//! * a **live diagnosis hub** section: the shared anomalous MPI-IO run
+//!   with streaming detection, exported as the `hub_timeline`
+//!   (multi-resolution metric ring) and `detection_live_stream`
+//!   (per-finding emit instants) families and gated on exact live vs
+//!   settle-replay parity.
 //!
 //! Emits `BENCH_pipestat.json` (one registry + latency snapshot per
 //! workload, via the hub's JSON exporter) and `BENCH_pipestat.prom`
@@ -580,6 +585,54 @@ fn main() {
         );
     }
     json.push_str("  ],\n");
+
+    // Live diagnosis hub: the shared anomalous MPI-IO run with
+    // streaming detection and the hub collecting snapshots, health,
+    // fault, and detection events. Exported as the `hub_timeline`
+    // (multi-resolution metric ring) and `detection_live_stream`
+    // (per-finding emit instants) families; gated on exact live vs
+    // settle-replay parity.
+    println!("\n== live diagnosis hub (anomalous MPI-IO run) ==");
+    let live_run = repro_bench::livehub::run(true, 1);
+    let hub = live_run
+        .pipeline
+        .as_ref()
+        .and_then(|p| p.telemetry())
+        .and_then(|t| t.diag())
+        .cloned()
+        .expect("livehub spec enables the hub");
+    let in_run = live_run.live_detections.iter().filter(|l| l.in_run).count();
+    println!(
+        "  {} hub events, {} timeline rows, {} detections ({} emitted in-run)",
+        hub.published(),
+        hub.timeline().len(),
+        live_run.detections.len(),
+        in_run
+    );
+    if live_run.detections.is_empty() {
+        failures.push("livehub: the injected storm was not detected".into());
+    }
+    if live_run.live_detections.len() != live_run.detections.len()
+        || live_run
+            .detections
+            .iter()
+            .any(|d| !live_run.live_detections.iter().any(|l| &l.event == d))
+    {
+        failures.push("livehub: live stream != settle-replay oracle".into());
+    }
+    if hub.timeline().is_empty() {
+        failures.push("livehub: snapshot cadence left the timeline ring empty".into());
+    }
+    let _ = writeln!(
+        json,
+        "  \"hub_timeline\": {},",
+        repro_bench::livehub::timeline_json(&hub)
+    );
+    let _ = writeln!(
+        json,
+        "  \"detection_live_stream\": {},",
+        repro_bench::livehub::live_stream_json(&live_run.live_detections)
+    );
 
     // Achieved accuracy vs offered load: the HMMER storm rerun with an
     // overload controller whose service rate is 1×, 4× and 16×

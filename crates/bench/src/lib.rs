@@ -218,9 +218,151 @@ pub mod paper {
     }
 }
 
+pub mod livehub {
+    //! Shared live-diagnosis run: one MPI-IO job with an injected
+    //! congestion storm, online detection riding the ingest stream
+    //! *streaming* (windows close in-run behind the watermark
+    //! frontier), and the diagnosis hub collecting health, fault,
+    //! overload, snapshot, and detection events. Used by `iowatch`
+    //! (the dashboard) and `pipestat` (the JSON export) so both tell
+    //! the same story.
+
+    use darshan_ldms_connector::TelemetryConfig;
+    use iosim_apps::experiment::{run_job, Instrumentation, RunResult, RunSpec};
+    use iosim_apps::figdata::estimate_write_phase_s;
+    use iosim_apps::platform::FsChoice;
+    use iosim_apps::workloads::MpiIoTest;
+    use iosim_fs::CongestionWindow;
+    use iosim_telemetry::HubConfig;
+    use iosim_time::SimDuration;
+
+    /// The hub cadence used by the live binaries (virtual seconds).
+    pub const SNAPSHOT_EVERY_S: u64 = 5;
+
+    /// The anomalous workload: a CI-scale MPI-IO job whose late write
+    /// phase runs under a 1.5x congestion storm (the paper's job-2
+    /// signature), detection windows sized to one write burst.
+    pub fn workload(quick: bool) -> MpiIoTest {
+        let mut a = MpiIoTest::tiny(false);
+        a.iterations = 10;
+        a.nodes = if quick { 2 } else { 4 };
+        a.ranks_per_node = 4;
+        a.block = 4 * 1024 * 1024;
+        a
+    }
+
+    /// The spec for [`workload`]: store + hub-enabled telemetry +
+    /// streaming detection + a congestion storm over the late writes.
+    pub fn spec(app: &MpiIoTest, seed: u64) -> RunSpec {
+        let writes_end = estimate_write_phase_s(app);
+        let detection = hpcws_sim::DetectionConfig::default()
+            .with_window_s((writes_end / 10.0).max(0.05))
+            .with_outlier_factor(1.3);
+        let base = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+            .with_store(true)
+            .with_telemetry(TelemetryConfig::trace_all().with_hub(HubConfig {
+                snapshot_every_s: SNAPSHOT_EVERY_S,
+                ..HubConfig::default()
+            }))
+            .with_detection(detection)
+            .with_detection_alert_budget(writes_end * 2.0);
+        let mut spec = base;
+        spec.seed = seed;
+        spec.job_id = 600 + seed;
+        let t0 = spec.epoch_base;
+        let storm_start = t0 + SimDuration::from_secs_f64(writes_end * 0.55);
+        let storm_end = t0 + SimDuration::from_secs_f64(writes_end * 8.0 + 120.0);
+        spec.with_congestion(CongestionWindow::storm(storm_start, storm_end, 1.5))
+    }
+
+    /// Runs the anomalous live-diagnosis job end to end.
+    pub fn run(quick: bool, seed: u64) -> RunResult {
+        let app = workload(quick);
+        run_job(&app, &spec(&app, seed))
+    }
+
+    /// The hub's downsampled timeline as a JSON array (the
+    /// `hub_timeline` family).
+    pub fn timeline_json(hub: &iosim_telemetry::DiagHub) -> String {
+        let rows = hub.timeline();
+        let mut out = String::from("[");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"level\": {}, \"width_s\": {}, \"bucket_s\": {}, \"series\": \"{}\", \
+                 \"last\": {:.6}, \"max\": {:.6}}}",
+                if i == 0 { "" } else { ", " },
+                r.level,
+                r.width_s,
+                r.bucket_s,
+                r.series,
+                r.last,
+                r.max
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// The live detection stream as a JSON array (the
+    /// `detection_live_stream` family): each finding with its virtual
+    /// emit instant and whether it surfaced in-run.
+    pub fn live_stream_json(live: &[iosim_apps::detect::LiveDetection]) -> String {
+        let mut out = String::from("[");
+        for (i, l) in live.iter().enumerate() {
+            out.push_str(&format!(
+                "{}{{\"kind\": \"{}\", \"severity\": \"{}\", \"job\": {}, \"rank\": {}, \
+                 \"op\": \"{}\", \"onset_s\": {:.3}, \"detected_s\": {:.3}, \
+                 \"emitted_s\": {:.3}, \"in_run\": {}}}",
+                if i == 0 { "" } else { ", " },
+                l.event.kind.as_str(),
+                l.event.severity.as_str(),
+                l.event.job_id,
+                l.event
+                    .rank
+                    .map_or_else(|| "null".to_string(), |r| r.to_string()),
+                l.event.op,
+                l.event.onset,
+                l.event.detected_at,
+                l.emitted_s,
+                l.in_run
+            ));
+        }
+        out.push(']');
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn livehub_run_streams_detections_through_the_hub() {
+        let r = livehub::run(true, 1);
+        assert!(!r.detections.is_empty(), "the storm must be detected");
+        // The live stream carries exactly the oracle's findings.
+        assert_eq!(r.live_detections.len(), r.detections.len());
+        for d in &r.detections {
+            assert!(r.live_detections.iter().any(|l| &l.event == d));
+        }
+        assert!(
+            r.live_detections.iter().any(|l| l.in_run),
+            "the storm should surface while ingest is still flowing"
+        );
+        let p = r.pipeline.as_ref().expect("connector run");
+        let hub = p.telemetry().expect("telemetry on").diag().expect("hub on");
+        assert!(hub.published() > 0, "hub saw events");
+        assert!(
+            !hub.timeline().is_empty(),
+            "snapshot cadence filled the ring"
+        );
+        assert!(
+            hub.events()
+                .iter()
+                .any(|e| matches!(e.kind, iosim_telemetry::HubEventKind::Detection(_))),
+            "detections published to the hub"
+        );
+    }
 
     #[test]
     fn reference_block_renders_all_rows() {

@@ -35,7 +35,7 @@ use crate::replication::{
 use crate::schema::Schema;
 use crate::store::{Dsosd, TaggedRow};
 use crate::value::Value;
-use iosim_telemetry::{Counter, Gauge, Telemetry};
+use iosim_telemetry::{Counter, DiagHub, FaultKind, Gauge, HealthState, HubEventKind, Telemetry};
 use iosim_time::Epoch;
 use iosim_util::merge::merge_sorted;
 use parking_lot::{Mutex, RwLock};
@@ -103,6 +103,10 @@ struct ClusterMetrics {
     read_repairs: Arc<Counter>,
     rebuild_rows: Arc<Counter>,
     replica_lag: Arc<Gauge>,
+    /// The live diagnosis hub, when the telemetry hub carries one:
+    /// `recover` publishes per-dsosd crash/restart/rebuild fault
+    /// events and health transitions into it.
+    diag: Option<Arc<DiagHub>>,
 }
 
 /// A cluster of `dsosd` daemons plus the client-side routing,
@@ -198,6 +202,7 @@ impl DsosCluster {
             read_repairs: reg.counter("read_repairs", "dsos-cluster"),
             rebuild_rows: reg.counter("rebuild_rows", "dsos-cluster"),
             replica_lag: reg.gauge("replica_lag", "dsos-cluster"),
+            diag: hub.diag().cloned(),
         });
     }
 
@@ -279,6 +284,7 @@ impl DsosCluster {
         }
         events.sort_by(|a, b| (a.0, &a.1, a.2).cmp(&(b.0, &b.1, b.2)));
         let start = self.recovered_events.load(Ordering::Acquire);
+        let diag = self.metrics.lock().as_ref().and_then(|m| m.diag.clone());
         let mut rebuilt = 0u64;
         let mut processed = start;
         let mut repl = self.repl.write();
@@ -287,6 +293,7 @@ impl DsosCluster {
                 break;
             }
             processed += 1;
+            let name = self.daemons[*d].name();
             match kind {
                 Kind::Crash => {
                     // Crash-stop: everything that arrived before the
@@ -294,12 +301,61 @@ impl DsosCluster {
                     for cr in repl.values_mut() {
                         cr.holders[*d].retain(|_, arr| *arr >= *at);
                     }
+                    if let Some(diag) = &diag {
+                        diag.publish(
+                            name,
+                            *at,
+                            HubEventKind::Fault {
+                                kind: FaultKind::Crash,
+                                detail: format!("dsosd crash-stop at {:.3}s", at.as_secs_f64()),
+                            },
+                        );
+                        diag.publish(
+                            name,
+                            *at,
+                            HubEventKind::Health {
+                                from: HealthState::Healthy,
+                                to: HealthState::Down,
+                                reason: "crash window opened; shard replicas offline".to_string(),
+                            },
+                        );
+                    }
                 }
                 // A restart that lands inside a later crash window
                 // (adjacent windows at the same instant) rebuilds
                 // nothing: the daemon is down at that instant.
                 Kind::Restart if schedules[*d].is_up(*at) => {
-                    rebuilt += self.rebuild_daemon(&mut repl, *d, *at, &schedules);
+                    let rows = self.rebuild_daemon(&mut repl, *d, *at, &schedules);
+                    rebuilt += rows;
+                    if let Some(diag) = &diag {
+                        diag.publish(
+                            name,
+                            *at,
+                            HubEventKind::Fault {
+                                kind: FaultKind::Restart,
+                                detail: format!("dsosd restarted at {:.3}s", at.as_secs_f64()),
+                            },
+                        );
+                        if rows > 0 {
+                            diag.publish(
+                                name,
+                                *at,
+                                HubEventKind::Fault {
+                                    kind: FaultKind::Rebuild,
+                                    detail: format!("anti-entropy rebuilt {rows} rows from peers"),
+                                },
+                            );
+                        }
+                        diag.publish(
+                            name,
+                            *at,
+                            HubEventKind::Health {
+                                from: HealthState::Down,
+                                to: HealthState::Healthy,
+                                reason: format!("rejoined quorum; {rows} rows rebuilt"),
+                            },
+                        );
+                    }
                 }
                 Kind::Restart => {}
             }

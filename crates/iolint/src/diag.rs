@@ -284,13 +284,20 @@ lint!(
     Warning,
     "the online detector flagged an I/O phase degenerating into tiny unaligned writes"
 );
+lint!(
+    TRC013,
+    "TRC013",
+    "detection-latency",
+    Warning,
+    "a live detection's onset-to-emission latency exceeds the configured alert budget"
+);
 
 /// Every lint, in code order. `TOP*` codes come from the topology
 /// pass, `TRC*` codes from the trace pass.
 pub const REGISTRY: &[LintCode] = &[
     TOP001, TOP002, TOP003, TOP004, TOP005, TOP006, TOP007, TOP008, TOP009, TOP010, TOP011, TOP012,
     TOP013, TOP014, FLOW001, FLOW002, FLOW003, FLOW004, CONF001, TRC001, TRC002, TRC003, TRC004,
-    TRC005, TRC006, TRC007, TRC008, TRC009, TRC010, TRC011, TRC012,
+    TRC005, TRC006, TRC007, TRC008, TRC009, TRC010, TRC011, TRC012, TRC013,
 ];
 
 /// Looks a lint up by code (`"TOP001"`, case-insensitive) or by name

@@ -20,14 +20,15 @@
 //!   provable loss, accuracy-floor breaches, crash-window WAL
 //!   overflow, and latency-budget violations. Conf parse failures
 //!   surface as `CONF001` with the offending line.
-//! * **Trace** (`TRC001`–`TRC012`): linting of stored `darshan_data`
+//! * **Trace** (`TRC001`–`TRC013`): linting of stored `darshan_data`
 //!   rows — unmatched opens/closes, impossible or overlapping
 //!   durations, timestamp regressions, sequence gaps the delivery
 //!   ledger cannot explain, latency-budget breaches, the I/O
 //!   anti-patterns (tiny unaligned writes, rank stragglers) the paper
-//!   diagnoses at run time, and the online detector's live findings
+//!   diagnoses at run time, the online detector's live findings
 //!   (`TRC010`–`TRC012`: straggler ranks, duration outliers, phase
-//!   anomalies) folded into the same report.
+//!   anomalies) folded into the same report, and slow alert delivery
+//!   (`TRC013`: a live detection emitted past its alert budget).
 //!
 //! Diagnostics carry stable codes with rustc-style `allow`/`warn`/
 //! `deny` configuration ([`LintConfig`]) and render as plain text, a
@@ -70,8 +71,8 @@ pub use topology::{
     TopologySpec,
 };
 pub use trace::{
-    events_from_cluster, lint_detections, lint_gaps, lint_latency_budget, lint_trace, LossBudget,
-    TraceEvent, TraceLintOpts,
+    events_from_cluster, lint_detection_latency, lint_detections, lint_gaps, lint_latency_budget,
+    lint_trace, LossBudget, TraceEvent, TraceLintOpts,
 };
 
 use darshan_ldms_connector::Pipeline;
@@ -140,4 +141,15 @@ pub fn check_latency_budget(p95_s: f64, traces: u64, budget_s: f64, config: &Lin
 /// gate exactly like every other lint.
 pub fn check_detections(detections: &[hpcws_sim::DiagnosticEvent], config: &LintConfig) -> Report {
     Report::new(trace::lint_detections(detections), config)
+}
+
+/// Advisory detection-latency check (`TRC013`) over a run's live
+/// detections: `(subject, onset-to-emission latency)` pairs as plain
+/// values, compared against an alert budget in virtual seconds.
+pub fn check_detection_latency(
+    latencies: &[(String, f64)],
+    budget_s: f64,
+    config: &LintConfig,
+) -> Report {
+    Report::new(trace::lint_detection_latency(latencies, budget_s), config)
 }

@@ -469,6 +469,32 @@ pub fn lint_latency_budget(p95_s: f64, traces: u64, budget_s: f64) -> Vec<Diagno
     )]
 }
 
+/// `TRC013` — advisory alert budget from an anomaly's ground onset to
+/// its live emission instant. Fed plain `(subject, latency_s)` pairs
+/// so callers need not hold detector types; a run with no live
+/// detections never fires, and detections that land *within* the
+/// budget stay silent — only the slow ones draw the lint.
+pub fn lint_detection_latency(latencies: &[(String, f64)], budget_s: f64) -> Vec<Diagnostic> {
+    latencies
+        .iter()
+        .filter(|(_, lat)| *lat > budget_s)
+        .map(|(subject, lat)| {
+            Diagnostic::new(
+                &diag::TRC013,
+                subject.clone(),
+                format!(
+                    "live detection emitted {lat:.3}s after anomaly onset, \
+                     over the {budget_s:.3}s alert budget"
+                ),
+            )
+            .with_help(
+                "shrink the detector window, raise the budget, or check whether retries \
+                 forced the finding back to settle-time emission",
+            )
+        })
+        .collect()
+}
+
 /// `TRC010`–`TRC012` — folds the online detector's emissions into the
 /// lint report, so live detection and post-run linting tell one story.
 /// Each [`hpcws_sim::DiagnosticEvent`] maps to the code of its anomaly
@@ -638,6 +664,32 @@ mod tests {
         assert!(d.message.contains("1.250000s"));
         assert!(d.message.contains("0.500000s budget"));
         assert!(d.message.contains("64 traced messages"));
+        assert!(d.help.is_some());
+    }
+
+    #[test]
+    fn detection_latency_fires_only_past_the_alert_budget() {
+        // No live detections: nothing to judge.
+        assert!(lint_detection_latency(&[], 5.0).is_empty());
+        // Within (or exactly at) budget: clean.
+        let fast = vec![
+            ("duration-outlier job 900 write".to_string(), 2.0),
+            ("straggler-rank job 901 io".to_string(), 5.0),
+        ];
+        assert!(lint_detection_latency(&fast, 5.0).is_empty());
+        // One slow alert among fast ones: exactly one TRC013, advisory.
+        let mixed = vec![
+            ("duration-outlier job 900 write".to_string(), 2.0),
+            ("phase-anomaly job 902 write".to_string(), 61.5),
+        ];
+        let diags = lint_detection_latency(&mixed, 5.0);
+        assert_eq!(diags.len(), 1);
+        let d = &diags[0];
+        assert_eq!(d.code.code, "TRC013");
+        assert_eq!(d.severity, crate::Severity::Warning, "advisory, not error");
+        assert_eq!(d.subject, "phase-anomaly job 902 write");
+        assert!(d.message.contains("61.500s"));
+        assert!(d.message.contains("5.000s alert budget"));
         assert!(d.help.is_some());
     }
 

@@ -38,18 +38,19 @@
 use crate::fault::{FaultScript, FaultSpec, Lifecycle};
 use crate::heartbeat::HeartbeatConfig;
 use crate::ledger::{DeliveryLedger, LossCause};
-use crate::overload::{OverloadConfig, OverloadController, OverloadStats};
+use crate::overload::{OverloadConfig, OverloadController, OverloadState, OverloadStats};
 use crate::queue::{QueueConfig, QueueEntry, RetryQueue};
 use crate::stream::{StreamHub, StreamMessage, StreamSink, StreamStats};
 use crate::transport::TransportLink;
 use crate::wal::{WalConfig, WalStats, WriteAheadLog};
 use iosim_telemetry::{
-    Counter, CrashDump, FlightEvent, FlightRecorder, Gauge, Histogram, HopKind, Telemetry,
+    Counter, CrashDump, DiagHub, FaultKind, FlightEvent, FlightRecorder, Gauge, HealthState,
+    Histogram, HopKind, HubEventKind, Telemetry,
 };
 use iosim_time::{Epoch, SimDuration};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Role of a daemon in the topology.
@@ -210,6 +211,12 @@ struct CrashWindow {
 /// atomic load per hook site.
 struct DaemonTelemetry {
     hub: Arc<Telemetry>,
+    /// The live diagnosis hub, resolved once at attach time (absent
+    /// when telemetry runs without a hub).
+    diag: Option<Arc<DiagHub>>,
+    /// Last published health state (dense [`HealthState`] encoding),
+    /// so transitions publish exactly once.
+    last_health: AtomicU8,
     /// Cached span site label — the daemon name, shared by every span
     /// this daemon records.
     site: Arc<str>,
@@ -325,6 +332,8 @@ impl Ldmsd {
         let reg = hub.registry();
         let tel = Arc::new(DaemonTelemetry {
             hub: hub.clone(),
+            diag: hub.diag().cloned(),
+            last_health: AtomicU8::new(HealthState::Healthy.to_u8()),
             site: Arc::from(self.name.as_str()),
             flight: hub.flight(&self.name),
             forwarded: reg.counter("forwarded", &self.name),
@@ -351,6 +360,76 @@ impl Ldmsd {
             return None;
         }
         self.tel.read().clone()
+    }
+
+    /// The live diagnosis hub, when telemetry with a hub is attached.
+    fn diag(&self) -> Option<(Arc<DaemonTelemetry>, Arc<DiagHub>)> {
+        let tel = self.tel()?;
+        let diag = tel.diag.clone()?;
+        Some((tel, diag))
+    }
+
+    /// Derives the daemon's current health from its liveness window,
+    /// overload-ladder rung, and retry-queue depth. The reason string
+    /// is only built by [`Ldmsd::note_health`] on an actual
+    /// transition.
+    fn health_at(&self, now: Epoch) -> HealthState {
+        if !self.lifecycle.is_up(now) {
+            return HealthState::Down;
+        }
+        if let Some(ctl) = self.overload_ctl() {
+            if ctl.state() != OverloadState::Normal {
+                return HealthState::Overloaded;
+            }
+        }
+        if self.queued() > 0 {
+            return HealthState::Degraded;
+        }
+        HealthState::Healthy
+    }
+
+    /// Publishes a health transition to the diagnosis hub when the
+    /// derived state changed since the last check. Called from the
+    /// daemon's virtual-time touch points (hop processing, parking,
+    /// pump); a no-op without an attached hub.
+    fn note_health(&self, now: Epoch) {
+        let Some((tel, diag)) = self.diag() else {
+            return;
+        };
+        let state = self.health_at(now);
+        let prev = HealthState::from_u8(tel.last_health.swap(state.to_u8(), Ordering::Relaxed));
+        if prev == state {
+            return;
+        }
+        let reason = match state {
+            HealthState::Down => "liveness window closed (outage or crash)".to_string(),
+            HealthState::Overloaded => {
+                let rung = self
+                    .overload_ctl()
+                    .map(|c| c.state().as_str())
+                    .unwrap_or("unknown");
+                format!("overload ladder at {rung}")
+            }
+            HealthState::Degraded => format!("{} frames parked for retry", self.queued()),
+            HealthState::Healthy => "recovered".to_string(),
+        };
+        diag.publish(
+            &self.name,
+            now,
+            HubEventKind::Health {
+                from: prev,
+                to: state,
+                reason,
+            },
+        );
+    }
+
+    /// Publishes a lifecycle fault event to the diagnosis hub; a no-op
+    /// without an attached hub.
+    fn note_fault(&self, at: Epoch, kind: FaultKind, detail: String) {
+        if let Some((_, diag)) = self.diag() {
+            diag.publish(&self.name, at, HubEventKind::Fault { kind, detail });
+        }
     }
 
     /// Crash dumps recorded at this daemon's crash-stop instants
@@ -707,6 +786,7 @@ impl Ldmsd {
         }
         visited.push(me);
         let now = msg.recv_time;
+        self.note_health(now);
         if !self.lifecycle.is_up(now) {
             // The message arrived at a crashed daemon (it was in
             // flight when the crash hit, or was injected directly).
@@ -762,7 +842,22 @@ impl Ldmsd {
                 let Some(ctl) = self.overload_ctl() else {
                     return self.try_send(up, msg, 0, None, None, now);
                 };
+                let rung_before = ctl.state();
                 let outcome = ctl.admit(msg, now);
+                let rung_after = ctl.state();
+                if rung_before != rung_after {
+                    if let Some((_, diag)) = self.diag() {
+                        diag.publish(
+                            &self.name,
+                            now,
+                            HubEventKind::Overload {
+                                from: rung_before.as_str(),
+                                to: rung_after.as_str(),
+                            },
+                        );
+                    }
+                    self.note_health(now);
+                }
                 for s in outcome.summaries {
                     let at = s.recv_time.max(now);
                     if let Some(c) = self.try_send(up, s, 0, None, None, at) {
@@ -911,7 +1006,44 @@ impl Ldmsd {
         let weight = msg.weight();
         let cfg = up.queue.config();
         let retryable = cfg.retries_enabled() && attempts < cfg.max_attempts;
-        let route = &up.routes[up.elect(now)];
+        let route = match self.diag() {
+            None => &up.routes[up.elect(now)],
+            Some((_, diag)) => {
+                // Route elections mutate the failover/failback counters;
+                // a change across this election is a fault event worth
+                // publishing live.
+                let fo = up.failovers.load(Ordering::Relaxed);
+                let fb = up.failbacks.load(Ordering::Relaxed);
+                let idx = up.elect(now);
+                if up.failovers.load(Ordering::Relaxed) > fo {
+                    diag.publish(
+                        &self.name,
+                        now,
+                        HubEventKind::Fault {
+                            kind: FaultKind::Failover,
+                            detail: format!(
+                                "elected standby route {}",
+                                up.routes[idx].target.name()
+                            ),
+                        },
+                    );
+                }
+                if up.failbacks.load(Ordering::Relaxed) > fb {
+                    diag.publish(
+                        &self.name,
+                        now,
+                        HubEventKind::Fault {
+                            kind: FaultKind::Failback,
+                            detail: format!(
+                                "failed back to route {}",
+                                up.routes[idx].target.name()
+                            ),
+                        },
+                    );
+                }
+                &up.routes[idx]
+            }
+        };
 
         // Detectable failures: the sender can see a flapped link or a
         // crashed peer (the connection refuses), so the message is not
@@ -1055,6 +1187,7 @@ impl Ldmsd {
         if let Some(tel) = self.tel() {
             tel.queue_depth.set(up.queue.len() as u64);
         }
+        self.note_health(now);
     }
 
     /// Records an abandoned queue entry as lost, attributed to the hop
@@ -1106,6 +1239,7 @@ impl Ldmsd {
         if self.has_crashes.load(Ordering::Relaxed) {
             self.process_crashes(now);
         }
+        self.note_health(now);
         let continuations = {
             let guard = self.upstream.read();
             let Some(up) = guard.as_ref() else { return };
@@ -1161,10 +1295,26 @@ impl Ldmsd {
                 cw.crashed = true;
                 self.crash_count.fetch_add(1, Ordering::Relaxed);
                 self.crash_drop_volatile(cw.at);
+                self.note_fault(
+                    cw.at,
+                    FaultKind::Crash,
+                    format!(
+                        "crash-stop at {:.3}s (restart {:.3}s)",
+                        cw.at.as_secs_f64(),
+                        cw.restart.as_secs_f64()
+                    ),
+                );
+                self.note_health(cw.at);
             }
             if cw.crashed && !cw.replayed && cw.restart <= now {
                 cw.replayed = true;
                 self.replay_wal(cw.restart);
+                self.note_fault(
+                    cw.restart,
+                    FaultKind::Restart,
+                    format!("restarted; {} entries parked for retry", self.queued()),
+                );
+                self.note_health(cw.restart);
             }
         }
         if crashes.iter().all(|cw| cw.replayed) {
@@ -1647,6 +1797,12 @@ impl LdmsNetwork {
 
     /// Drains every daemon's retry queue as of virtual instant `now`.
     pub fn pump(&self, now: Epoch) {
+        if let Some(tel) = &self.telemetry {
+            // Drive the diagnosis hub's metric-snapshot cadence from
+            // the network's virtual-time progression (no-op without a
+            // hub).
+            tel.advance_diag(now);
+        }
         for d in &self.ordered {
             d.pump(now);
         }

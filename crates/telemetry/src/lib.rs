@@ -27,10 +27,15 @@
 #![forbid(unsafe_code)]
 
 pub mod flight;
+pub mod hub;
 pub mod metrics;
 pub mod trace;
 
 pub use flight::{CrashDump, FlightEvent, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
+pub use hub::{
+    Alert, AlertSeverity, DetectionRecord, DiagHub, FaultKind, HealthState, HubConfig, HubEvent,
+    HubEventKind, HubSubscription, TimelineRow,
+};
 pub use metrics::{
     bucket_index, bucket_upper_bound, Counter, Gauge, Histogram, HistogramSnapshot, Metric,
     MetricRegistry, HISTOGRAM_BUCKETS,
@@ -58,6 +63,11 @@ pub struct TelemetryConfig {
     pub span_cap: usize,
     /// Ring capacity of each daemon's flight recorder.
     pub flight_capacity: usize,
+    /// Live diagnosis hub policy: `Some` builds a [`DiagHub`] alongside
+    /// the registry and the instrumented sites publish health,
+    /// overload, fault, and detection events into it during the run.
+    /// `None` (the default) keeps the hub machinery entirely off.
+    pub hub: Option<HubConfig>,
 }
 
 impl Default for TelemetryConfig {
@@ -66,6 +76,7 @@ impl Default for TelemetryConfig {
             sample_every: 4,
             span_cap: 65_536,
             flight_capacity: DEFAULT_FLIGHT_CAPACITY,
+            hub: None,
         }
     }
 }
@@ -86,6 +97,12 @@ impl TelemetryConfig {
             ..Self::default()
         }
     }
+
+    /// Enables the live diagnosis hub with the given policy.
+    pub fn with_hub(mut self, hub: HubConfig) -> Self {
+        self.hub = Some(hub);
+        self
+    }
 }
 
 /// The per-pipeline telemetry hub: one metric registry, one span log,
@@ -97,6 +114,7 @@ pub struct Telemetry {
     registry: MetricRegistry,
     spans: SpanLog,
     flights: Mutex<BTreeMap<String, Arc<FlightRecorder>>>,
+    diag: Option<Arc<DiagHub>>,
 }
 
 impl Telemetry {
@@ -107,12 +125,28 @@ impl Telemetry {
             registry: MetricRegistry::new(),
             spans: SpanLog::new(config.span_cap),
             flights: Mutex::new(BTreeMap::new()),
+            diag: config.hub.map(DiagHub::new),
         })
     }
 
     /// The behavior this hub was built with.
     pub fn config(&self) -> TelemetryConfig {
         self.config
+    }
+
+    /// The live diagnosis hub, when enabled via
+    /// [`TelemetryConfig::hub`].
+    pub fn diag(&self) -> Option<&Arc<DiagHub>> {
+        self.diag.as_ref()
+    }
+
+    /// Drives the diagnosis hub's metric-snapshot cadence from an
+    /// instrumented site's current virtual instant. No-op without a
+    /// hub.
+    pub fn advance_diag(&self, now: Epoch) {
+        if let Some(hub) = &self.diag {
+            hub.advance(now, &self.registry);
+        }
     }
 
     /// The metric registry.
@@ -197,16 +231,23 @@ impl Telemetry {
 
     /// Prometheus-style text exposition of every metric family.
     ///
-    /// Histograms render cumulative `_bucket{le=...}` series plus
-    /// `_sum` and `_count`, gauges and counters one sample line per
-    /// daemon; families and daemons are in lexicographic order, so
-    /// the output is deterministic.
+    /// Each family renders a `# HELP` and `# TYPE` header; histograms
+    /// render cumulative `_bucket{le=...}` series plus `_sum` and
+    /// `_count`, gauges and counters one sample line per daemon.
+    /// Label values are escaped per the exposition format (`\`, `"`,
+    /// and newline), so daemon names survive quoting. Families and
+    /// daemons are in lexicographic order, so the output is
+    /// deterministic.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
         for (family, series) in self.registry.families() {
             let kind = series.first().map(|(_, m)| m.kind()).unwrap_or("untyped");
+            out.push_str(&format!(
+                "# HELP {family} Pipeline self-telemetry {kind} family {family}, labeled by daemon.\n"
+            ));
             out.push_str(&format!("# TYPE {family} {kind}\n"));
             for (daemon, metric) in &series {
+                let daemon = escape_label_value(daemon);
                 match metric {
                     Metric::Counter(c) => {
                         out.push_str(&format!("{family}{{daemon=\"{daemon}\"}} {}\n", c.get()));
@@ -274,6 +315,22 @@ impl Telemetry {
         w.end_object();
         w.finish()
     }
+}
+
+/// Escapes a label value per the Prometheus exposition format:
+/// backslash, double quote, and newline must be backslash-escaped
+/// inside the quoted label value.
+fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            other => out.push(other),
+        }
+    }
+    out
 }
 
 fn write_snapshot(w: &mut JsonWriter, s: &HistogramSnapshot) {
@@ -402,6 +459,7 @@ mod tests {
         h.record(100);
         h.record(5000);
         let text = tel.render_prometheus();
+        assert!(text.contains("# HELP parked_frames "));
         assert!(text.contains("# TYPE parked_frames counter"));
         assert!(text.contains("parked_frames{daemon=\"l1\"} 3"));
         assert!(text.contains("# TYPE queue_depth gauge"));
@@ -410,6 +468,43 @@ mod tests {
         assert!(text.contains("hop_latency_ns_bucket{daemon=\"l2\",le=\"+Inf\"} 2"));
         assert!(text.contains("hop_latency_ns_sum{daemon=\"l2\"} 5100"));
         assert!(text.contains("hop_latency_ns_count{daemon=\"l2\"} 2"));
+        // Every family gets exactly one HELP/TYPE header pair, HELP first.
+        let help_at = text.find("# HELP queue_depth").expect("HELP line");
+        let type_at = text.find("# TYPE queue_depth").expect("TYPE line");
+        assert!(help_at < type_at);
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let tel = Telemetry::new(TelemetryConfig::default());
+        tel.registry()
+            .counter("ingested", "weird\"name\\with\nnewline")
+            .inc();
+        let text = tel.render_prometheus();
+        assert!(
+            text.contains("ingested{daemon=\"weird\\\"name\\\\with\\nnewline\"} 1"),
+            "got: {text}"
+        );
+        // No raw newline survives inside a label value: every line is
+        // either a comment or `name{...} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.contains('}'),
+                "broken exposition line: {line:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn hub_is_off_by_default_and_on_when_configured() {
+        let off = Telemetry::new(TelemetryConfig::default());
+        assert!(off.diag().is_none());
+        off.advance_diag(Epoch::from_secs(100)); // no-op, must not panic
+        let on = Telemetry::new(TelemetryConfig::trace_all().with_hub(HubConfig::default()));
+        let hub = on.diag().expect("hub built").clone();
+        on.registry().counter("forwarded", "l1").inc();
+        on.advance_diag(Epoch::from_secs(100));
+        assert_eq!(hub.published(), 1, "cadence snapshot published");
     }
 
     #[test]

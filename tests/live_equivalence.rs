@@ -1,0 +1,518 @@
+//! Differential harness for the live diagnosis hub.
+//!
+//! The hub is pure observation, and these tests pin down its two hard
+//! contracts:
+//!
+//! 1. **Off-path**: a run with the hub enabled stores the
+//!    byte-identical DSOS rows, reads the same delivery ledger, and
+//!    recovers identically to a run with no telemetry at all — calm,
+//!    under daemon outages, and under crash-stop faults with a durable
+//!    WAL, in both unbatched and batched framings.
+//! 2. **Live/settle parity**: with streaming detection the set of
+//!    findings emitted on the live stream exactly equals the
+//!    settle-replay oracle's, whatever cross-rank arrival interleaving
+//!    the run realized — and every in-run emission's virtual instant
+//!    precedes the settle horizon.
+
+mod fault_common;
+
+use fault_common::{base_epoch, node_names, TAG};
+use repro_suite::apps::detect::{event_cmp, LiveDetectorTap};
+use repro_suite::apps::experiment::{run_job, Instrumentation, RunResult, RunSpec};
+use repro_suite::apps::figdata::estimate_write_phase_s;
+use repro_suite::apps::platform::FsChoice;
+use repro_suite::apps::workloads::MpiIoTest;
+use repro_suite::connector::{
+    BatchConfig, ConnectorConfig, FaultScript, Pipeline, PipelineOpts, QueueConfig, RecoveryReport,
+    TelemetryConfig, WalConfig,
+};
+use repro_suite::darshan::hooks::{EventSink, IoEvent};
+use repro_suite::darshan::runtime::JobMeta;
+use repro_suite::darshan::{ModuleId, OpKind};
+use repro_suite::hpcws::online::{OnlineDetector, OnlineEvent};
+use repro_suite::hpcws::DetectionConfig;
+use repro_suite::scenario;
+use repro_suite::simfs::CongestionWindow;
+use repro_suite::simtime::{Clock, Epoch, SimDuration};
+use repro_suite::telemetry::HubConfig;
+use std::collections::{BTreeMap, VecDeque};
+
+const JOB_ID: u64 = 7;
+
+/// Everything the pipeline *produced* (as opposed to *observed*).
+/// Crash-flight dumps are stripped before comparison — they exist only
+/// when a telemetry hub is attached.
+#[derive(Debug, Clone, PartialEq)]
+struct Snap {
+    rows: Vec<String>,
+    published: u64,
+    delivered: u64,
+    lost: u64,
+    duplicates: u64,
+    stored: u64,
+    missing: u64,
+    balanced: bool,
+    recovery: RecoveryReport,
+}
+
+fn snapshot(p: &Pipeline) -> Snap {
+    let mut rows: Vec<String> = p
+        .events_of_job(JOB_ID)
+        .iter()
+        .map(|row| format!("{row:?}"))
+        .collect();
+    rows.sort();
+    let mut recovery = p.recovery_report();
+    recovery.crash_dumps.clear();
+    Snap {
+        rows,
+        published: p.ledger().published(),
+        delivered: p.ledger().delivered(),
+        lost: p.ledger().total_lost(),
+        duplicates: p.ledger().duplicates(),
+        stored: p.stored_events() as u64,
+        missing: p.store().total_missing(),
+        balanced: p.ledger().balances(),
+        recovery,
+    }
+}
+
+#[derive(Clone)]
+struct Scn {
+    nodes: u64,
+    events_per_rank: u64,
+    queue: QueueConfig,
+    script: FaultScript,
+    wal: Option<WalConfig>,
+    slack_s: u64,
+}
+
+fn io_event(rank: u32, record_id: u64, op: OpKind, clock: &mut Clock) -> IoEvent {
+    let start = clock.time_pair();
+    clock.advance(SimDuration::from_micros(100));
+    IoEvent {
+        module: ModuleId::Posix,
+        op,
+        file: "/scratch/live.dat".into(),
+        record_id,
+        rank,
+        len: 4096,
+        offset: 4096 * record_id as i64,
+        start,
+        end: clock.time_pair(),
+        dur: 1e-4,
+        cnt: 1,
+        switches: 0,
+        flushes: -1,
+        max_byte: 4095,
+        hdf5: None,
+    }
+}
+
+/// The modes under comparison, off-mode first: no telemetry at all,
+/// trace-all without the hub, and trace-all with the full hub.
+fn hub_modes() -> [(&'static str, Option<TelemetryConfig>); 3] {
+    [
+        ("telemetry-off", None),
+        ("hub-off", Some(TelemetryConfig::trace_all())),
+        (
+            "hub-on",
+            Some(TelemetryConfig::trace_all().with_hub(HubConfig {
+                snapshot_every_s: 1,
+                ..HubConfig::default()
+            })),
+        ),
+    ]
+}
+
+fn run_with(sc: &Scn, telemetry: Option<TelemetryConfig>, batch: BatchConfig) -> (Pipeline, Snap) {
+    let nodes = node_names(sc.nodes);
+    let p = Pipeline::build_with(
+        &nodes,
+        &PipelineOpts {
+            dsosd_count: 1,
+            tag: TAG.to_string(),
+            attach_store: true,
+            queue: sc.queue.clone(),
+            faults: sc.script.clone(),
+            wal: sc.wal.clone(),
+            telemetry,
+            ..PipelineOpts::default()
+        },
+    );
+    let job = JobMeta::new(JOB_ID, 99_066, "/apps/live", sc.nodes as u32);
+    let cfg = ConnectorConfig {
+        batch,
+        ..ConnectorConfig::default()
+    };
+    for (i, name) in nodes.iter().enumerate() {
+        let conn = p.connector_for_rank(cfg.clone(), job.clone(), name.clone());
+        let mut clock = Clock::new(base_epoch() + SimDuration::from_micros(i as u64));
+        for e in 0..sc.events_per_rank {
+            let op = match e {
+                0 => OpKind::Open,
+                n if n == sc.events_per_rank - 1 => OpKind::Close,
+                _ => OpKind::Write,
+            };
+            let ev = io_event(i as u32, e, op, &mut clock);
+            conn.on_event(&ev, &mut clock);
+        }
+        conn.flush();
+    }
+    p.settle(base_epoch() + SimDuration::from_secs(sc.slack_s));
+    let snap = snapshot(&p);
+    (p, snap)
+}
+
+/// Diffs hub-off and hub-on against the telemetry-off reference, in
+/// both framings, and returns the hub-on pipelines for hub assertions.
+fn assert_hub_equivalent(seed: u64, sc: &Scn, frame: usize) -> Vec<Pipeline> {
+    let mut hub_runs = Vec::new();
+    for (framing, batch) in [
+        ("unbatched", BatchConfig::disabled()),
+        ("batched", BatchConfig::frames_of(frame)),
+    ] {
+        let mut reference: Option<Snap> = None;
+        for (label, tel) in hub_modes() {
+            let (p, snap) = run_with(sc, tel, batch.clone());
+            match &reference {
+                None => reference = Some(snap.clone()),
+                Some(r) => assert_eq!(
+                    &snap, r,
+                    "seed {seed}: {framing}/{label} diverged from telemetry-off"
+                ),
+            }
+            if label == "hub-on" {
+                hub_runs.push(p);
+            }
+        }
+    }
+    hub_runs
+}
+
+fn shape(seed: u64) -> (u64, u64, usize) {
+    let nodes = 2 + seed % 2;
+    let events = 10 + (seed * 7) % 17;
+    let frame = 2 + (seed % 5) as usize;
+    (nodes, events, frame)
+}
+
+#[test]
+fn calm_runs_are_identical_with_the_hub_on() {
+    for seed in [3u64, 11, 29] {
+        let (nodes, events_per_rank, frame) = shape(seed);
+        let sc = Scn {
+            nodes,
+            events_per_rank,
+            queue: QueueConfig::default(),
+            script: FaultScript::new(),
+            wal: None,
+            slack_s: 60,
+        };
+        for p in assert_hub_equivalent(seed, &sc, frame) {
+            let hub = p
+                .telemetry()
+                .expect("hub-on mode attaches telemetry")
+                .diag()
+                .expect("hub-on mode builds the hub")
+                .clone();
+            // The cadence driver ran: at least one metric snapshot
+            // landed on the bus and in the timeline ring.
+            assert!(hub.published() > 0, "seed {seed}: hub saw no events");
+            assert!(!hub.timeline().is_empty(), "seed {seed}: empty timeline");
+        }
+    }
+}
+
+#[test]
+fn outage_runs_are_identical_and_publish_health_transitions() {
+    for seed in [5u64, 17, 23] {
+        let (nodes, events_per_rank, frame) = shape(seed);
+        let sc = Scn {
+            nodes,
+            events_per_rank,
+            queue: QueueConfig::reliable(),
+            script: FaultScript::new().daemon_outage(
+                "l1",
+                base_epoch() + SimDuration::from_millis(2),
+                base_epoch() + SimDuration::from_millis(40),
+            ),
+            wal: None,
+            slack_s: 120,
+        };
+        for p in assert_hub_equivalent(seed, &sc, frame) {
+            let hub = p
+                .telemetry()
+                .expect("telemetry attached")
+                .diag()
+                .expect("hub built")
+                .clone();
+            let health: Vec<_> = hub
+                .events()
+                .into_iter()
+                .filter(|e| matches!(e.kind, repro_suite::telemetry::HubEventKind::Health { .. }))
+                .collect();
+            assert!(
+                !health.is_empty(),
+                "seed {seed}: an outage with parked frames must transition health"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_runs_are_identical_and_publish_fault_events() {
+    for seed in [7u64, 13, 31] {
+        let (nodes, events_per_rank, frame) = shape(seed);
+        let sc = Scn {
+            nodes,
+            events_per_rank,
+            queue: QueueConfig::reliable(),
+            script: FaultScript::new().crash(
+                "l1",
+                base_epoch() + SimDuration::from_millis(3),
+                base_epoch() + SimDuration::from_millis(50),
+            ),
+            wal: Some(WalConfig::durable()),
+            slack_s: 120,
+        };
+        for p in assert_hub_equivalent(seed, &sc, frame) {
+            let hub = p
+                .telemetry()
+                .expect("telemetry attached")
+                .diag()
+                .expect("hub built")
+                .clone();
+            let faults: Vec<String> = hub
+                .events()
+                .into_iter()
+                .filter_map(|e| match e.kind {
+                    repro_suite::telemetry::HubEventKind::Fault { kind, detail } => {
+                        Some(format!("{} {detail}", kind.as_str()))
+                    }
+                    _ => None,
+                })
+                .collect();
+            assert!(
+                faults.iter().any(|f| f.starts_with("crash")),
+                "seed {seed}: the crash must publish a fault event, got {faults:?}"
+            );
+            assert!(
+                faults.iter().any(|f| f.starts_with("restart")),
+                "seed {seed}: the restart must publish a fault event, got {faults:?}"
+            );
+        }
+    }
+}
+
+/// The shared anomalous workload: a CI-scale MPI-IO job whose late
+/// write phase runs under a 1.5x congestion storm.
+fn anomalous_app() -> MpiIoTest {
+    let mut a = MpiIoTest::tiny(false);
+    a.iterations = 10;
+    a.nodes = 2;
+    a.ranks_per_node = 4;
+    a.block = 4 * 1024 * 1024;
+    a
+}
+
+fn anomalous_spec(app: &MpiIoTest, seed: u64, hub: bool) -> RunSpec {
+    let writes_end = estimate_write_phase_s(app);
+    let detection = DetectionConfig::default()
+        .with_window_s((writes_end / 10.0).max(0.05))
+        .with_outlier_factor(1.3);
+    let mut spec = RunSpec::calm(FsChoice::Lustre, Instrumentation::connector_default())
+        .with_store(true)
+        .with_detection(detection);
+    if hub {
+        spec = spec.with_telemetry(TelemetryConfig::trace_all().with_hub(HubConfig::default()));
+    }
+    spec.seed = seed;
+    spec.job_id = 700 + seed;
+    let t0 = spec.epoch_base;
+    let storm_start = t0 + SimDuration::from_secs_f64(writes_end * 0.55);
+    let storm_end = t0 + SimDuration::from_secs_f64(writes_end * 8.0 + 120.0);
+    spec.with_congestion(CongestionWindow::storm(storm_start, storm_end, 1.5))
+}
+
+fn settle_horizon_s(spec: &RunSpec, r: &RunResult) -> f64 {
+    spec.epoch_base.as_secs_f64() + r.runtime_s + 60.0
+}
+
+/// Hub-live detection exactly equals settle-replay detection through
+/// the whole pipeline, across seeds — and in-run emissions precede the
+/// settle horizon.
+#[test]
+fn live_detections_equal_settle_replay_through_run_job() {
+    for seed in [1u64, 7, 42] {
+        let app = anomalous_app();
+        let live_spec = anomalous_spec(&app, seed, true);
+        let settle_spec = anomalous_spec(&app, seed, false);
+        let live = run_job(&app, &live_spec);
+        let settle = run_job(&app, &settle_spec);
+
+        assert!(
+            !settle.detections.is_empty(),
+            "seed {seed}: the storm must be detected"
+        );
+        assert_eq!(
+            live.detections, settle.detections,
+            "seed {seed}: the oracle must not feel the hub"
+        );
+        assert!(
+            settle.live_detections.is_empty(),
+            "seed {seed}: no hub, no live stream"
+        );
+        // The live stream is exactly the oracle set.
+        assert_eq!(live.live_detections.len(), live.detections.len());
+        for d in &live.detections {
+            assert!(
+                live.live_detections.iter().any(|l| &l.event == d),
+                "seed {seed}: live stream is missing {d:?}"
+            );
+        }
+        // Emission instants: in-run findings precede the settle
+        // horizon; at least one surfaced in-run.
+        let horizon = settle_horizon_s(&live_spec, &live);
+        assert!(
+            live.live_detections.iter().any(|l| l.in_run),
+            "seed {seed}: the storm should surface while ingest flows"
+        );
+        for l in &live.live_detections {
+            assert!(
+                l.emitted_s <= horizon,
+                "seed {seed}: emission after the settle horizon"
+            );
+            if l.in_run {
+                assert!(
+                    l.emitted_s < horizon,
+                    "seed {seed}: an in-run emission must precede settle"
+                );
+            }
+        }
+        // The hub carried the same findings.
+        let hub = live
+            .pipeline
+            .as_ref()
+            .and_then(|p| p.telemetry())
+            .and_then(|t| t.diag())
+            .cloned()
+            .expect("hub enabled");
+        let on_hub = hub
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, repro_suite::telemetry::HubEventKind::Detection(_)))
+            .count();
+        assert_eq!(on_hub, live.live_detections.len());
+    }
+}
+
+/// A tiny deterministic PRNG (xorshift64*) for seeded interleavings.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0.max(1);
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+}
+
+/// Streaming the labeled corpus through the live tap under seeded
+/// cross-rank interleavings (per-rank order preserved) emits exactly
+/// the straight settle-replay's detection set — for every scenario,
+/// across seeds.
+#[test]
+fn corpus_interleavings_preserve_live_settle_parity() {
+    for seed in [1u64, 7, 42] {
+        for sc in scenario::corpus(seed) {
+            // Straight replay: the oracle.
+            let mut sorted: Vec<OnlineEvent> = sc.events.clone();
+            sorted.sort_by(event_cmp);
+            let mut oracle = OnlineDetector::new(DetectionConfig::default());
+            for e in &sorted {
+                oracle.observe(e);
+            }
+            let want = oracle.finish();
+
+            // Live: seeded interleaving across per-rank queues.
+            let mut queues: BTreeMap<u64, VecDeque<OnlineEvent>> = BTreeMap::new();
+            for e in &sc.events {
+                queues.entry(e.rank).or_default().push_back(e.clone());
+            }
+            let ranks = queues.len() as u64;
+            let tap = LiveDetectorTap::new(DetectionConfig::default(), ranks, None);
+            let mut rng = Rng(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1));
+            let mut clock = 0u64;
+            while !queues.is_empty() {
+                let keys: Vec<u64> = queues.keys().copied().collect();
+                let pick = keys[(rng.next() % keys.len() as u64) as usize];
+                let q = queues.get_mut(&pick).expect("picked key exists");
+                let e = q.pop_front().expect("nonempty");
+                if q.is_empty() {
+                    queues.remove(&pick);
+                }
+                clock += 1;
+                tap.offer(e, Epoch::from_nanos(clock));
+            }
+            let out = tap.finalize(Epoch::from_secs(1_000_000));
+            assert_eq!(
+                out.detections,
+                want,
+                "seed {seed} {}: oracle drift",
+                sc.class.as_str()
+            );
+            let live: Vec<_> = out.live.iter().map(|l| &l.event).collect();
+            assert_eq!(
+                live.len(),
+                want.len(),
+                "seed {seed} {}: live cardinality",
+                sc.class.as_str()
+            );
+            for d in &want {
+                assert!(
+                    live.contains(&d),
+                    "seed {seed} {}: live stream is missing {d:?}",
+                    sc.class.as_str()
+                );
+            }
+        }
+    }
+}
+
+/// The `TRC013` detection-latency lint, end to end through `RunSpec`:
+/// an impossible alert budget fires the advisory warning on a live
+/// run, a generous one stays clean, and a budget without the hub has
+/// no live emissions to judge.
+#[test]
+fn detection_alert_budget_lint_fires_through_run_spec() {
+    let app = anomalous_app();
+    let tight = run_job(
+        &app,
+        &anomalous_spec(&app, 1, true).with_detection_alert_budget(1e-9),
+    );
+    assert!(
+        tight.trace_report.codes().contains("TRC013"),
+        "sub-nanosecond alert budget must fire on any live detection"
+    );
+    assert!(
+        !tight.trace_report.has_errors(),
+        "TRC013 is advisory: a blown budget warns, never errors"
+    );
+    let roomy = run_job(
+        &app,
+        &anomalous_spec(&app, 1, true).with_detection_alert_budget(1e9),
+    );
+    assert!(!roomy.trace_report.codes().contains("TRC013"));
+    let no_hub = run_job(
+        &app,
+        &anomalous_spec(&app, 1, false).with_detection_alert_budget(1e-9),
+    );
+    assert!(
+        !no_hub.trace_report.codes().contains("TRC013"),
+        "no hub, no live stream, no evidence to fire on"
+    );
+}
